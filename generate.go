@@ -1,0 +1,55 @@
+package rapidanalytics
+
+import (
+	"rapidanalytics/internal/datagen"
+)
+
+// Vocabulary namespaces of the built-in generators, for writing queries
+// against generated stores.
+const (
+	// BSBMNamespace is the e-commerce vocabulary (products, offers,
+	// vendors).
+	BSBMNamespace = datagen.BSBM
+	// ChemNamespace is the chemogenomics vocabulary (compounds, genes,
+	// drugs, pathways).
+	ChemNamespace = datagen.Chem
+	// PubMedNamespace is the bibliographic vocabulary (publications,
+	// authors, grants).
+	PubMedNamespace = datagen.PubMed
+)
+
+// NewBSBMStore returns a store filled with a deterministic Berlin SPARQL
+// Benchmark-like e-commerce graph of the given product count.
+func NewBSBMStore(products int, opts Options) *Store {
+	s := NewStore(opts)
+	cfg := datagen.BSBMSmall()
+	if products > 0 {
+		cfg.Products = products
+	}
+	s.addGraph(datagen.GenerateBSBM(cfg))
+	return s
+}
+
+// NewChemStore returns a store filled with a deterministic
+// Chem2Bio2RDF-like chemogenomics graph of the given compound count.
+func NewChemStore(compounds int, opts Options) *Store {
+	s := NewStore(opts)
+	cfg := datagen.ChemDefault()
+	if compounds > 0 {
+		cfg.Compounds = compounds
+	}
+	s.addGraph(datagen.GenerateChem(cfg))
+	return s
+}
+
+// NewPubMedStore returns a store filled with a deterministic
+// PubMed/Bio2RDF-like bibliographic graph of the given publication count.
+func NewPubMedStore(publications int, opts Options) *Store {
+	s := NewStore(opts)
+	cfg := datagen.PubMedDefault()
+	if publications > 0 {
+		cfg.Publications = publications
+	}
+	s.addGraph(datagen.GeneratePubMed(cfg))
+	return s
+}

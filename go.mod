@@ -1,0 +1,3 @@
+module rapidanalytics
+
+go 1.23

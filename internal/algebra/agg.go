@@ -1,0 +1,272 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rapidanalytics/internal/sparql"
+)
+
+// AggState is the mergeable partial state of one aggregate function. All
+// five functions of the analytical subset (COUNT, SUM, AVG, MIN, MAX) are
+// algebraic: partial states computed by mappers or combiners merge
+// associatively into the final value, which is what makes the paper's
+// map-side hash pre-aggregation (Algorithm 3) and Hive's combiners correct.
+type AggState struct {
+	Func sparql.AggFunc
+	// Count is the number of accumulated non-null values.
+	Count int64
+	// Sum accumulates numeric values for SUM and AVG.
+	Sum float64
+	// Extreme holds the current MIN/MAX value in lexical form.
+	Extreme string
+	// Distinct marks SPARQL's set-valued form (COUNT(DISTINCT ?x) etc.):
+	// each value contributes once per group. The state then carries the
+	// value set, which merges by union — still algebraic, though partial
+	// states grow with group cardinality.
+	Distinct bool
+	// Seen is the distinct-value set (nil unless Distinct).
+	Seen map[string]bool
+}
+
+// NewAggState returns an empty state for the function.
+func NewAggState(fn sparql.AggFunc) *AggState { return &AggState{Func: fn} }
+
+// NewDistinctAggState returns an empty DISTINCT state for the function.
+func NewDistinctAggState(fn sparql.AggFunc) *AggState {
+	return &AggState{Func: fn, Distinct: true, Seen: map[string]bool{}}
+}
+
+// Update folds one bound value into the state. NULL values are ignored,
+// matching SPARQL aggregate semantics over unbound variables.
+func (s *AggState) Update(value string) {
+	if IsNull(value) || value == "" {
+		return
+	}
+	if s.Distinct {
+		if s.Seen[value] {
+			return
+		}
+		s.Seen[value] = true
+	}
+	switch s.Func {
+	case sparql.Count:
+		s.Count++
+	case sparql.Sum, sparql.Avg:
+		if f, ok := ParseNumber(value); ok {
+			s.Count++
+			s.Sum += f
+		}
+	case sparql.Min, sparql.Max:
+		lex := value
+		if lex[0] == 'L' || lex[0] == 'I' || lex[0] == 'B' {
+			lex = lex[1:]
+		}
+		if s.Count == 0 {
+			s.Extreme = lex
+			s.Count = 1
+			return
+		}
+		s.Count++
+		if valueLess(lex, s.Extreme) == (s.Func == sparql.Min) {
+			s.Extreme = lex
+		}
+	}
+}
+
+// UpdateN folds the same value n times (used when a triplegroup binding has
+// multiplicity n).
+func (s *AggState) UpdateN(value string, n int64) {
+	if n <= 0 || IsNull(value) || value == "" {
+		return
+	}
+	if s.Distinct {
+		// Multiplicity is irrelevant under DISTINCT.
+		s.Update(value)
+		return
+	}
+	switch s.Func {
+	case sparql.Count:
+		s.Count += n
+	case sparql.Sum, sparql.Avg:
+		if f, ok := ParseNumber(value); ok {
+			s.Count += n
+			s.Sum += f * float64(n)
+		}
+	default:
+		// MIN/MAX are insensitive to multiplicity.
+		s.Update(value)
+	}
+}
+
+// valueLess orders two lexical values: numerically when both parse as
+// numbers, lexicographically otherwise.
+func valueLess(a, b string) bool {
+	af, aerr := strconv.ParseFloat(a, 64)
+	bf, berr := strconv.ParseFloat(b, 64)
+	if aerr == nil && berr == nil {
+		return af < bf
+	}
+	return a < b
+}
+
+// Merge folds another partial state for the same function into s.
+func (s *AggState) Merge(o *AggState) {
+	if s.Distinct {
+		// Replay the other side's unseen values; Update maintains the
+		// derived fields consistently.
+		for v := range o.Seen {
+			s.Update(v)
+		}
+		return
+	}
+	if o.Count == 0 {
+		return
+	}
+	switch s.Func {
+	case sparql.Count:
+		s.Count += o.Count
+	case sparql.Sum, sparql.Avg:
+		s.Count += o.Count
+		s.Sum += o.Sum
+	case sparql.Min, sparql.Max:
+		if s.Count == 0 {
+			s.Extreme = o.Extreme
+			s.Count = o.Count
+			return
+		}
+		s.Count += o.Count
+		if valueLess(o.Extreme, s.Extreme) == (s.Func == sparql.Min) {
+			s.Extreme = o.Extreme
+		}
+	}
+}
+
+// Final renders the aggregate's final value in lexical form. Aggregates
+// over empty groups follow SPARQL semantics: COUNT is 0, SUM is 0, and
+// AVG/MIN/MAX are NULL.
+func (s *AggState) Final() string {
+	switch s.Func {
+	case sparql.Count:
+		return strconv.FormatInt(s.Count, 10)
+	case sparql.Sum:
+		return FormatNumber(s.Sum)
+	case sparql.Avg:
+		if s.Count == 0 {
+			return Null
+		}
+		return FormatNumber(s.Sum / float64(s.Count))
+	default:
+		if s.Count == 0 {
+			return Null
+		}
+		return s.Extreme
+	}
+}
+
+// Encode serialises the partial state for shuffling between map and reduce
+// phases. The format is positional and versionless; Decode is its inverse.
+// DISTINCT states append their value set (values must not contain the unit
+// separator 0x1F, the same restriction grouping keys carry).
+func (s *AggState) Encode() string {
+	base := fmt.Sprintf("%s\x1f%d\x1f%s\x1f%s",
+		s.Func, s.Count, strconv.FormatFloat(s.Sum, 'g', -1, 64), s.Extreme)
+	if !s.Distinct {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString("\x1fD")
+	for v := range s.Seen {
+		b.WriteString("\x1f")
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// DecodeAggState parses a state produced by Encode.
+func DecodeAggState(enc string) (*AggState, error) {
+	parts := strings.Split(enc, "\x1f")
+	if len(parts) < 4 {
+		return nil, fmt.Errorf("algebra: malformed aggregate state %q", enc)
+	}
+	count, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: malformed aggregate count: %w", err)
+	}
+	sum, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: malformed aggregate sum: %w", err)
+	}
+	st := &AggState{Func: sparql.AggFunc(parts[0]), Count: count, Sum: sum, Extreme: parts[3]}
+	if len(parts) > 4 {
+		if parts[4] != "D" {
+			return nil, fmt.Errorf("algebra: malformed aggregate state tail %q", parts[4])
+		}
+		st.Distinct = true
+		st.Seen = make(map[string]bool, len(parts)-5)
+		for _, v := range parts[5:] {
+			st.Seen[v] = true
+		}
+	}
+	return st, nil
+}
+
+// MultiAggState bundles the states for a subquery's aggregation list — the
+// per-group payload of grouping operators across every engine.
+type MultiAggState struct {
+	States []*AggState
+}
+
+// NewMultiAggState returns empty states for the given aggregation specs.
+func NewMultiAggState(specs []AggSpec) *MultiAggState {
+	m := &MultiAggState{States: make([]*AggState, len(specs))}
+	for i, sp := range specs {
+		if sp.Distinct {
+			m.States[i] = NewDistinctAggState(sp.Func)
+		} else {
+			m.States[i] = NewAggState(sp.Func)
+		}
+	}
+	return m
+}
+
+// Merge folds another multi-state (same spec list) into m.
+func (m *MultiAggState) Merge(o *MultiAggState) {
+	for i := range m.States {
+		m.States[i].Merge(o.States[i])
+	}
+}
+
+// Finals renders every aggregate's final value.
+func (m *MultiAggState) Finals() []string {
+	out := make([]string, len(m.States))
+	for i, s := range m.States {
+		out[i] = s.Final()
+	}
+	return out
+}
+
+// Encode serialises all states.
+func (m *MultiAggState) Encode() string {
+	parts := make([]string, len(m.States))
+	for i, s := range m.States {
+		parts[i] = s.Encode()
+	}
+	return strings.Join(parts, "\x1e")
+}
+
+// DecodeMultiAggState parses a multi-state produced by Encode.
+func DecodeMultiAggState(enc string) (*MultiAggState, error) {
+	parts := strings.Split(enc, "\x1e")
+	m := &MultiAggState{States: make([]*AggState, len(parts))}
+	for i, p := range parts {
+		s, err := DecodeAggState(p)
+		if err != nil {
+			return nil, err
+		}
+		m.States[i] = s
+	}
+	return m, nil
+}

@@ -1,0 +1,292 @@
+package algebra
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"rapidanalytics/internal/sparql"
+)
+
+func TestAggStateBasics(t *testing.T) {
+	tests := []struct {
+		fn     sparql.AggFunc
+		values []string
+		want   string
+	}{
+		{sparql.Count, []string{"L1", "L2", "L3"}, "3"},
+		{sparql.Count, []string{"La", Null, "Lb"}, "2"},
+		{sparql.Sum, []string{"L1.5", "L2.5"}, "4"},
+		{sparql.Sum, []string{}, "0"},
+		{sparql.Avg, []string{"L2", "L4"}, "3"},
+		{sparql.Avg, []string{}, Null},
+		{sparql.Min, []string{"L5", "L3", "L9"}, "3"},
+		{sparql.Max, []string{"L5", "L30", "L9"}, "30"},
+		{sparql.Min, []string{"Lb", "La"}, "a"},
+		{sparql.Min, []string{}, Null},
+	}
+	for _, tc := range tests {
+		s := NewAggState(tc.fn)
+		for _, v := range tc.values {
+			s.Update(v)
+		}
+		if got := s.Final(); got != tc.want {
+			t.Errorf("%s(%v) = %q, want %q", tc.fn, tc.values, got, tc.want)
+		}
+	}
+}
+
+func TestAggStateUpdateN(t *testing.T) {
+	s := NewAggState(sparql.Sum)
+	s.UpdateN("L2.5", 4)
+	if got := s.Final(); got != "10" {
+		t.Errorf("SUM with multiplicity = %q, want 10", got)
+	}
+	c := NewAggState(sparql.Count)
+	c.UpdateN("Lx", 7)
+	if got := c.Final(); got != "7" {
+		t.Errorf("COUNT with multiplicity = %q, want 7", got)
+	}
+	m := NewAggState(sparql.Max)
+	m.UpdateN("L3", 5)
+	m.UpdateN("L1", 2)
+	if got := m.Final(); got != "3" {
+		t.Errorf("MAX with multiplicity = %q, want 3", got)
+	}
+}
+
+// Property: merging partial states is equivalent to a single sequential
+// fold — the algebraic-aggregate property that makes combiners and the
+// paper's map-side hash pre-aggregation correct.
+func TestAggStateMergeEquivalence(t *testing.T) {
+	fns := []sparql.AggFunc{sparql.Count, sparql.Sum, sparql.Avg, sparql.Min, sparql.Max}
+	f := func(raw []int16, split uint8) bool {
+		values := make([]string, len(raw))
+		for i, r := range raw {
+			values[i] = "L" + strconv.Itoa(int(r))
+		}
+		for _, fn := range fns {
+			whole := NewAggState(fn)
+			for _, v := range values {
+				whole.Update(v)
+			}
+			cut := 0
+			if len(values) > 0 {
+				cut = int(split) % (len(values) + 1)
+			}
+			left, right := NewAggState(fn), NewAggState(fn)
+			for _, v := range values[:cut] {
+				left.Update(v)
+			}
+			for _, v := range values[cut:] {
+				right.Update(v)
+			}
+			left.Merge(right)
+			if left.Final() != whole.Final() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Decode round-trips partial states.
+func TestAggStateEncodeRoundTrip(t *testing.T) {
+	f := func(count int64, sum float64, extreme string) bool {
+		if count < 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			return true
+		}
+		for _, ch := range extreme {
+			if ch == 0x1e || ch == 0x1f {
+				return true
+			}
+		}
+		s := &AggState{Func: sparql.Min, Count: count, Sum: sum, Extreme: extreme}
+		dec, err := DecodeAggState(s.Encode())
+		if err != nil {
+			return false
+		}
+		return dec.Count == s.Count && dec.Sum == s.Sum && dec.Extreme == s.Extreme && dec.Func == s.Func
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctAggState(t *testing.T) {
+	c := NewDistinctAggState(sparql.Count)
+	for _, v := range []string{"La", "Lb", "La", "Lc", "Lb", Null} {
+		c.Update(v)
+	}
+	if got := c.Final(); got != "3" {
+		t.Errorf("COUNT(DISTINCT) = %q, want 3", got)
+	}
+	s := NewDistinctAggState(sparql.Sum)
+	for _, v := range []string{"L5", "L5", "L7"} {
+		s.Update(v)
+	}
+	if got := s.Final(); got != "12" {
+		t.Errorf("SUM(DISTINCT) = %q, want 12", got)
+	}
+	s.UpdateN("L9", 100)
+	if got := s.Final(); got != "21" {
+		t.Errorf("SUM(DISTINCT) after UpdateN = %q, want 21", got)
+	}
+}
+
+// DISTINCT merging is a set union: splitting the input arbitrarily and
+// merging partial states equals one sequential fold.
+func TestDistinctMergeEquivalence(t *testing.T) {
+	f := func(raw []uint8, cut uint8) bool {
+		values := make([]string, len(raw))
+		for i, r := range raw {
+			values[i] = "L" + strconv.Itoa(int(r%16))
+		}
+		whole := NewDistinctAggState(sparql.Count)
+		for _, v := range values {
+			whole.Update(v)
+		}
+		k := 0
+		if len(values) > 0 {
+			k = int(cut) % (len(values) + 1)
+		}
+		left, right := NewDistinctAggState(sparql.Count), NewDistinctAggState(sparql.Count)
+		for _, v := range values[:k] {
+			left.Update(v)
+		}
+		for _, v := range values[k:] {
+			right.Update(v)
+		}
+		// Round-trip the right side through the wire format too.
+		dec, err := DecodeAggState(right.Encode())
+		if err != nil {
+			return false
+		}
+		left.Merge(dec)
+		return left.Final() == whole.Final()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctEncodeRoundTrip(t *testing.T) {
+	s := NewDistinctAggState(sparql.Count)
+	s.Update("Lx")
+	s.Update("Ly")
+	dec, err := DecodeAggState(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Distinct || len(dec.Seen) != 2 || dec.Final() != "2" {
+		t.Errorf("decoded = %+v", dec)
+	}
+}
+
+func TestMultiAggState(t *testing.T) {
+	specs := []AggSpec{
+		{Func: sparql.Count, Var: "x", As: "c"},
+		{Func: sparql.Sum, Var: "x", As: "s"},
+	}
+	a := NewMultiAggState(specs)
+	a.States[0].Update("L1")
+	a.States[1].Update("L5")
+	b := NewMultiAggState(specs)
+	b.States[0].Update("L2")
+	b.States[1].Update("L7")
+	enc := b.Encode()
+	dec, err := DecodeMultiAggState(enc)
+	if err != nil {
+		t.Fatalf("DecodeMultiAggState: %v", err)
+	}
+	a.Merge(dec)
+	finals := a.Finals()
+	if finals[0] != "2" || finals[1] != "12" {
+		t.Errorf("Finals = %v", finals)
+	}
+}
+
+func TestDecodeAggStateErrors(t *testing.T) {
+	for _, bad := range []string{"", "COUNT", "COUNT\x1fx\x1f0\x1f", "COUNT\x1f1\x1fz\x1f"} {
+		if _, err := DecodeAggState(bad); err == nil {
+			t.Errorf("DecodeAggState(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEvalFilter(t *testing.T) {
+	gt := sparql.Filter{Kind: sparql.FilterCompare, Var: "p", Op: ">", Value: "5000", IsNumeric: true}
+	for v, want := range map[string]bool{"L6000": true, "L5000": false, "L10": false, Null: false, "Labc": false} {
+		got, err := EvalFilter(gt, v)
+		if err != nil {
+			t.Fatalf("EvalFilter(%q): %v", v, err)
+		}
+		if got != want {
+			t.Errorf("EvalFilter(>5000, %q) = %v, want %v", v, got, want)
+		}
+	}
+	re := sparql.Filter{Kind: sparql.FilterRegex, Var: "n", Pattern: "MAPK signaling", Flags: "i"}
+	got, err := EvalFilter(re, "Lthe mapk SIGNALING pathway")
+	if err != nil || !got {
+		t.Errorf("regex filter = %v, %v", got, err)
+	}
+	got, err = EvalFilter(re, "Lother pathway")
+	if err != nil || got {
+		t.Errorf("regex filter non-match = %v, %v", got, err)
+	}
+	eq := sparql.Filter{Kind: sparql.FilterCompare, Var: "t", Op: "=", Value: "News"}
+	if ok, _ := EvalFilter(eq, "LNews"); !ok {
+		t.Error("string equality filter failed")
+	}
+}
+
+func TestEvalExpr(t *testing.T) {
+	q := sparql.MustParse(prefix + `SELECT ((?a + ?b) * 2 / ?c AS ?r) {
+  { SELECT (SUM(?x) AS ?a) (COUNT(?x) AS ?b) (MAX(?x) AS ?c) { ?s e:p ?x . } }
+}`)
+	expr := q.Select.Projection[0].Expr
+	got, err := EvalExpr(expr, map[string]string{"a": "4", "b": "2", "c": "L3"})
+	if err != nil {
+		t.Fatalf("EvalExpr: %v", err)
+	}
+	if got != 4 {
+		t.Errorf("EvalExpr = %v, want 4", got)
+	}
+	if _, err := EvalExpr(expr, map[string]string{"a": "4", "b": "2", "c": "0"}); err == nil {
+		t.Error("division by zero not reported")
+	}
+	if _, err := EvalExpr(expr, map[string]string{"a": "4", "b": "2"}); err == nil {
+		t.Error("unbound variable not reported")
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	for f, want := range map[float64]string{42: "42", 2.5: "2.5", -3: "-3", 0: "0"} {
+		if got := FormatNumber(f); got != want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"L42.5", 42.5, true},
+		{"42", 42, true},
+		{"Labc", 0, false},
+		{"Ihttp://e/x", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseNumber(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseNumber(%q) = %v,%v", tc.in, got, ok)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package algebra
+
+import (
+	"strconv"
+	"testing"
+
+	"rapidanalytics/internal/sparql"
+)
+
+func BenchmarkFindOverlap(b *testing.B) {
+	gp1 := mustGPB(b, prefix+`SELECT ?f {
+  ?p a e:PT1 ; e:label ?l ; e:pf ?f .
+  ?o e:product ?p ; e:price ?pr ; e:vendor ?v .
+  ?v e:country ?c .
+}`)
+	gp2 := mustGPB(b, prefix+`SELECT ?c {
+  ?p1 a e:PT1 ; e:label ?l1 .
+  ?o1 e:product ?p1 ; e:price ?pr1 ; e:vendor ?v1 .
+  ?v1 e:country ?c .
+}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindOverlap(gp1, gp2); !ok {
+			b.Fatal("no overlap")
+		}
+	}
+}
+
+func mustGPB(b *testing.B, query string) *GraphPattern {
+	b.Helper()
+	q, err := sparql.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp, err := BuildGraphPattern(q.Select.Pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gp
+}
+
+func BenchmarkBuildComposite(b *testing.B) {
+	q := sparql.MustParse(mg1)
+	aq, err := Build(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildComposite(aq.Subqueries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggStateUpdateMerge(b *testing.B) {
+	values := make([]string, 256)
+	for i := range values {
+		values[i] = "L" + strconv.Itoa(i%17)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, c := NewAggState(sparql.Avg), NewAggState(sparql.Avg)
+		for j, v := range values {
+			if j%2 == 0 {
+				a.Update(v)
+			} else {
+				c.Update(v)
+			}
+		}
+		a.Merge(c)
+		if a.Final() == Null {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkParseMG1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(mg1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

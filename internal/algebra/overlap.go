@@ -1,0 +1,176 @@
+package algebra
+
+// Overlap detection between star patterns (Definition 3.1) and graph
+// patterns (Definition 3.2). Graph patterns overlap when their stars can be
+// put in one-to-one correspondence such that corresponding stars overlap and
+// corresponding join edges are role-equivalent. The paper's worked examples
+// (Figure 3) are reproduced in the tests: AQ2's patterns overlap, AQ3's do
+// not (object-subject vs object-object join).
+
+// StarsOverlap implements Definition 3.1: the stars' property sets must
+// intersect, and the stars must agree on their rdf:type constant objects.
+// The type condition is applied symmetrically (overlap is a symmetric
+// relation): every type object constrained in one star must be constrained
+// in the other.
+func StarsOverlap(a, b *StarPattern) bool {
+	// Composite rewriting of unbound-property stars needs [32]'s machinery
+	// and is out of scope: such stars never overlap, so engines fall back
+	// to sequential evaluation.
+	if a.HasUnbound() || b.HasUnbound() {
+		return false
+	}
+	// Likewise for stars carrying their own OPTIONAL patterns.
+	if len(a.Optionals) > 0 || len(b.Optionals) > 0 {
+		return false
+	}
+	ap, bp := a.PropSet(), b.PropSet()
+	intersects := false
+	for k := range ap {
+		if bp[k] {
+			intersects = true
+			break
+		}
+	}
+	if !intersects {
+		return false
+	}
+	at, bt := a.TypeObjects(), b.TypeObjects()
+	if len(at) != len(bt) {
+		return false
+	}
+	for o := range at {
+		if !bt[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinEdgesEquivalent reports whether two join edges (under a star mapping
+// that already aligns their endpoints) are role-equivalent in the sense of
+// Definition 3.2: the join variable plays the same role at each endpoint,
+// and at object endpoints the carrying triple patterns agree on a property.
+// At subject endpoints the property condition is subsumed by star overlap
+// (the subject is shared by every triple pattern of the star).
+func joinEdgesEquivalent(e1, e2 Join) bool {
+	if e1.LeftRole != e2.LeftRole || e1.RightRole != e2.RightRole {
+		return false
+	}
+	if e1.LeftRole == RoleObject && !propRefsIntersect(e1.LeftProps, e2.LeftProps) {
+		return false
+	}
+	if e1.RightRole == RoleObject && !propRefsIntersect(e1.RightProps, e2.RightProps) {
+		return false
+	}
+	return true
+}
+
+func propRefsIntersect(a, b []PropRef) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Key() == y.Key() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StarMapping is a bijection from the stars of one graph pattern onto the
+// stars of another: Map[i] is the index in the second pattern corresponding
+// to star i of the first.
+type StarMapping []int
+
+// FindOverlap implements Definition 3.2. It searches for a bijection between
+// the stars of gp1 and gp2 under which every pair of corresponding stars
+// overlaps and the two patterns have identical join structure up to
+// role-equivalence. It returns the mapping and true on success.
+//
+// The search is exhaustive over permutations; analytical graph patterns have
+// at most a handful of stars.
+func FindOverlap(gp1, gp2 *GraphPattern) (StarMapping, bool) {
+	if len(gp1.Stars) != len(gp2.Stars) {
+		return nil, false
+	}
+	n := len(gp1.Stars)
+	mapping := make(StarMapping, n)
+	used := make([]bool, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return joinStructuresMatch(gp1, gp2, mapping)
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || !StarsOverlap(gp1.Stars[i], gp2.Stars[j]) {
+				continue
+			}
+			mapping[i] = j
+			used[j] = true
+			if rec(i + 1) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return mapping, true
+}
+
+// joinStructuresMatch checks that under the mapping, every join edge of gp1
+// has a role-equivalent counterpart in gp2 and vice versa.
+func joinStructuresMatch(gp1, gp2 *GraphPattern, m StarMapping) bool {
+	inv := make([]int, len(m))
+	for i, j := range m {
+		inv[j] = i
+	}
+	matched := make([]bool, len(gp2.Joins))
+	for _, e1 := range gp1.Joins {
+		found := false
+		for k, e2 := range gp2.Joins {
+			if matched[k] {
+				continue
+			}
+			if edgeEndpointsAlign(e1, e2, m) && joinEdgesEquivalent(e1, orientEdge(e2, e1, m)) {
+				matched[k] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for k := range gp2.Joins {
+		if !matched[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeEndpointsAlign reports whether e2 connects the images of e1's
+// endpoints (in either orientation).
+func edgeEndpointsAlign(e1, e2 Join, m StarMapping) bool {
+	return (e2.Left == m[e1.Left] && e2.Right == m[e1.Right]) ||
+		(e2.Left == m[e1.Right] && e2.Right == m[e1.Left])
+}
+
+// orientEdge returns e2 oriented so that its Left endpoint is the image of
+// e1's Left endpoint.
+func orientEdge(e2, e1 Join, m StarMapping) Join {
+	if e2.Left == m[e1.Left] {
+		return e2
+	}
+	return Join{
+		Var:        e2.Var,
+		Left:       e2.Right,
+		Right:      e2.Left,
+		LeftRole:   e2.RightRole,
+		RightRole:  e2.LeftRole,
+		LeftProps:  e2.RightProps,
+		RightProps: e2.LeftProps,
+	}
+}

@@ -1,0 +1,193 @@
+package algebra
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/sparql"
+)
+
+func mustGP(t *testing.T, query string) *GraphPattern {
+	t.Helper()
+	q, err := sparql.Parse(query)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	gp, err := BuildGraphPattern(q.Select.Pattern)
+	if err != nil {
+		t.Fatalf("BuildGraphPattern: %v", err)
+	}
+	return gp
+}
+
+const prefix = "PREFIX e: <http://e/>\n"
+
+func TestBuildGraphPatternStars(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?s1 {
+  ?s1 a e:PT18 ; e:pf ?o3 .
+  ?s2 e:pr ?s1 ; e:pc ?o4 ; e:ve ?o5 .
+}`)
+	if len(gp.Stars) != 2 {
+		t.Fatalf("stars = %d, want 2", len(gp.Stars))
+	}
+	if gp.Stars[0].SubjectVar != "s1" || gp.Stars[1].SubjectVar != "s2" {
+		t.Errorf("star roots = %s, %s", gp.Stars[0].SubjectVar, gp.Stars[1].SubjectVar)
+	}
+	// Property references: the type triple folds its object in.
+	props := gp.Stars[0].PropSet()
+	if len(props) != 2 {
+		t.Errorf("star0 props = %v", props)
+	}
+	found := false
+	for k := range props {
+		if k == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type=Ihttp://e/PT18" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("type property reference missing from %v", props)
+	}
+	// One join edge: ?s1 subject of star0, object of e:pr in star1.
+	if len(gp.Joins) != 1 {
+		t.Fatalf("joins = %v", gp.Joins)
+	}
+	j := gp.Joins[0]
+	if j.Var != "s1" || j.LeftRole != RoleSubject || j.RightRole != RoleObject {
+		t.Errorf("join = %+v", j)
+	}
+	if len(j.RightProps) != 1 || j.RightProps[0].Prop != "http://e/pr" {
+		t.Errorf("join right props = %v", j.RightProps)
+	}
+	if !gp.Connected() {
+		t.Error("pattern should be connected")
+	}
+}
+
+func TestBuildGraphPatternRejects(t *testing.T) {
+	cases := map[string]string{
+		"constant subject":      prefix + `SELECT ?o { e:s1 e:p ?o . }`,
+		"duplicate prop":        prefix + `SELECT ?a { ?s e:p ?a ; e:p ?b . }`,
+		"two unbound in a star": prefix + `SELECT ?o { ?s ?p ?o ; ?q ?o2 . }`,
+		"prop var reused":       prefix + `SELECT ?o { ?s ?p ?o ; e:q ?p . }`,
+		"unbound prop join":     prefix + `SELECT ?o { ?s ?p ?o . ?o e:q ?x . }`,
+	}
+	for name, qs := range cases {
+		q, err := sparql.Parse(qs)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", name, err)
+		}
+		if _, err := BuildGraphPattern(q.Select.Pattern); err == nil {
+			t.Errorf("%s: BuildGraphPattern succeeded, want error", name)
+		}
+	}
+}
+
+// Unbound-property patterns are accepted within the paper's restrictions:
+// at most one per star, variables not shared with other patterns.
+func TestUnboundPropertyAccepted(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?p { ?s a e:PT1 ; ?p ?o . }`)
+	if len(gp.Stars) != 1 || !gp.Stars[0].HasUnbound() {
+		t.Fatalf("stars = %v", gp.Stars)
+	}
+	// Bound property refs exclude the unbound pattern.
+	if got := len(gp.Stars[0].Props()); got != 1 {
+		t.Errorf("bound props = %d, want 1", got)
+	}
+	// Unbound stars never overlap (composite rewriting is out of scope).
+	gp2 := mustGP(t, prefix+`SELECT ?p { ?s2 a e:PT1 ; ?p2 ?o2 . }`)
+	if _, ok := FindOverlap(gp, gp2); ok {
+		t.Error("unbound-property patterns reported as overlapping")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?a { ?a e:p ?x . ?b e:q ?y . }`)
+	if gp.Connected() {
+		t.Error("disconnected pattern reported connected")
+	}
+}
+
+// The paper's Figure 3, query AQ2: GP1 and GP2 overlap — both stars overlap
+// and the join structures match (subject-object join via pr).
+func TestOverlapAQ2(t *testing.T) {
+	gp1 := mustGP(t, prefix+`SELECT ?s1 {
+  ?s1 a e:PT18 .
+  ?s2 e:pr ?s1 ; e:pc ?o1 ; e:ve ?o2 .
+}`)
+	gp2 := mustGP(t, prefix+`SELECT ?s1 {
+  ?s1 a e:PT18 ; e:pf ?o3 .
+  ?s2 e:pr ?s1 ; e:pc ?o4 .
+}`)
+	m, ok := FindOverlap(gp1, gp2)
+	if !ok {
+		t.Fatal("AQ2 graph patterns should overlap")
+	}
+	if m[0] != 0 || m[1] != 1 {
+		t.Errorf("mapping = %v, want identity", m)
+	}
+}
+
+// The paper's Figure 3, query AQ3: the stars overlap, but GP1 joins them
+// object-subject (?s3 ve ?s4 . ?s4 cn ?o6) while GP2 joins object-object
+// (?s3 ve ?o6 . ?s4 cn ?o6) — so the graph patterns do NOT overlap.
+func TestNoOverlapAQ3(t *testing.T) {
+	gp1 := mustGP(t, prefix+`SELECT ?s3 {
+  ?s3 e:pr ?s1 ; e:pc ?o5 ; e:ve ?s4 .
+  ?s4 e:cn ?o6 .
+}`)
+	gp2 := mustGP(t, prefix+`SELECT ?s3 {
+  ?s3 e:pr ?s1 ; e:pc ?c5 ; e:ve ?c6 .
+  ?s4 e:cn ?c6 .
+}`)
+	if _, ok := FindOverlap(gp1, gp2); ok {
+		t.Fatal("AQ3 graph patterns should NOT overlap")
+	}
+}
+
+func TestStarsOverlapTypeObjects(t *testing.T) {
+	mk := func(q string) *StarPattern { return mustGP(t, q).Stars[0] }
+	pt18a := mk(prefix + `SELECT ?s { ?s a e:PT18 ; e:p ?x . }`)
+	pt18b := mk(prefix + `SELECT ?s { ?s a e:PT18 ; e:q ?y . }`)
+	pt9 := mk(prefix + `SELECT ?s { ?s a e:PT9 ; e:p ?x . }`)
+	notype := mk(prefix + `SELECT ?s { ?s e:p ?x ; e:r ?z . }`)
+	if StarsOverlap(pt18a, pt9) {
+		t.Error("stars with different type objects should not overlap")
+	}
+	if StarsOverlap(pt18a, notype) {
+		t.Error("typed and untyped stars should not overlap (asymmetric type constraint)")
+	}
+	if !StarsOverlap(pt18a, pt18b) {
+		// property sets: {ty18, p} vs {ty18, q} intersect on ty18
+		t.Error("stars sharing the type property should overlap")
+	}
+	if StarsOverlap(notype, mk(prefix+`SELECT ?s { ?s e:zzz ?x . }`)) {
+		t.Error("stars with disjoint property sets should not overlap")
+	}
+}
+
+// Different numbers of triple patterns per star, same join structure: the
+// MG1 case (3:2 vs 2:2).
+func TestOverlapMG1Shape(t *testing.T) {
+	gp1 := mustGP(t, prefix+`SELECT ?f {
+  ?p2 a e:PT1 ; e:label ?l2 ; e:productFeature ?f .
+  ?off2 e:product ?p2 ; e:price ?pr2 .
+}`)
+	gp2 := mustGP(t, prefix+`SELECT ?x {
+  ?p1 a e:PT1 ; e:label ?l1 .
+  ?off1 e:product ?p1 ; e:price ?pr .
+}`)
+	if _, ok := FindOverlap(gp1, gp2); !ok {
+		t.Fatal("MG1-shaped graph patterns should overlap")
+	}
+}
+
+func TestOverlapRejectsDifferentStarCounts(t *testing.T) {
+	gp1 := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?b . ?b e:q ?c . ?c e:r ?d .
+}`)
+	gp2 := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?b . ?b e:q ?c .
+}`)
+	if _, ok := FindOverlap(gp1, gp2); ok {
+		t.Error("patterns with different star counts should not overlap")
+	}
+}

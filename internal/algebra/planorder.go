@@ -1,0 +1,47 @@
+package algebra
+
+import "fmt"
+
+// JoinOrder linearises a pattern's join edges into an execution order: the
+// first edge starts at star 0, and every subsequent edge connects an
+// already-covered star (returned as Left) to a new one (Right). Planners
+// walk this order to chain binary join cycles. Redundant edges (closing
+// cycles in the join graph) are rejected — the analytical workloads are
+// acyclic.
+func JoinOrder(numStars int, joins []Join) ([]Join, error) {
+	if numStars <= 1 {
+		return nil, nil
+	}
+	covered := map[int]bool{0: true}
+	used := make([]bool, len(joins))
+	var order []Join
+	for len(covered) < numStars {
+		found := false
+		for i, j := range joins {
+			if used[i] {
+				continue
+			}
+			switch {
+			case covered[j.Left] && !covered[j.Right]:
+				order = append(order, j)
+			case covered[j.Right] && !covered[j.Left]:
+				order = append(order, j.flip())
+			default:
+				continue
+			}
+			used[i] = true
+			covered[order[len(order)-1].Right] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("algebra: join graph does not connect all %d stars", numStars)
+		}
+	}
+	for i, j := range joins {
+		if !used[i] && covered[j.Left] && covered[j.Right] {
+			return nil, fmt.Errorf("algebra: cyclic join graph (redundant edge on ?%s) not supported", j.Var)
+		}
+	}
+	return order, nil
+}

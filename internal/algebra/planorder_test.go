@@ -1,0 +1,77 @@
+package algebra
+
+import (
+	"testing"
+)
+
+func TestJoinOrderLinearChain(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?b . ?b e:q ?c . ?c e:r ?d .
+}`)
+	order, err := JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		t.Fatalf("JoinOrder: %v", err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// Every edge's Left endpoint must already be covered.
+	covered := map[int]bool{0: true}
+	for _, e := range order {
+		if !covered[e.Left] {
+			t.Errorf("edge %+v starts at uncovered star", e)
+		}
+		if covered[e.Right] {
+			t.Errorf("edge %+v re-covers star %d", e, e.Right)
+		}
+		covered[e.Right] = true
+	}
+	if len(covered) != 3 {
+		t.Errorf("covered = %v", covered)
+	}
+}
+
+func TestJoinOrderFlipsEdges(t *testing.T) {
+	// Star 0 is the object side: ?b e:q ?a makes the natural edge
+	// (b -> a); JoinOrder must orient it away from star 0.
+	gp := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?x .
+  ?b e:q ?a ; e:r ?y .
+}`)
+	order, err := JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		t.Fatalf("JoinOrder: %v", err)
+	}
+	if len(order) != 1 || order[0].Left != 0 {
+		t.Fatalf("order = %+v", order)
+	}
+	// The roles must have flipped with the orientation.
+	if order[0].LeftRole != RoleSubject || order[0].RightRole != RoleObject {
+		t.Errorf("roles = %v/%v", order[0].LeftRole, order[0].RightRole)
+	}
+}
+
+func TestJoinOrderRejectsCycles(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?b ; e:s ?c .
+  ?b e:q ?c .
+  ?c e:r ?x .
+}`)
+	if _, err := JoinOrder(len(gp.Stars), gp.Joins); err == nil {
+		t.Fatal("cyclic join graph accepted")
+	}
+}
+
+func TestJoinOrderDisconnected(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?a { ?a e:p ?x . ?b e:q ?y . }`)
+	if _, err := JoinOrder(len(gp.Stars), gp.Joins); err == nil {
+		t.Fatal("disconnected join graph accepted")
+	}
+}
+
+func TestJoinOrderSingleStar(t *testing.T) {
+	order, err := JoinOrder(1, nil)
+	if err != nil || order != nil {
+		t.Fatalf("single star: %v, %v", order, err)
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"rapidanalytics/internal/datagen"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/rdf"
+)
+
+// DatasetSpec describes one evaluation dataset: its generator, the paper's
+// cluster configuration for it, and the paper-scale triple count used to
+// extrapolate the cost model (DataScale = PaperTriples / generated
+// triples).
+type DatasetSpec struct {
+	// ID names the dataset ("bsbm-500k", "bsbm-2m", "chem", "pubmed").
+	ID string
+	// Queries of this catalog dataset run on it.
+	CatalogName string
+	// Generate builds the graph; sizeMult scales the primary entity count
+	// (1 = the default laptop size). The cost model's DataScale adjusts
+	// automatically: paper-scale simulated volumes stay comparable.
+	Generate func(sizeMult float64) *rdf.Graph
+	// Cluster returns the simulated cluster configuration given the data
+	// scale.
+	Cluster func(dataScale float64) mapred.ClusterConfig
+	// PaperTriples is the original dataset's approximate triple count.
+	PaperTriples float64
+}
+
+// Specs lists the paper's four dataset deployments.
+func Specs() []DatasetSpec {
+	return []DatasetSpec{
+		{
+			ID:          "bsbm-500k",
+			CatalogName: "bsbm",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.BSBMSmall()
+				cfg.Products = scaled(cfg.Products, m)
+				return datagen.GenerateBSBM(cfg)
+			},
+			Cluster: mapred.VCL10,
+			// BSBM-500K: 43GB, ~175M triples, 10-node cluster.
+			PaperTriples: 175e6,
+		},
+		{
+			ID:          "bsbm-2m",
+			CatalogName: "bsbm",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.BSBMLarge()
+				cfg.Products = scaled(cfg.Products, m)
+				return datagen.GenerateBSBM(cfg)
+			},
+			Cluster: mapred.VCL50,
+			// BSBM-2M: 172GB, ~700M triples, 50-node cluster.
+			PaperTriples: 700e6,
+		},
+		{
+			ID:          "chem",
+			CatalogName: "chem",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.ChemDefault()
+				cfg.Compounds = scaled(cfg.Compounds, m)
+				return datagen.GenerateChem(cfg)
+			},
+			Cluster: mapred.VCL10,
+			// Chem2Bio2RDF: 60GB, ~340M triples, 10-node cluster.
+			PaperTriples: 340e6,
+		},
+		{
+			ID:          "pubmed",
+			CatalogName: "pubmed",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.PubMedDefault()
+				cfg.Publications = scaled(cfg.Publications, m)
+				return datagen.GeneratePubMed(cfg)
+			},
+			Cluster: mapred.VCL60,
+			// PubMed (Bio2RDF r2): 230GB, ~1.7B triples, 60-node cluster.
+			PaperTriples: 1.7e9,
+		},
+	}
+}
+
+// SpecByID returns the dataset spec with the given id.
+func SpecByID(id string) (DatasetSpec, bool) {
+	for _, s := range Specs() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return DatasetSpec{}, false
+}
+
+func scaled(base int, mult float64) int {
+	if mult <= 0 {
+		mult = 1
+	}
+	n := int(float64(base) * mult)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// loadedDataset caches a generated and loaded dataset together with its
+// cluster.
+type loadedDataset struct {
+	spec    DatasetSpec
+	cluster *mapred.Cluster
+	ds      *engine.Dataset
+}
+
+// Loader generates and loads datasets on demand, caching them per spec id.
+// Engines write temp files into each dataset's cluster FS; those are
+// namespaced per run, so caching the base dataset is safe.
+type Loader struct {
+	// SizeMult scales every dataset's primary entity count (default 1).
+	SizeMult float64
+
+	mu     sync.Mutex
+	loaded map[string]*loadedDataset
+}
+
+// NewLoader returns an empty loader at the default size.
+func NewLoader() *Loader { return &Loader{SizeMult: 1, loaded: map[string]*loadedDataset{}} }
+
+// Load returns the cluster and dataset for a spec id, generating it on
+// first use.
+func (l *Loader) Load(id string) (*mapred.Cluster, *engine.Dataset, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d, ok := l.loaded[id]; ok {
+		return d.cluster, d.ds, nil
+	}
+	spec, ok := SpecByID(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("bench: unknown dataset %q", id)
+	}
+	g := spec.Generate(l.SizeMult)
+	scale := spec.PaperTriples / float64(g.Len())
+	c := mapred.NewCluster(spec.Cluster(scale))
+	ds := engine.Load(c, spec.ID, g)
+	l.loaded[id] = &loadedDataset{spec: spec, cluster: c, ds: ds}
+	return c, ds, nil
+}
+
+// DatasetsFor returns the spec ids a catalog query runs on: BSBM queries
+// run at both scales, the others on their single deployment.
+func DatasetsFor(q Query) []string {
+	if q.Dataset == "bsbm" {
+		return []string{"bsbm-500k", "bsbm-2m"}
+	}
+	for _, s := range Specs() {
+		if s.CatalogName == q.Dataset {
+			return []string{s.ID}
+		}
+	}
+	return nil
+}

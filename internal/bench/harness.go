@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/core"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/hive"
+	"rapidanalytics/internal/rapid"
+	"rapidanalytics/internal/refimpl"
+	"rapidanalytics/internal/sparql"
+)
+
+// RunResult records one (query, dataset, engine) execution.
+type RunResult struct {
+	Query   string
+	Dataset string
+	Engine  string
+
+	Cycles        int
+	MapOnlyCycles int
+	// SimSeconds is the cost model's cluster-time estimate at paper scale.
+	SimSeconds float64
+	// Wall is the real in-process execution time.
+	Wall time.Duration
+	// ShuffleBytes and MaterializedBytes are measured volumes (unscaled).
+	ShuffleBytes      int64
+	MaterializedBytes int64
+	Rows              int
+	// Verified reports whether the result matched the oracle (set when the
+	// harness runs with verification).
+	Verified bool
+}
+
+// Engines returns the paper's four evaluated systems, in presentation
+// order.
+func Engines() []engine.Engine {
+	return []engine.Engine{hive.NewNaive(), hive.NewMQO(), rapid.New(), core.New()}
+}
+
+// EngineNames returns the display names in presentation order.
+func EngineNames() []string {
+	names := make([]string, 0, 4)
+	for _, e := range Engines() {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// Harness runs catalog queries over cached datasets.
+type Harness struct {
+	Loader *Loader
+	// Verify cross-checks every engine result against the in-memory
+	// oracle.
+	Verify bool
+}
+
+// NewHarness returns a harness with a fresh dataset cache.
+func NewHarness(verify bool) *Harness {
+	return &Harness{Loader: NewLoader(), Verify: verify}
+}
+
+// Run executes one catalog query on one dataset across the given engines.
+func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]RunResult, error) {
+	q, ok := Get(queryID)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown query %q", queryID)
+	}
+	parsed, err := sparql.Parse(q.SPARQL)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	aq, err := algebra.Build(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	c, ds, err := h.Loader.Load(datasetID)
+	if err != nil {
+		return nil, err
+	}
+	var oracle *engine.Result
+	if h.Verify {
+		oracle, err = refimpl.Execute(ds.Graph, aq)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s oracle: %w", queryID, err)
+		}
+	}
+	var out []RunResult
+	for _, e := range engines {
+		start := time.Now()
+		res, wm, err := e.Execute(c, ds, aq)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on %s via %s: %w", queryID, datasetID, e.Name(), err)
+		}
+		rr := RunResult{
+			Query:             queryID,
+			Dataset:           datasetID,
+			Engine:            e.Name(),
+			Cycles:            wm.Cycles(),
+			MapOnlyCycles:     wm.MapOnlyCycles(),
+			SimSeconds:        wm.SimSeconds(),
+			Wall:              time.Since(start),
+			ShuffleBytes:      wm.ShuffleBytes(),
+			MaterializedBytes: wm.MaterializedBytes(),
+			Rows:              len(res.Rows),
+		}
+		if h.Verify {
+			if diff := oracle.Diff(res); diff != "" {
+				return nil, fmt.Errorf("bench: %s on %s via %s diverges from oracle: %s", queryID, datasetID, e.Name(), diff)
+			}
+			rr.Verified = true
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// RunAll executes a list of query ids on a dataset across engines.
+func (h *Harness) RunAll(queryIDs []string, datasetID string, engines []engine.Engine) ([]RunResult, error) {
+	var out []RunResult
+	for _, id := range queryIDs {
+		rs, err := h.Run(id, datasetID, engines)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// RunAblation runs RAPIDAnalytics option variants on one query/dataset:
+// the Figure 6(a) vs 6(b) comparison plus the α-filter and hash-aggregation
+// ablations.
+func (h *Harness) RunAblation(queryID, datasetID string) ([]RunResult, error) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"RA (parallel agg, Fig 6b)", core.DefaultOptions()},
+		{"RA (sequential agg, Fig 6a)", core.Options{ParallelAggregation: false, AlphaFiltering: true, HashAggregation: true, InputPruning: true}},
+		{"RA (no α filter)", core.Options{ParallelAggregation: true, AlphaFiltering: false, HashAggregation: true, InputPruning: true}},
+		{"RA (no hash pre-agg)", core.Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: false, InputPruning: true}},
+		{"RA (no input pruning)", core.Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: true}},
+	}
+	var out []RunResult
+	for _, v := range variants {
+		e := &core.Engine{Opts: v.opts}
+		rs, err := h.Run(queryID, datasetID, []engine.Engine{e})
+		if err != nil {
+			return out, err
+		}
+		rs[0].Engine = v.name
+		out = append(out, rs...)
+	}
+	return out, nil
+}

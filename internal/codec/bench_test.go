@@ -1,0 +1,22 @@
+package codec
+
+import "testing"
+
+func BenchmarkTupleEncode(b *testing.B) {
+	t := Tuple{"Ihttp://e/subject", "Ihttp://e/object", "L12345", "some literal value"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Encode()
+	}
+}
+
+func BenchmarkTupleDecode(b *testing.B) {
+	enc := Tuple{"Ihttp://e/subject", "Ihttp://e/object", "L12345", "some literal value"}.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package codec provides the compact binary record formats flowing through
+// the MapReduce engine: length-prefixed string lists ("tuples", the
+// relational engines' rows) plus the primitives the triplegroup codecs in
+// package ntga are built from. Records are self-delimiting so files can be
+// split at record boundaries, mirroring Hadoop Writables.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendString appends a uvarint-length-prefixed string to buf.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadString reads a string written by AppendString, returning the value
+// and the remaining buffer.
+func ReadString(buf []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return "", nil, fmt.Errorf("codec: bad string length prefix")
+	}
+	buf = buf[k:]
+	if uint64(len(buf)) < n {
+		return "", nil, fmt.Errorf("codec: truncated string: need %d bytes, have %d", n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// AppendUvarint appends a uvarint to buf.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// ReadUvarint reads a uvarint, returning the value and the remaining
+// buffer.
+func ReadUvarint(buf []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("codec: bad uvarint")
+	}
+	return v, buf[k:], nil
+}
+
+// Tuple is a row of lexical column values. Engines store RDF terms in
+// Term.Key form and NULLs as algebra.Null.
+type Tuple []string
+
+// Encode serialises the tuple.
+func (t Tuple) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(t)))
+	for _, f := range t {
+		buf = AppendString(buf, f)
+	}
+	return buf
+}
+
+// DecodeTuple parses a tuple written by Encode.
+func DecodeTuple(buf []byte) (Tuple, error) {
+	n, buf, err := ReadUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	t := make(Tuple, n)
+	for i := range t {
+		t[i], buf, err = ReadString(buf)
+		if err != nil {
+			return nil, fmt.Errorf("codec: tuple field %d: %w", i, err)
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("codec: %d trailing bytes after tuple", len(buf))
+	}
+	return t, nil
+}
+
+// Concat returns a new tuple appending other's fields to t's.
+func (t Tuple) Concat(other Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(other))
+	out = append(out, t...)
+	return append(out, other...)
+}

@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{},
+		{""},
+		{"a", "", "ccc"},
+		{"\x00", "with\x1funit\x1eseparators", "Ihttp://e/x"},
+	}
+	for _, tu := range cases {
+		got, err := DecodeTuple(tu.Encode())
+		if err != nil {
+			t.Fatalf("DecodeTuple(%v): %v", tu, err)
+		}
+		if !reflect.DeepEqual(got, tu) {
+			t.Errorf("round trip: got %v, want %v", got, tu)
+		}
+	}
+}
+
+func TestTupleRoundTripQuick(t *testing.T) {
+	f := func(fields []string) bool {
+		tu := Tuple(fields)
+		got, err := DecodeTuple(tu.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tu) {
+			return false
+		}
+		for i := range got {
+			if got[i] != tu[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTupleErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xff},                    // bad varint
+		Tuple{"abc"}.Encode()[:2], // truncated
+		append(Tuple{"abc"}.Encode(), 0x01, 0x02, 0x03), // trailing bytes
+	}
+	for _, b := range bad {
+		if _, err := DecodeTuple(b); err == nil {
+			t.Errorf("DecodeTuple(% x) succeeded, want error", b)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Tuple{"1", "2"}
+	b := Tuple{"3"}
+	got := a.Concat(b)
+	if !reflect.DeepEqual(got, Tuple{"1", "2", "3"}) {
+		t.Errorf("Concat = %v", got)
+	}
+	// Concat must not alias the receiver's backing array.
+	got[0] = "X"
+	if a[0] != "1" {
+		t.Error("Concat aliased receiver")
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	buf := AppendUvarint(nil, 300)
+	buf = AppendString(buf, "hello")
+	v, rest, err := ReadUvarint(buf)
+	if err != nil || v != 300 {
+		t.Fatalf("ReadUvarint = %v, %v", v, err)
+	}
+	s, rest, err := ReadString(rest)
+	if err != nil || s != "hello" || len(rest) != 0 {
+		t.Fatalf("ReadString = %q rest=%d err=%v", s, len(rest), err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package core implements RAPIDAnalytics — the paper's contribution. A
+// multi-grouping analytical query whose graph patterns overlap (Definition
+// 3.2) is rewritten to a single composite graph pattern (§3) and evaluated
+// as:
+//
+//	MR_1..n-1  TG_OptGrpFilter (map) + TG_AlphaJoin (reduce): one cycle per
+//	           composite join edge, sharing scans and star computations
+//	           across all original patterns and discarding combinations
+//	           that match no original pattern (Table 2).
+//	MR_n       generalised TG_AgJ (Figure 6b): every grouping-aggregation
+//	           evaluates in parallel in one cycle, with map-side hash
+//	           pre-aggregation (Algorithm 3).
+//	MR_n+1     map-only join of the aggregated triplegroups.
+//
+// Options expose the paper's design choices for ablation: sequential
+// aggregation (Figure 6a), disabling the α-Join filter, and disabling hash
+// pre-aggregation. Queries that cannot be rewritten (single grouping,
+// non-overlapping patterns) fall back to sequential NTGA evaluation with
+// hash aggregation — RAPIDAnalytics' own single-grouping path in §5.2.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/rapid"
+	"rapidanalytics/internal/tgops"
+)
+
+var runSeq atomic.Int64
+
+// Options toggle the optimizations RAPIDAnalytics layers over naive NTGA
+// evaluation. The zero value disables everything; use DefaultOptions for
+// the paper's configuration.
+type Options struct {
+	// ParallelAggregation evaluates all independent grouping-aggregations
+	// in one generalised TG_AgJ cycle (Figure 6b) instead of one cycle per
+	// grouping (Figure 6a).
+	ParallelAggregation bool
+	// AlphaFiltering discards joined triplegroups matching no original
+	// pattern during TG_AlphaJoin (Definition 3.5). Disabling it
+	// materialises every composite combination (correctness is unaffected:
+	// TG_AgJ's per-pattern α conditions still gate aggregation).
+	AlphaFiltering bool
+	// HashAggregation enables the mapper-wide pre-aggregation hash table of
+	// Algorithm 3; disabled, TG_AgJ falls back to a plain combiner.
+	HashAggregation bool
+	// InputPruning limits triplegroup scans to the equivalence classes
+	// that can match each star's primary properties (the paper's
+	// pre-processing benefit); disabled, every class is scanned.
+	InputPruning bool
+}
+
+// DefaultOptions is the configuration evaluated in the paper.
+func DefaultOptions() Options {
+	return Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: true, InputPruning: true}
+}
+
+// Engine is the RAPIDAnalytics engine.
+type Engine struct {
+	Opts Options
+}
+
+// New returns the engine with the paper's default options.
+func New() *Engine { return &Engine{Opts: DefaultOptions()} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "RAPIDAnalytics" }
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, error) {
+	run := engine.NewRunner(c, fmt.Sprintf("tmp/rapidanalytics/%d", runSeq.Add(1)))
+	if len(aq.Subqueries) < 2 {
+		return e.executeSequential(run, ds, aq)
+	}
+	cp, err := algebra.BuildComposite(aq.Subqueries)
+	if err != nil {
+		// Non-overlapping patterns: no composite rewriting applies.
+		return e.executeSequential(run, ds, aq)
+	}
+	matched, err := e.evalComposite(run, ds, cp)
+	if err != nil {
+		return nil, run.WM, err
+	}
+	if !e.Opts.ParallelAggregation {
+		// Figure 6(a): one TG_AgJ cycle per grouping over the shared
+		// composite matches.
+		var aggFiles []string
+		for k, sq := range aq.Subqueries {
+			out := run.Path(fmt.Sprintf("aggjoin%d", k))
+			job := tgops.AggJoinJob(fmt.Sprintf("aggjoin%d", k), matched,
+				[]tgops.AggJoinSpec{e.aggSpec(cp, sq, k)}, false, e.Opts.HashAggregation, out)
+			if err := run.Exec(job); err != nil {
+				return nil, run.WM, err
+			}
+			aggFiles = append(aggFiles, out)
+		}
+		return engine.FinishQuery(run, aq, aggFiles)
+	}
+	// Figure 6(b): the generalised TG_AgJ evaluates every aggregation in
+	// parallel within a single cycle.
+	specs := make([]tgops.AggJoinSpec, len(aq.Subqueries))
+	for k, sq := range aq.Subqueries {
+		specs[k] = e.aggSpec(cp, sq, k)
+	}
+	tagged := run.Path("aggjoin-parallel")
+	job := tgops.AggJoinJob("aggjoin-parallel", matched, specs, true, e.Opts.HashAggregation, tagged)
+	if err := run.Exec(job); err != nil {
+		return nil, run.WM, err
+	}
+	return engine.FinishQueryTagged(run, aq, tagged)
+}
+
+// executeSequential is the fallback path: per-subquery NTGA evaluation with
+// this engine's aggregation options.
+func (e *Engine) executeSequential(run *engine.Runner, ds *engine.Dataset, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, error) {
+	var aggFiles []string
+	for k, sq := range aq.Subqueries {
+		file, err := rapid.EvalSubquery(run, ds, sq, k, e.Opts.HashAggregation, e.Opts.InputPruning)
+		if err != nil {
+			return nil, run.WM, err
+		}
+		aggFiles = append(aggFiles, file)
+	}
+	return engine.FinishQuery(run, aq, aggFiles)
+}
+
+// evalComposite evaluates the composite graph pattern: TG_OptGrpFilter
+// scans per composite star, then the α-Join chain.
+func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algebra.CompositePattern) (tgops.Source, error) {
+	scans := make([]tgops.Source, len(cp.Stars))
+	for i, cs := range cp.Stars {
+		scans[i] = compositeStarScan(ds, i, cs, cp, e.Opts.InputPruning)
+	}
+	order, err := algebra.JoinOrder(len(cp.Stars), cp.Joins)
+	if err != nil {
+		return tgops.Source{}, err
+	}
+	alphaCP := cp
+	if !e.Opts.AlphaFiltering {
+		alphaCP = nil
+	}
+	return rapid.JoinChain(run, scans, order, "composite", alphaCP)
+}
+
+// compositeStarScan builds the scan for one composite star: primary
+// properties required, secondary properties optional, shared filters at
+// triple level.
+func compositeStarScan(ds *engine.Dataset, star int, cs *algebra.CompositeStar, cp *algebra.CompositePattern, prune bool) tgops.Source {
+	prim := cs.PrimaryRefs()
+	spec := &tgops.ScanSpec{
+		Star: star,
+		Prim: prim,
+		Opt:  cs.SecondaryRefs(),
+	}
+	for _, f := range cp.Filters {
+		for _, p := range cs.Props {
+			if p.TP.O.IsVar && p.TP.O.Var == f.Var {
+				spec.Filters = append(spec.Filters, tgops.PropFilter{Prop: p.Ref.Prop, Filter: f})
+			}
+		}
+	}
+	files := ds.TG.FilesFor(prim)
+	if !prune {
+		files = ds.TG.AllFiles()
+	}
+	return tgops.Source{Files: files, Scan: spec}
+}
+
+// aggSpec builds original pattern k's TG_AgJ requirement over the
+// composite: grouping/aggregation variables mapped to composite names,
+// bindings enumerated from the pattern's canonical triples, and the α
+// condition of Figure 5 gating which triplegroups contribute.
+func (e *Engine) aggSpec(cp *algebra.CompositePattern, sq *algebra.Subquery, k int) tgops.AggJoinSpec {
+	groupVars := make([]string, len(sq.GroupBy))
+	for i, g := range sq.GroupBy {
+		groupVars[i] = cp.VarMaps[k][g]
+	}
+	aggs := make([]algebra.AggSpec, len(sq.Aggs))
+	for i, a := range sq.Aggs {
+		aggs[i] = algebra.AggSpec{Func: a.Func, Var: cp.VarMaps[k][a.Var], As: a.As, Distinct: a.Distinct}
+	}
+	return tgops.AggJoinSpec{
+		ID:        k,
+		GroupVars: groupVars,
+		Aggs:      aggs,
+		TPs:       ntga.PatternTriples(cp, k),
+		// Composite patterns never carry OPTIONALs (stars with OPTIONALs do
+		// not overlap); sequential fallback handles them.
+		Alpha: func(a *ntga.AnnTG) bool {
+			return ntga.SatisfiesPattern(a, cp, k)
+		},
+		Having: rapid.GroupedHaving(sq),
+	}
+}

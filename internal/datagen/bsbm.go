@@ -1,0 +1,136 @@
+// Package datagen synthesises the paper's three evaluation datasets at
+// laptop scale: the Berlin SPARQL Benchmark (BSBM) e-commerce data, a
+// Chem2Bio2RDF-like chemogenomics graph, and a PubMed/Bio2RDF-like
+// bibliographic graph. All generators are deterministic for a given seed
+// and preserve the *shape* the paper's queries depend on — entity ratios,
+// multi-valued property fan-outs, and type/selectivity skew — while
+// absolute sizes scale with one knob.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidanalytics/internal/rdf"
+)
+
+// BSBM is the namespace of the generated e-commerce vocabulary.
+const BSBM = "http://bsbm.org/v01/"
+
+// BSBMConfig sizes the BSBM generator.
+type BSBMConfig struct {
+	// Products is the primary scale knob (BSBM-500K had 500_000).
+	Products int
+	// OffersPerProduct is the average offer fan-out (BSBM: ~20).
+	OffersPerProduct int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// BSBMSmall mirrors BSBM-500K at laptop scale.
+func BSBMSmall() BSBMConfig { return BSBMConfig{Products: 600, OffersPerProduct: 8, Seed: 1} }
+
+// BSBMLarge mirrors BSBM-2M at laptop scale (4x the small dataset, as in
+// the paper).
+func BSBMLarge() BSBMConfig { return BSBMConfig{Products: 2400, OffersPerProduct: 8, Seed: 2} }
+
+// productTypeWeights skews products across types: ProductType1 is broad
+// (low selectivity — the paper's "lo" queries), ProductType9 narrow
+// (high selectivity, "hi" queries).
+var productTypeWeights = []struct {
+	Type   string
+	Weight int
+}{
+	{"ProductType1", 30},
+	{"ProductType2", 12},
+	{"ProductType3", 10},
+	{"ProductType4", 9},
+	{"ProductType5", 8},
+	{"ProductType6", 8},
+	{"ProductType7", 7},
+	{"ProductType8", 6},
+	{"ProductType9", 2},
+	{"ProductType10", 8},
+}
+
+var bsbmCountries = []string{"US", "UK", "DE", "FR", "JP", "CN", "RU", "ES", "AT", "IN"}
+
+// GenerateBSBM builds the e-commerce graph: typed products with labels and
+// multi-valued features, offers with price/vendor/validity, and vendors
+// with countries.
+func GenerateBSBM(cfg BSBMConfig) *rdf.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &rdf.Graph{}
+	p := func(name string) rdf.Term { return rdf.NewIRI(BSBM + name) }
+
+	numFeatures := cfg.Products/12 + 20
+	numVendors := cfg.Products/40 + 8
+	numProducers := cfg.Products/30 + 5
+
+	vendors := make([]rdf.Term, numVendors)
+	for i := range vendors {
+		vendors[i] = rdf.NewIRI(fmt.Sprintf("%sVendor%d", BSBM, i))
+		g.Add(
+			rdf.T(vendors[i], p("country"), rdf.NewLiteral(bsbmCountries[rng.Intn(len(bsbmCountries))])),
+			rdf.T(vendors[i], p("label"), rdf.NewLiteral(fmt.Sprintf("vendor %d", i))),
+		)
+	}
+	producers := make([]rdf.Term, numProducers)
+	for i := range producers {
+		producers[i] = rdf.NewIRI(fmt.Sprintf("%sProducer%d", BSBM, i))
+		g.Add(rdf.T(producers[i], p("label"), rdf.NewLiteral(fmt.Sprintf("producer %d", i))))
+	}
+
+	totalWeight := 0
+	for _, tw := range productTypeWeights {
+		totalWeight += tw.Weight
+	}
+	pickType := func() string {
+		r := rng.Intn(totalWeight)
+		for _, tw := range productTypeWeights {
+			if r < tw.Weight {
+				return tw.Type
+			}
+			r -= tw.Weight
+		}
+		return productTypeWeights[0].Type
+	}
+
+	offerID := 0
+	for i := 0; i < cfg.Products; i++ {
+		prod := rdf.NewIRI(fmt.Sprintf("%sProduct%d", BSBM, i))
+		g.Add(
+			rdf.T(prod, rdf.TypeTerm, p(pickType())),
+			rdf.T(prod, p("label"), rdf.NewLiteral(fmt.Sprintf("product %d", i))),
+			rdf.T(prod, p("producer"), producers[rng.Intn(numProducers)]),
+		)
+		// Multi-valued features: 1..6 per product (a handful of products
+		// have none, exercising the α condition).
+		nf := rng.Intn(7)
+		seen := map[int]bool{}
+		for f := 0; f < nf; f++ {
+			fid := rng.Intn(numFeatures)
+			if seen[fid] {
+				continue
+			}
+			seen[fid] = true
+			g.Add(rdf.T(prod, p("productFeature"), rdf.NewIRI(fmt.Sprintf("%sFeature%d", BSBM, fid))))
+		}
+		// Offers.
+		no := 1 + rng.Intn(cfg.OffersPerProduct*2-1)
+		for o := 0; o < no; o++ {
+			offer := rdf.NewIRI(fmt.Sprintf("%sOffer%d", BSBM, offerID))
+			offerID++
+			g.Add(
+				rdf.T(offer, p("product"), prod),
+				rdf.T(offer, p("price"), rdf.NewLiteral(fmt.Sprintf("%d", 10+rng.Intn(9990)))),
+				rdf.T(offer, p("vendor"), vendors[rng.Intn(numVendors)]),
+				rdf.T(offer, p("deliveryDays"), rdf.NewLiteral(fmt.Sprintf("%d", 1+rng.Intn(14)))),
+			)
+			if rng.Intn(3) > 0 {
+				g.Add(rdf.T(offer, p("validTo"), rdf.NewLiteral(fmt.Sprintf("2008-%02d-01", 1+rng.Intn(12)))))
+			}
+		}
+	}
+	return g
+}

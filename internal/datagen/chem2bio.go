@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidanalytics/internal/rdf"
+)
+
+// Chem is the namespace of the generated chemogenomics vocabulary.
+const Chem = "http://chem2bio2rdf.org/v01/"
+
+// ChemConfig sizes the Chem2Bio2RDF-like generator.
+type ChemConfig struct {
+	// Compounds is the primary scale knob.
+	Compounds int
+	Seed      int64
+}
+
+// ChemDefault mirrors the paper's 340M-triple warehouse at laptop scale.
+func ChemDefault() ChemConfig { return ChemConfig{Compounds: 1200, Seed: 3} }
+
+var pathwayNames = []string{
+	"MAPK signaling pathway",
+	"Calcium signaling pathway",
+	"Apoptosis",
+	"Cell cycle",
+	"p53 signaling pathway",
+	"Insulin signaling pathway",
+}
+
+var sideEffects = []string{
+	"hepatomegaly", "nausea", "headache", "dizziness", "rash",
+	"hepatotoxicity", "fatigue", "insomnia",
+}
+
+var diseases = []string{
+	"Tuberculosis", "HIV", "Alzheimer", "Diabetes", "Asthma", "Malaria",
+}
+
+// GenerateChem builds the chemogenomics graph: PubChem-like bioassays
+// linking compounds to gene identifiers, protein/gene records, drug-target
+// interactions, DrugBank-like drugs, KEGG-like pathways, SIDER-like
+// side-effect records, and a deliberately large MEDLINE-like publication
+// set (the paper's G9/MG9-MG10 "large VP tables" regime).
+func GenerateChem(cfg ChemConfig) *rdf.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &rdf.Graph{}
+	p := func(name string) rdf.Term { return rdf.NewIRI(Chem + name) }
+
+	numGenes := cfg.Compounds/4 + 25
+	numProteins := numGenes * 2
+	numDrugs := cfg.Compounds/20 + 10
+	numPathways := cfg.Compounds/60 + 6
+	numTargets := numDrugs * 2
+
+	// Genes with symbols.
+	genes := make([]rdf.Term, numGenes)
+	geneSymbols := make([]rdf.Term, numGenes)
+	for i := range genes {
+		genes[i] = rdf.NewIRI(fmt.Sprintf("%sGene%d", Chem, i))
+		geneSymbols[i] = rdf.NewLiteral(fmt.Sprintf("GSYM%d", i))
+		g.Add(rdf.T(genes[i], p("geneSymbol"), geneSymbols[i]))
+	}
+	// Proteins: gi number plus gene symbol (the ?u star of G5/MG6).
+	proteins := make([]rdf.Term, numProteins)
+	gis := make([]rdf.Term, numProteins)
+	for i := range proteins {
+		proteins[i] = rdf.NewIRI(fmt.Sprintf("%sProtein%d", Chem, i))
+		gis[i] = rdf.NewLiteral(fmt.Sprintf("%d", 100000+i))
+		sym := geneSymbols[rng.Intn(numGenes)]
+		g.Add(
+			rdf.T(proteins[i], p("gi"), gis[i]),
+			rdf.T(proteins[i], p("geneSymbol"), sym),
+		)
+	}
+	// Bioassays: compound + outcome + score + gi (the 4-pattern star).
+	assayID := 0
+	cids := make([]rdf.Term, cfg.Compounds)
+	for i := 0; i < cfg.Compounds; i++ {
+		cids[i] = rdf.NewLiteral(fmt.Sprintf("CID%06d", i))
+		na := 1 + rng.Intn(5)
+		for a := 0; a < na; a++ {
+			b := rdf.NewIRI(fmt.Sprintf("%sBioAssay%d", Chem, assayID))
+			assayID++
+			outcome := "inactive"
+			if rng.Intn(3) == 0 {
+				outcome = "active"
+			}
+			g.Add(
+				rdf.T(b, p("CID"), cids[i]),
+				rdf.T(b, p("outcome"), rdf.NewLiteral(outcome)),
+				rdf.T(b, p("Score"), rdf.NewLiteral(fmt.Sprintf("%d", rng.Intn(100)))),
+				rdf.T(b, p("gi"), gis[rng.Intn(numProteins)]),
+			)
+		}
+	}
+	// Drugs: generic names (one fixed "Dexamethasone" cluster for G5) and
+	// compound links.
+	drugs := make([]rdf.Term, numDrugs)
+	for i := range drugs {
+		drugs[i] = rdf.NewIRI(fmt.Sprintf("%sDrug%d", Chem, i))
+		name := fmt.Sprintf("Drug-%d", i)
+		if i%17 == 0 {
+			name = "Dexamethasone"
+		}
+		g.Add(
+			rdf.T(drugs[i], p("Generic_Name"), rdf.NewLiteral(name)),
+			rdf.T(drugs[i], p("CID"), cids[rng.Intn(cfg.Compounds)]),
+		)
+	}
+	// Drug-target interactions: gene symbol -> drug.
+	for i := 0; i < numGenes*2; i++ {
+		di := rdf.NewIRI(fmt.Sprintf("%sDTI%d", Chem, i))
+		g.Add(
+			rdf.T(di, p("gene"), geneSymbols[rng.Intn(numGenes)]),
+			rdf.T(di, p("DBID"), drugs[rng.Intn(numDrugs)]),
+		)
+	}
+	// Targets: drug -> SwissProt protein (G7's ?target star).
+	for i := 0; i < numTargets; i++ {
+		tgt := rdf.NewIRI(fmt.Sprintf("%sTarget%d", Chem, i))
+		g.Add(
+			rdf.T(tgt, p("DBID"), drugs[rng.Intn(numDrugs)]),
+			rdf.T(tgt, p("SwissProt_ID"), proteins[rng.Intn(numProteins)]),
+		)
+	}
+	// Pathways: multi-valued protein membership plus name and id.
+	for i := 0; i < numPathways; i++ {
+		pw := rdf.NewIRI(fmt.Sprintf("%sPathway%d", Chem, i))
+		g.Add(
+			rdf.T(pw, p("Pathway_name"), rdf.NewLiteral(pathwayNames[i%len(pathwayNames)])),
+			rdf.T(pw, p("pathwayid"), rdf.NewLiteral(fmt.Sprintf("path:%04d", i))),
+		)
+		np := 3 + rng.Intn(12)
+		for j := 0; j < np; j++ {
+			g.Add(rdf.T(pw, p("protein"), proteins[rng.Intn(numProteins)]))
+		}
+	}
+	// SIDER-like records: side effect x compound.
+	for i := 0; i < cfg.Compounds; i++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		s := rdf.NewIRI(fmt.Sprintf("%sSider%d", Chem, i))
+		g.Add(
+			rdf.T(s, p("side_effect"), rdf.NewLiteral(sideEffects[rng.Intn(len(sideEffects))])),
+			rdf.T(s, p("cid"), cids[i]),
+		)
+	}
+	// MEDLINE-like publications: the large VP tables of G9/MG9/MG10.
+	numPubs := cfg.Compounds * 4
+	for i := 0; i < numPubs; i++ {
+		pub := rdf.NewIRI(fmt.Sprintf("%sPMID%d", Chem, i))
+		g.Add(
+			rdf.T(pub, p("gene"), genes[rng.Intn(numGenes)]),
+			rdf.T(pub, p("side_effect"), rdf.NewLiteral(sideEffects[rng.Intn(len(sideEffects))])),
+		)
+		if rng.Intn(3) == 0 {
+			g.Add(rdf.T(pub, p("disease"), rdf.NewLiteral(diseases[rng.Intn(len(diseases))])))
+		}
+	}
+	return g
+}

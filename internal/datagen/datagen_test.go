@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"rapidanalytics/internal/rdf"
+)
+
+func TestBSBMDeterministic(t *testing.T) {
+	a := GenerateBSBM(BSBMSmall())
+	b := GenerateBSBM(BSBMSmall())
+	if !reflect.DeepEqual(a.Triples[:100], b.Triples[:100]) || a.Len() != b.Len() {
+		t.Error("BSBM generation is not deterministic")
+	}
+	c := GenerateBSBM(BSBMConfig{Products: 600, OffersPerProduct: 8, Seed: 99})
+	if a.Len() == c.Len() && reflect.DeepEqual(a.Triples[:50], c.Triples[:50]) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// typeCounts tallies rdf:type objects.
+func typeCounts(g *rdf.Graph) map[string]int {
+	m := map[string]int{}
+	for _, tr := range g.Triples {
+		if tr.Property.Value == rdf.RDFType {
+			m[tr.Object.Value]++
+		}
+	}
+	return m
+}
+
+func TestBSBMSelectivitySkew(t *testing.T) {
+	g := GenerateBSBM(BSBMSmall())
+	counts := typeCounts(g)
+	pt1 := counts[BSBM+"ProductType1"]
+	pt9 := counts[BSBM+"ProductType9"]
+	if pt1 == 0 || pt9 == 0 {
+		t.Fatalf("type counts: PT1=%d PT9=%d", pt1, pt9)
+	}
+	// ProductType1 is the low-selectivity type (many products), PT9 high.
+	if pt1 < 5*pt9 {
+		t.Errorf("selectivity skew missing: PT1=%d PT9=%d", pt1, pt9)
+	}
+}
+
+func TestBSBMShape(t *testing.T) {
+	cfg := BSBMSmall()
+	g := GenerateBSBM(cfg)
+	props := g.Properties()
+	products := typeCountTotal(g)
+	if products != cfg.Products {
+		t.Errorf("products = %d, want %d", products, cfg.Products)
+	}
+	offers := props[BSBM+"product"]
+	if offers < cfg.Products*2 {
+		t.Errorf("offers = %d, too few", offers)
+	}
+	if props[BSBM+"price"] != offers || props[BSBM+"vendor"] != offers {
+		t.Errorf("offer stars incomplete: product=%d price=%d vendor=%d",
+			offers, props[BSBM+"price"], props[BSBM+"vendor"])
+	}
+	// productFeature is multi-valued: more feature triples than products
+	// with features, and some products have none.
+	features := props[BSBM+"productFeature"]
+	if features <= products/2 {
+		t.Errorf("feature fan-out too small: %d", features)
+	}
+	// validTo is optional on offers.
+	if props[BSBM+"validTo"] >= offers {
+		t.Error("validTo should be optional")
+	}
+}
+
+func typeCountTotal(g *rdf.Graph) int {
+	n := 0
+	for _, c := range typeCounts(g) {
+		n += c
+	}
+	return n
+}
+
+func TestChemShape(t *testing.T) {
+	cfg := ChemDefault()
+	g := GenerateChem(cfg)
+	props := g.Properties()
+	// The G5/MG6 chain must be populated end to end.
+	for _, p := range []string{"CID", "outcome", "Score", "gi", "geneSymbol", "gene", "DBID",
+		"Generic_Name", "protein", "Pathway_name", "pathwayid", "side_effect", "cid", "SwissProt_ID"} {
+		if props[Chem+p] == 0 {
+			t.Errorf("property %s missing", p)
+		}
+	}
+	// MEDLINE-like publications dominate (the large-VP regime of G9/MG9).
+	if props[Chem+"gene"] < props[Chem+"Generic_Name"] {
+		t.Error("publication gene links should dwarf drug records")
+	}
+	// Dexamethasone exists (G5's anchor).
+	found := false
+	for _, tr := range g.Triples {
+		if tr.Property.Value == Chem+"Generic_Name" && tr.Object.Value == "Dexamethasone" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no Dexamethasone drug generated")
+	}
+	// MAPK pathway exists (G6's regex target).
+	found = false
+	for _, tr := range g.Triples {
+		if tr.Property.Value == Chem+"Pathway_name" && tr.Object.Value == "MAPK signaling pathway" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no MAPK pathway generated")
+	}
+}
+
+func TestPubMedShape(t *testing.T) {
+	cfg := PubMedDefault()
+	g := GeneratePubMed(cfg)
+	props := g.Properties()
+	pubs := props[PubMed+"journal"]
+	if pubs != cfg.Publications {
+		t.Errorf("publications = %d, want %d", pubs, cfg.Publications)
+	}
+	// Multi-valued fan-outs: MeSH > authors > grants.
+	mesh := props[PubMed+"mesh_heading"]
+	authors := props[PubMed+"author"]
+	grants := props[PubMed+"grant"]
+	if !(mesh > authors && authors > grants) {
+		t.Errorf("fan-outs: mesh=%d authors=%d grants=%d", mesh, authors, grants)
+	}
+	if mesh < pubs*3 {
+		t.Errorf("MeSH fan-out too small: %d for %d pubs", mesh, pubs)
+	}
+	// Publication-type selectivity: Journal Article >> News (MG15 vs MG16).
+	types := map[string]int{}
+	for _, tr := range g.Triples {
+		if tr.Property.Value == PubMed+"pub_type" {
+			types[tr.Object.Value]++
+		}
+	}
+	if types["Journal Article"] < 10*types["News"] || types["News"] == 0 {
+		t.Errorf("pub_type skew: %v", types)
+	}
+	// Every grant has agency and country.
+	if props[PubMed+"grant_agency"] != props[PubMed+"grant_country"] {
+		t.Errorf("grant stars incomplete: agency=%d country=%d",
+			props[PubMed+"grant_agency"], props[PubMed+"grant_country"])
+	}
+}
+
+func TestScaling(t *testing.T) {
+	small := GenerateBSBM(BSBMConfig{Products: 100, OffersPerProduct: 8, Seed: 1})
+	large := GenerateBSBM(BSBMConfig{Products: 400, OffersPerProduct: 8, Seed: 1})
+	ratio := float64(large.Len()) / float64(small.Len())
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("4x products gave %.1fx triples", ratio)
+	}
+}

@@ -1,0 +1,108 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rapidanalytics/internal/rdf"
+)
+
+// PubMed is the namespace of the generated bibliographic vocabulary.
+const PubMed = "http://bio2rdf.org/pubmed/v01/"
+
+// PubMedConfig sizes the PubMed/Bio2RDF-like generator.
+type PubMedConfig struct {
+	// Publications is the primary scale knob (the paper's release held
+	// ~1.7B triples).
+	Publications int
+	Seed         int64
+}
+
+// PubMedDefault mirrors the paper's 230GB dataset at laptop scale.
+func PubMedDefault() PubMedConfig { return PubMedConfig{Publications: 3000, Seed: 4} }
+
+// pubTypeWeights skew publication types: "Journal Article" dominates (the
+// paper's low-selectivity MG15) and "News" is rare (high-selectivity MG16).
+var pubTypeWeights = []struct {
+	Type   string
+	Weight int
+}{
+	{"Journal Article", 70},
+	{"Review", 15},
+	{"Letter", 7},
+	{"Editorial", 5},
+	{"News", 3},
+}
+
+var grantCountries = []string{"US", "UK", "DE", "FR", "JP", "CA", "CH", "AU"}
+
+// GeneratePubMed builds the bibliographic graph: publications with
+// journals, publication types, multi-valued authors, MeSH headings and
+// chemicals (the fan-outs behind the paper's MG13 materialisation
+// blow-up), and grants with agencies and countries.
+func GeneratePubMed(cfg PubMedConfig) *rdf.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &rdf.Graph{}
+	p := func(name string) rdf.Term { return rdf.NewIRI(PubMed + name) }
+
+	numJournals := cfg.Publications/80 + 10
+	numAuthors := cfg.Publications/3 + 50
+	numGrants := cfg.Publications/4 + 20
+	numMesh := 400
+	numChemicals := 300
+
+	authors := make([]rdf.Term, numAuthors)
+	for i := range authors {
+		authors[i] = rdf.NewIRI(fmt.Sprintf("%sAuthor%d", PubMed, i))
+		g.Add(rdf.T(authors[i], p("last_name"), rdf.NewLiteral(fmt.Sprintf("Lastname%d", i%977))))
+	}
+	grants := make([]rdf.Term, numGrants)
+	for i := range grants {
+		grants[i] = rdf.NewIRI(fmt.Sprintf("%sGrant%d", PubMed, i))
+		g.Add(
+			rdf.T(grants[i], p("grant_agency"), rdf.NewLiteral(fmt.Sprintf("Agency%d", i%37))),
+			rdf.T(grants[i], p("grant_country"), rdf.NewLiteral(grantCountries[rng.Intn(len(grantCountries))])),
+		)
+	}
+
+	totalWeight := 0
+	for _, tw := range pubTypeWeights {
+		totalWeight += tw.Weight
+	}
+	pickType := func() string {
+		r := rng.Intn(totalWeight)
+		for _, tw := range pubTypeWeights {
+			if r < tw.Weight {
+				return tw.Type
+			}
+			r -= tw.Weight
+		}
+		return pubTypeWeights[0].Type
+	}
+
+	for i := 0; i < cfg.Publications; i++ {
+		pub := rdf.NewIRI(fmt.Sprintf("%sPMID%d", PubMed, i))
+		g.Add(
+			rdf.T(pub, p("journal"), rdf.NewIRI(fmt.Sprintf("%sJournal%d", PubMed, rng.Intn(numJournals)))),
+			rdf.T(pub, p("pub_type"), rdf.NewLiteral(pickType())),
+		)
+		na := 1 + rng.Intn(4)
+		for a := 0; a < na; a++ {
+			g.Add(rdf.T(pub, p("author"), authors[rng.Intn(numAuthors)]))
+		}
+		// MeSH headings: the biggest multi-valued property (3..12).
+		nm := 3 + rng.Intn(10)
+		for m := 0; m < nm; m++ {
+			g.Add(rdf.T(pub, p("mesh_heading"), rdf.NewLiteral(fmt.Sprintf("MeSH-%d", rng.Intn(numMesh)))))
+		}
+		nc := rng.Intn(6)
+		for ch := 0; ch < nc; ch++ {
+			g.Add(rdf.T(pub, p("chemical"), rdf.NewLiteral(fmt.Sprintf("Chem-%d", rng.Intn(numChemicals)))))
+		}
+		ng := rng.Intn(3)
+		for gr := 0; gr < ng; gr++ {
+			g.Add(rdf.T(pub, p("grant"), grants[rng.Intn(numGrants)]))
+		}
+	}
+	return g
+}

@@ -1,0 +1,145 @@
+// Package dfs implements an in-memory stand-in for HDFS: named files of
+// byte records with exact byte accounting and per-file compression ratios.
+// The MapReduce engine reads job inputs from and materialises job outputs to
+// this file system, so every byte the paper's workflows would write to HDFS
+// is metered here. Compression ratios model columnar formats such as ORC,
+// whose aggressive compression reduces stored bytes (and therefore the
+// number of map tasks a job gets) while adding decompression work — the
+// effect the paper observes for Hive's ORC tables.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is a named sequence of records.
+type File struct {
+	Name string
+	// Records are the raw record payloads in write order.
+	Records [][]byte
+	// Bytes is the uncompressed logical size: the sum of record lengths.
+	Bytes int64
+	// CompressionRatio is stored-size / logical-size, in (0, 1]. 1 means no
+	// compression.
+	CompressionRatio float64
+}
+
+// StoredBytes returns the on-disk size after compression.
+func (f *File) StoredBytes() int64 {
+	return int64(float64(f.Bytes) * f.CompressionRatio)
+}
+
+// NumRecords returns the record count.
+func (f *File) NumRecords() int { return len(f.Records) }
+
+// FS is a flat in-memory file system. All methods are safe for concurrent
+// use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*File
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{files: map[string]*File{}}
+}
+
+// Create creates (or truncates) a file with the given compression ratio and
+// returns a writer for it. ratio must be in (0, 1]; pass 1 for uncompressed
+// data.
+func (fs *FS) Create(name string, ratio float64) *Writer {
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	f := &File{Name: name, CompressionRatio: ratio}
+	fs.mu.Lock()
+	fs.files[name] = f
+	fs.mu.Unlock()
+	return &Writer{f: f}
+}
+
+// Open returns the named file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes the named file. Deleting a missing file is a no-op,
+// matching `hadoop fs -rm -f`.
+func (fs *FS) Delete(name string) {
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var names []string
+	for n := range fs.files {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalStoredBytes sums the stored size of all files with the prefix.
+func (fs *FS) TotalStoredBytes(prefix string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var total int64
+	for n, f := range fs.files {
+		if strings.HasPrefix(n, prefix) {
+			total += f.StoredBytes()
+		}
+	}
+	return total
+}
+
+// Writer appends records to a file. It is not safe for concurrent use; each
+// writing task owns its writer.
+type Writer struct {
+	f  *File
+	mu sync.Mutex
+}
+
+// Write appends one record. The record is copied.
+func (w *Writer) Write(record []byte) {
+	rec := make([]byte, len(record))
+	copy(rec, record)
+	w.mu.Lock()
+	w.f.Records = append(w.f.Records, rec)
+	w.f.Bytes += int64(len(rec))
+	w.mu.Unlock()
+}
+
+// WriteOwned appends one record without copying; the caller must not reuse
+// the slice.
+func (w *Writer) WriteOwned(record []byte) {
+	w.mu.Lock()
+	w.f.Records = append(w.f.Records, record)
+	w.f.Bytes += int64(len(record))
+	w.mu.Unlock()
+}
+
+// File returns the underlying file.
+func (w *Writer) File() *File { return w.f }

@@ -1,0 +1,73 @@
+package dfs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCreateWriteOpen(t *testing.T) {
+	fs := New()
+	w := fs.Create("a/b", 1)
+	w.Write([]byte("hello"))
+	w.Write([]byte("world!"))
+	f, err := fs.Open("a/b")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if f.Bytes != 11 || f.NumRecords() != 2 {
+		t.Errorf("Bytes=%d NumRecords=%d", f.Bytes, f.NumRecords())
+	}
+	if f.StoredBytes() != 11 {
+		t.Errorf("StoredBytes = %d", f.StoredBytes())
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	fs := New()
+	w := fs.Create("orc", 0.2)
+	w.Write(make([]byte, 1000))
+	f, _ := fs.Open("orc")
+	if f.StoredBytes() != 200 {
+		t.Errorf("StoredBytes = %d, want 200", f.StoredBytes())
+	}
+	// Invalid ratios fall back to 1.
+	w2 := fs.Create("bad", -3)
+	w2.Write(make([]byte, 10))
+	f2, _ := fs.Open("bad")
+	if f2.StoredBytes() != 10 {
+		t.Errorf("StoredBytes = %d, want 10", f2.StoredBytes())
+	}
+}
+
+func TestWriteCopies(t *testing.T) {
+	fs := New()
+	w := fs.Create("f", 1)
+	buf := []byte("abc")
+	w.Write(buf)
+	buf[0] = 'X'
+	f, _ := fs.Open("f")
+	if string(f.Records[0]) != "abc" {
+		t.Errorf("record mutated: %q", f.Records[0])
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	fs := New()
+	fs.Create("x/1", 1).Write([]byte("a"))
+	fs.Create("x/2", 1).Write([]byte("bb"))
+	fs.Create("y/1", 1).Write([]byte("c"))
+	if got := fs.List("x/"); !reflect.DeepEqual(got, []string{"x/1", "x/2"}) {
+		t.Errorf("List = %v", got)
+	}
+	if got := fs.TotalStoredBytes("x/"); got != 3 {
+		t.Errorf("TotalStoredBytes = %d", got)
+	}
+	fs.Delete("x/1")
+	if fs.Exists("x/1") {
+		t.Error("x/1 still exists after delete")
+	}
+	fs.Delete("x/1") // idempotent
+	if _, err := fs.Open("x/1"); err == nil {
+		t.Error("Open of deleted file succeeded")
+	}
+}

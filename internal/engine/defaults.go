@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"strconv"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/dfs"
+)
+
+// GROUP BY ALL subqueries always produce exactly one group, even over an
+// empty match set (SPARQL aggregates without GROUP BY); a MapReduce
+// grouping job over zero rows, however, produces an empty file. Before the
+// final join, engines repair such files with the aggregates' default values
+// — the paper's "aggregated triplegroup retains default values" (Figure 5,
+// agtg3). This is a metadata fix-up, not an extra cycle: a real system
+// would emit the default row from the job client.
+
+// EnsureDefaultRows appends a default row to every empty per-subquery
+// result file whose subquery groups by ALL. files[i] belongs to subquery i.
+func EnsureDefaultRows(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) {
+	for i, sq := range aq.Subqueries {
+		if !sq.GroupByAll() {
+			continue
+		}
+		f, err := fs.Open(files[i])
+		if err != nil || f.NumRecords() > 0 {
+			continue
+		}
+		appendRecord(fs, files[i], defaultRow(sq).Encode())
+	}
+}
+
+// EnsureDefaultRowsTagged is the variant for a single file of id-prefixed
+// rows (the parallel-aggregation output of RAPIDAnalytics).
+func EnsureDefaultRowsTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) {
+	f, err := fs.Open(file)
+	if err != nil {
+		return
+	}
+	present := map[int]bool{}
+	for _, rec := range f.Records {
+		t, err := codec.DecodeTuple(rec)
+		if err != nil || len(t) == 0 {
+			continue
+		}
+		if id, err := strconv.Atoi(t[0]); err == nil {
+			present[id] = true
+		}
+	}
+	for i, sq := range aq.Subqueries {
+		if !sq.GroupByAll() || present[i] {
+			continue
+		}
+		row := append(codec.Tuple{strconv.Itoa(i)}, defaultRow(sq)...)
+		appendRecord(fs, file, row.Encode())
+	}
+}
+
+// ApplyGroupByAllHaving filters GROUP BY ALL subquery rows by their HAVING
+// constraints. It runs after EnsureDefaultRows: the single group always
+// exists first (possibly with default values) and is then subjected to
+// HAVING, matching SPARQL semantics. Grouped subqueries apply HAVING inside
+// their aggregation reducers instead.
+func ApplyGroupByAllHaving(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) {
+	for i, sq := range aq.Subqueries {
+		if !sq.GroupByAll() || len(sq.Having) == 0 {
+			continue
+		}
+		f, err := fs.Open(files[i])
+		if err != nil {
+			continue
+		}
+		w := fs.Create(files[i], f.CompressionRatio)
+		for _, rec := range f.Records {
+			t, err := codec.DecodeTuple(rec)
+			if err != nil || sq.HavingPassed(t) {
+				w.Write(rec)
+			}
+		}
+	}
+}
+
+// ApplyGroupByAllHavingTagged is the tagged-file variant.
+func ApplyGroupByAllHavingTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) {
+	needed := false
+	for _, sq := range aq.Subqueries {
+		if sq.GroupByAll() && len(sq.Having) > 0 {
+			needed = true
+		}
+	}
+	if !needed {
+		return
+	}
+	f, err := fs.Open(file)
+	if err != nil {
+		return
+	}
+	w := fs.Create(file, f.CompressionRatio)
+	for _, rec := range f.Records {
+		t, err := codec.DecodeTuple(rec)
+		if err != nil || len(t) == 0 {
+			w.Write(rec)
+			continue
+		}
+		id, err := strconv.Atoi(t[0])
+		if err != nil || id < 0 || id >= len(aq.Subqueries) {
+			w.Write(rec)
+			continue
+		}
+		sq := aq.Subqueries[id]
+		if !sq.GroupByAll() || len(sq.Having) == 0 || sq.HavingPassed(t[1:]) {
+			w.Write(rec)
+		}
+	}
+}
+
+func defaultRow(sq *algebra.Subquery) codec.Tuple {
+	return codec.Tuple(algebra.NewMultiAggState(sq.Aggs).Finals())
+}
+
+func appendRecord(fs *dfs.FS, name string, rec []byte) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return
+	}
+	records := append(f.Records, rec)
+	ratio := f.CompressionRatio
+	w := fs.Create(name, ratio)
+	for _, r := range records {
+		w.WriteOwned(r)
+	}
+}

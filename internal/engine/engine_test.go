@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+)
+
+func mustAQ(t *testing.T, q string) *algebra.AnalyticalQuery {
+	t.Helper()
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq, err := algebra.Build(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aq
+}
+
+const twoSubqueries = `PREFIX e: <http://e/>
+SELECT ?g ?cntG ?cntT {
+  { SELECT ?g (COUNT(?x) AS ?cntG) { ?s e:g ?g ; e:x ?x . } GROUP BY ?g }
+  { SELECT (COUNT(?y) AS ?cntT) { ?s2 e:y ?y . } }
+}`
+
+func TestResultEqualDiff(t *testing.T) {
+	a := &Result{Columns: []string{"x", "y"}, Rows: []codec.Tuple{{"1", "2"}, {"3", "4"}}}
+	b := &Result{Columns: []string{"x", "y"}, Rows: []codec.Tuple{{"3", "4"}, {"1", "2"}}}
+	if !a.Equal(b) {
+		t.Error("row order should not matter")
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("Diff = %q", d)
+	}
+	c := &Result{Columns: []string{"x", "y"}, Rows: []codec.Tuple{{"1", "2"}}}
+	if a.Equal(c) || a.Diff(c) == "" {
+		t.Error("row-count difference not detected")
+	}
+	d := &Result{Columns: []string{"x", "y"}, Rows: []codec.Tuple{{"1", "2"}, {"3", "5"}}}
+	if a.Equal(d) || !strings.Contains(a.Diff(d), "row") {
+		t.Errorf("value difference not detected: %q", a.Diff(d))
+	}
+	e := &Result{Columns: []string{"x"}, Rows: nil}
+	if a.Equal(e) {
+		t.Error("column difference not detected")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	cases := map[string]string{
+		"Ihttp://e/x": "http://e/x",
+		"LUK":         "UK",
+		"42":          "42",
+		algebra.Null:  "NULL",
+		"B_b1":        "_b1",
+	}
+	for in, want := range cases {
+		if got := Display(in); got != want {
+			t.Errorf("Display(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPretty(t *testing.T) {
+	r := &Result{Columns: []string{"country", "cnt"}, Rows: []codec.Tuple{{"LUK", "10"}, {"LDE", "3"}}}
+	out := r.Pretty()
+	if !strings.Contains(out, "country") || !strings.Contains(out, "UK") {
+		t.Errorf("Pretty = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("Pretty lines = %d", len(lines))
+	}
+}
+
+func TestFinalJoinJobCrossJoin(t *testing.T) {
+	aq := mustAQ(t, twoSubqueries)
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	w := c.FS.Create("sub0", 1)
+	w.Write(codec.Tuple{"Ig1", "3"}.Encode())
+	w.Write(codec.Tuple{"Ig2", "5"}.Encode())
+	w2 := c.FS.Create("sub1", 1)
+	w2.Write(codec.Tuple{"7"}.Encode())
+	if _, err := c.Run(FinalJoinJob(aq, []string{"sub0", "sub1"}, "out")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadResult(c.FS, "out", aq.OutputColumns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Result{Columns: aq.OutputColumns(), Rows: []codec.Tuple{
+		{"Ig1", "3", "7"}, {"Ig2", "5", "7"},
+	}}
+	if d := want.Diff(res); d != "" {
+		t.Errorf("final join: %s", d)
+	}
+}
+
+func TestTaggedFinalJoinJob(t *testing.T) {
+	aq := mustAQ(t, twoSubqueries)
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	w := c.FS.Create("tagged", 1)
+	w.Write(codec.Tuple{"0", "Ig1", "3"}.Encode())
+	w.Write(codec.Tuple{"1", "7"}.Encode())
+	w.Write(codec.Tuple{"0", "Ig2", "5"}.Encode())
+	m, err := c.Run(TaggedFinalJoinJob(aq, "tagged", "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.MapOnly {
+		t.Error("tagged final join should be map-only")
+	}
+	res, err := ReadResult(c.FS, "out", aq.OutputColumns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEnsureDefaultRows(t *testing.T) {
+	aq := mustAQ(t, twoSubqueries)
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	c.FS.Create("sub0", 1).Write(codec.Tuple{"Ig1", "3"}.Encode())
+	c.FS.Create("sub1", 1) // empty GROUP BY ALL result
+	EnsureDefaultRows(c.FS, []string{"sub0", "sub1"}, aq)
+	f, _ := c.FS.Open("sub1")
+	if f.NumRecords() != 1 {
+		t.Fatalf("default row not appended: %d records", f.NumRecords())
+	}
+	tu, err := codec.DecodeTuple(f.Records[0])
+	if err != nil || len(tu) != 1 || tu[0] != "0" {
+		t.Errorf("default row = %v, %v (want COUNT default 0)", tu, err)
+	}
+	// The grouped subquery must NOT be repaired.
+	c2 := mapred.NewCluster(mapred.DefaultConfig())
+	c2.FS.Create("sub0", 1)
+	c2.FS.Create("sub1", 1).Write(codec.Tuple{"9"}.Encode())
+	EnsureDefaultRows(c2.FS, []string{"sub0", "sub1"}, aq)
+	f0, _ := c2.FS.Open("sub0")
+	if f0.NumRecords() != 0 {
+		t.Error("grouped subquery file repaired; should stay empty")
+	}
+	// Idempotent on non-empty files.
+	f1, _ := c2.FS.Open("sub1")
+	if f1.NumRecords() != 1 {
+		t.Error("non-empty GROUP BY ALL file modified")
+	}
+}
+
+func TestEnsureDefaultRowsTagged(t *testing.T) {
+	aq := mustAQ(t, twoSubqueries)
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	w := c.FS.Create("tagged", 1)
+	w.Write(codec.Tuple{"0", "Ig1", "3"}.Encode()) // only subquery 0 rows
+	EnsureDefaultRowsTagged(c.FS, "tagged", aq)
+	f, _ := c.FS.Open("tagged")
+	if f.NumRecords() != 2 {
+		t.Fatalf("records = %d, want default row appended", f.NumRecords())
+	}
+	tu, _ := codec.DecodeTuple(f.Records[1])
+	if len(tu) != 2 || tu[0] != "1" || tu[1] != "0" {
+		t.Errorf("appended row = %v", tu)
+	}
+}
+
+// End-to-end through the runner: repairing and joining yields the oracle
+// shape even when the ALL side matched nothing.
+func TestFinishQueryWithEmptyAllSide(t *testing.T) {
+	aq := mustAQ(t, twoSubqueries)
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	r := NewRunner(c, "tmp/test")
+	c.FS.Create("sub0", 1).Write(codec.Tuple{"Ig1", "3"}.Encode())
+	c.FS.Create("sub1", 1)
+	res, wm, err := FinishQuery(r, aq, []string{"sub0", "sub1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1 (map-only final join)", wm.Cycles())
+	}
+	if len(res.Rows) != 1 || res.Rows[0][2] != "0" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestRunnerPathsUnique(t *testing.T) {
+	c := mapred.NewCluster(mapred.DefaultConfig())
+	r := NewRunner(c, "tmp/x")
+	a, b := r.Path("j"), r.Path("j")
+	if a == b {
+		t.Errorf("paths collide: %q", a)
+	}
+	if !strings.HasPrefix(a, "tmp/x/") {
+		t.Errorf("path prefix: %q", a)
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	aq := mustAQ(t, `PREFIX e: <http://e/>
+SELECT ?g (COUNT(?x) AS ?n) { ?s e:g ?g ; e:x ?x . } GROUP BY ?g ORDER BY DESC(?n) ?g`)
+	a := codec.Tuple{"Ib", "10"}
+	b := codec.Tuple{"Ia", "9"}
+	// DESC(?n): a (10) sorts before b (9).
+	if CompareRows(a, b, aq, a.Encode(), b.Encode()) >= 0 {
+		t.Error("descending count ordering wrong")
+	}
+	// Equal counts: ascending group key breaks the tie.
+	c := codec.Tuple{"Ia", "10"}
+	if CompareRows(c, a, aq, c.Encode(), a.Encode()) >= 0 {
+		t.Error("secondary key ordering wrong")
+	}
+	// Fully equal keys: raw bytes break the tie deterministically.
+	if CompareRows(a, a, aq, []byte{1}, []byte{2}) >= 0 {
+		t.Error("raw tiebreaker wrong")
+	}
+	// NULLs sort first.
+	n := codec.Tuple{algebra.Null, "10"}
+	asc := mustAQ(t, `PREFIX e: <http://e/>
+SELECT ?g (COUNT(?x) AS ?n) { ?s e:g ?g ; e:x ?x . } GROUP BY ?g ORDER BY ?g`)
+	if CompareRows(n, a, asc, n.Encode(), a.Encode()) >= 0 {
+		t.Error("NULL should sort first ascending")
+	}
+}

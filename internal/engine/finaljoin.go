@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/mapred"
+)
+
+// The final phase of every engine's workflow joins the per-subquery
+// aggregated results on their shared grouping columns and evaluates the
+// outer projection. Aggregated results are small (one row per group), so
+// all engines execute this as a single map-only cycle with the non-driving
+// inputs broadcast — Hive's map-join, and the paper's "map-only phase to
+// join the aggregated TG equivalence classes".
+
+// FinalJoinJob builds the map-only join job. inputs[i] must hold subquery
+// i's rows as codec.Tuple records in Subquery.OutputColumns order.
+func FinalJoinJob(aq *algebra.AnalyticalQuery, inputs []string, output string) *mapred.Job {
+	return &mapred.Job{
+		Name:       "final-join",
+		Inputs:     inputs[:1],
+		SideInputs: inputs[1:],
+		Output:     output,
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			sides := make([][]codec.Tuple, len(inputs)-1)
+			for i, name := range inputs[1:] {
+				sides[i] = decodeAll(tc.SideInput(name))
+			}
+			return &finalJoinMapper{aq: aq, sides: sides}
+		},
+	}
+}
+
+// TaggedFinalJoinJob is the variant for engines that aggregate every
+// subquery in one parallel cycle (RAPIDAnalytics, Figure 6b): all rows live
+// in one file, prefixed with the subquery id. The file is both the driving
+// input (id-0 rows) and the broadcast side (other ids).
+func TaggedFinalJoinJob(aq *algebra.AnalyticalQuery, tagged, output string) *mapred.Job {
+	n := len(aq.Subqueries)
+	return &mapred.Job{
+		Name:       "final-join",
+		Inputs:     []string{tagged},
+		SideInputs: []string{tagged},
+		Output:     output,
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			sides := make([][]codec.Tuple, n-1)
+			for _, rec := range tc.SideInput(tagged) {
+				t, err := codec.DecodeTuple(rec)
+				if err != nil || len(t) == 0 {
+					continue
+				}
+				id, err := strconv.Atoi(t[0])
+				if err != nil || id <= 0 || id >= n {
+					continue
+				}
+				sides[id-1] = append(sides[id-1], t[1:])
+			}
+			return &finalJoinMapper{aq: aq, sides: sides, tagged: true}
+		},
+	}
+}
+
+type finalJoinMapper struct {
+	aq     *algebra.AnalyticalQuery
+	sides  [][]codec.Tuple // rows of subqueries 1..n-1
+	tagged bool
+
+	indexes []map[string][]codec.Tuple // lazy hash indexes per side
+}
+
+func (m *finalJoinMapper) Map(rec []byte, emit mapred.Emit) error {
+	t, err := codec.DecodeTuple(rec)
+	if err != nil {
+		return err
+	}
+	if m.tagged {
+		if len(t) == 0 {
+			return fmt.Errorf("engine: empty tagged row")
+		}
+		id, err := strconv.Atoi(t[0])
+		if err != nil {
+			return fmt.Errorf("engine: bad subquery tag %q", t[0])
+		}
+		if id != 0 {
+			return nil // non-driving rows arrive via the side input
+		}
+		t = t[1:]
+	}
+	if m.indexes == nil {
+		m.buildIndexes()
+	}
+	row := map[string]string{}
+	cols := m.aq.Subqueries[0].OutputColumns()
+	if len(t) != len(cols) {
+		return fmt.Errorf("engine: subquery 0 row has %d fields, want %d", len(t), len(cols))
+	}
+	for i, c := range cols {
+		row[c] = t[i]
+	}
+	m.extend(row, 1, emit)
+	return nil
+}
+
+// buildIndexes hashes every side on its join columns.
+func (m *finalJoinMapper) buildIndexes() {
+	m.indexes = make([]map[string][]codec.Tuple, len(m.sides))
+	for i, rows := range m.sides {
+		sq := m.aq.Subqueries[i+1]
+		joinCols := m.aq.JoinColumns(i + 1)
+		idx := map[string][]codec.Tuple{}
+		cols := sq.OutputColumns()
+		pos := columnPositions(cols, joinCols)
+		for _, r := range rows {
+			if len(r) != len(cols) {
+				continue
+			}
+			idx[joinKeyOf(r, pos)] = append(idx[joinKeyOf(r, pos)], r)
+		}
+		m.indexes[i] = idx
+	}
+}
+
+// extend joins the partial row with subquery i's rows and recurses;
+// at the end it evaluates the outer projection.
+func (m *finalJoinMapper) extend(row map[string]string, i int, emit mapred.Emit) {
+	if i == len(m.aq.Subqueries) {
+		m.project(row, emit)
+		return
+	}
+	sq := m.aq.Subqueries[i]
+	cols := sq.OutputColumns()
+	joinCols := m.aq.JoinColumns(i)
+	key := ""
+	for k, c := range joinCols {
+		if k > 0 {
+			key += "\x1f"
+		}
+		key += row[c]
+	}
+	for _, r := range m.indexes[i-1][key] {
+		added := make([]string, 0, len(cols))
+		ok := true
+		for j, c := range cols {
+			if prev, exists := row[c]; exists {
+				if prev != r[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			row[c] = r[j]
+			added = append(added, c)
+		}
+		if ok {
+			m.extend(row, i+1, emit)
+		}
+		for _, c := range added {
+			delete(row, c)
+		}
+	}
+}
+
+func (m *finalJoinMapper) project(row map[string]string, emit mapred.Emit) {
+	out := make(codec.Tuple, len(m.aq.Projection))
+	for i, pi := range m.aq.Projection {
+		if pi.Expr != nil {
+			v, err := algebra.EvalExpr(pi.Expr, row)
+			if err != nil {
+				out[i] = algebra.Null
+				continue
+			}
+			out[i] = algebra.FormatNumber(v)
+			continue
+		}
+		v, ok := row[pi.Var]
+		if !ok {
+			v = algebra.Null
+		}
+		out[i] = v
+	}
+	emit("", out.Encode())
+}
+
+func columnPositions(cols, want []string) []int {
+	pos := make([]int, len(want))
+	for i, w := range want {
+		pos[i] = -1
+		for j, c := range cols {
+			if c == w {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	return pos
+}
+
+func joinKeyOf(r codec.Tuple, pos []int) string {
+	key := ""
+	for k, p := range pos {
+		if k > 0 {
+			key += "\x1f"
+		}
+		if p >= 0 {
+			key += r[p]
+		}
+	}
+	return key
+}
+
+func decodeAll(recs [][]byte) []codec.Tuple {
+	out := make([]codec.Tuple, 0, len(recs))
+	for _, rec := range recs {
+		if t, err := codec.DecodeTuple(rec); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"fmt"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/mapred"
+)
+
+// Runner tracks one engine execution: the cluster, a unique temp-file
+// prefix, and the accumulated workflow metrics.
+type Runner struct {
+	C  *mapred.Cluster
+	WM *mapred.WorkflowMetrics
+
+	prefix string
+	seq    int
+}
+
+// NewRunner returns a runner writing temp files under prefix.
+func NewRunner(c *mapred.Cluster, prefix string) *Runner {
+	return &Runner{C: c, WM: &mapred.WorkflowMetrics{}, prefix: prefix}
+}
+
+// Path allocates a unique temp file path.
+func (r *Runner) Path(name string) string {
+	r.seq++
+	return fmt.Sprintf("%s/%02d-%s", r.prefix, r.seq, name)
+}
+
+// Exec runs one job and records its metrics.
+func (r *Runner) Exec(job *mapred.Job) error {
+	m, err := r.C.Run(job)
+	if err != nil {
+		return err
+	}
+	r.WM.Jobs = append(r.WM.Jobs, m)
+	return nil
+}
+
+// FinishQuery joins the per-subquery aggregate files (one map-only cycle)
+// and reads the final result. Single-subquery queries read their aggregate
+// directly: its column order is already the query's projection.
+func FinishQuery(r *Runner, aq *algebra.AnalyticalQuery, aggFiles []string) (*Result, *mapred.WorkflowMetrics, error) {
+	EnsureDefaultRows(r.C.FS, aggFiles, aq)
+	ApplyGroupByAllHaving(r.C.FS, aggFiles, aq)
+	if len(aggFiles) == 1 {
+		return finishSorted(r, aq, aggFiles[0])
+	}
+	out := r.Path("final")
+	if err := r.Exec(FinalJoinJob(aq, aggFiles, out)); err != nil {
+		return nil, r.WM, err
+	}
+	return finishSorted(r, aq, out)
+}
+
+// FinishQueryTagged is the variant over a single tagged aggregate file (the
+// parallel TG_AgJ output of RAPIDAnalytics).
+func FinishQueryTagged(r *Runner, aq *algebra.AnalyticalQuery, tagged string) (*Result, *mapred.WorkflowMetrics, error) {
+	EnsureDefaultRowsTagged(r.C.FS, tagged, aq)
+	ApplyGroupByAllHavingTagged(r.C.FS, tagged, aq)
+	out := r.Path("final")
+	if err := r.Exec(TaggedFinalJoinJob(aq, tagged, out)); err != nil {
+		return nil, r.WM, err
+	}
+	return finishSorted(r, aq, out)
+}

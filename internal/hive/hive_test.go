@@ -1,0 +1,284 @@
+package hive
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+)
+
+func newCluster() *mapred.Cluster {
+	cfg := mapred.DefaultConfig()
+	cfg.ExecSplitBytes = 128
+	return mapred.NewCluster(cfg)
+}
+
+func writeTuples(c *mapred.Cluster, name string, rows ...codec.Tuple) {
+	w := c.FS.Create(name, 1)
+	for _, r := range rows {
+		w.Write(r.Encode())
+	}
+}
+
+func readRows(t *testing.T, c *mapred.Cluster, name string) []string {
+	t.Helper()
+	f, err := c.FS.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, rec := range f.Records {
+		tu, err := codec.DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, strings.Join(tu, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRelScan(t *testing.T) {
+	r := &rel{
+		file:   "f",
+		cols:   []string{"s", "", "o"},
+		consts: map[int]string{1: "LX"},
+		filters: []sparql.Filter{{
+			Kind: sparql.FilterCompare, Var: "o", Op: ">", Value: "5", IsNumeric: true,
+		}},
+	}
+	if got := r.outCols(); strings.Join(got, ",") != "s,o" {
+		t.Errorf("outCols = %v", got)
+	}
+	if row, ok := r.scan(codec.Tuple{"Is1", "LX", "L10"}); !ok || row[0] != "Is1" || row[1] != "L10" {
+		t.Errorf("scan = %v, %v", row, ok)
+	}
+	if _, ok := r.scan(codec.Tuple{"Is1", "LY", "L10"}); ok {
+		t.Error("constant check not applied")
+	}
+	if _, ok := r.scan(codec.Tuple{"Is1", "LX", "L3"}); ok {
+		t.Error("filter not applied")
+	}
+	if _, ok := r.scan(codec.Tuple{"Is1"}); ok {
+		t.Error("arity mismatch accepted")
+	}
+	if r.colIndex("o") != 1 || r.colIndex("s") != 0 || r.colIndex("zz") != -1 {
+		t.Error("colIndex wrong")
+	}
+}
+
+func starFixture(c *mapred.Cluster) []*starInput {
+	writeTuples(c, "t_type", codec.Tuple{"Ip1"}, codec.Tuple{"Ip2"})
+	writeTuples(c, "t_label",
+		codec.Tuple{"Ip1", "Lone"},
+		codec.Tuple{"Ip2", "Ltwo"},
+		codec.Tuple{"Ip3", "Lthree"}, // no type: drops out
+	)
+	writeTuples(c, "t_pf",
+		codec.Tuple{"Ip1", "If1"},
+		codec.Tuple{"Ip1", "If2"}, // multi-valued
+	)
+	return []*starInput{
+		{rel: &rel{file: "t_type", cols: []string{"p"}}, keyCol: "p"},
+		{rel: &rel{file: "t_label", cols: []string{"p", "l"}}, keyCol: "p"},
+		{rel: &rel{file: "t_pf", cols: []string{"p", "f"}}, keyCol: "p", optional: true},
+	}
+}
+
+// Inner + left-outer star join, reduce-side and map-side must agree.
+func TestStarJoinVariantsAgree(t *testing.T) {
+	c1 := newCluster()
+	inputs1 := starFixture(c1)
+	job1, out1 := starJoinJob("sj", inputs1, nil, "out1", 1)
+	if _, err := c1.Run(job1); err != nil {
+		t.Fatal(err)
+	}
+	reduceRows := readRows(t, c1, "out1")
+
+	c2 := newCluster()
+	inputs2 := starFixture(c2)
+	job2, out2 := starMapJoinJob("sj", inputs2, 1 /* drive on label */, nil, "out2", 1)
+	m, err := c2.Run(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.MapOnly {
+		t.Error("map join not map-only")
+	}
+	mapRows := readRows(t, c2, "out2")
+
+	// Expected: p1 x {f1, f2}, p2 with NULL feature; p3 dropped.
+	if len(reduceRows) != 3 {
+		t.Fatalf("reduce-side rows = %v", reduceRows)
+	}
+	// Column orders differ between the two variants (driving input first);
+	// compare per-subject multiplicity and feature sets instead.
+	countBySubject := func(rows []string) map[string]int {
+		m := map[string]int{}
+		for _, r := range rows {
+			m[strings.SplitN(r, "|", 2)[0]]++
+		}
+		return m
+	}
+	rc, mc := countBySubject(reduceRows), countBySubject(mapRows)
+	if rc["Ip1"] != 2 || rc["Ip2"] != 1 || rc["Ip3"] != 0 {
+		t.Errorf("reduce-side multiplicities = %v", rc)
+	}
+	if mc["Ip1"] != rc["Ip1"] || mc["Ip2"] != rc["Ip2"] {
+		t.Errorf("map-side multiplicities differ: %v vs %v", mc, rc)
+	}
+	if len(out1.cols) == 0 || len(out2.cols) == 0 {
+		t.Error("output schemas missing")
+	}
+}
+
+func TestJoinJobAndMapJoinAgree(t *testing.T) {
+	build := func() (*mapred.Cluster, *rel, *rel) {
+		c := newCluster()
+		writeTuples(c, "L",
+			codec.Tuple{"Ia", "L1"},
+			codec.Tuple{"Ib", "L2"},
+			codec.Tuple{"Ia", "L3"},
+		)
+		writeTuples(c, "R",
+			codec.Tuple{"Ix", "Ia"},
+			codec.Tuple{"Iy", "Ia"},
+			codec.Tuple{"Iz", "Ic"},
+		)
+		return c, &rel{file: "L", cols: []string{"k", "v"}}, &rel{file: "R", cols: []string{"s", "k"}}
+	}
+	c1, l1, r1 := build()
+	j1, _ := joinJob("j", l1, r1, "k", "k", nil, "out", 1)
+	if _, err := c1.Run(j1); err != nil {
+		t.Fatal(err)
+	}
+	c2, l2, r2 := build()
+	j2, _ := mapJoinJob("j", l2, r2, "k", "k", nil, "out", 1)
+	if _, err := c2.Run(j2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := readRows(t, c1, "out"), readRows(t, c2, "out")
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Errorf("join variants disagree:\n%v\n%v", a, b)
+	}
+	if len(a) != 4 { // (a,1),(a,3) x (x,y)
+		t.Errorf("join rows = %v", a)
+	}
+}
+
+func TestGroupAggJob(t *testing.T) {
+	c := newCluster()
+	writeTuples(c, "in",
+		codec.Tuple{"Ig1", "L10"},
+		codec.Tuple{"Ig1", "L20"},
+		codec.Tuple{"Ig2", "L5"},
+	)
+	in := &rel{file: "in", cols: []string{"g", "v"}}
+	aggs := []algebra.AggSpec{
+		{Func: sparql.Count, Var: "v", As: "cnt"},
+		{Func: sparql.Avg, Var: "v", As: "avg"},
+	}
+	job, out := groupAggJob("agg", in, []string{"g"}, aggs, nil, nil, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, c, "out")
+	want := []string{"Ig1|2|15", "Ig2|1|5"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Errorf("rows = %v", rows)
+	}
+	if strings.Join(out.cols, ",") != "g,cnt,avg" {
+		t.Errorf("schema = %v", out.cols)
+	}
+}
+
+func TestGroupAggJobGroupByAll(t *testing.T) {
+	c := newCluster()
+	writeTuples(c, "in", codec.Tuple{"L1"}, codec.Tuple{"L2"})
+	in := &rel{file: "in", cols: []string{"v"}}
+	job, _ := groupAggJob("agg", in, nil, []algebra.AggSpec{{Func: sparql.Sum, Var: "v", As: "s"}}, nil, nil, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, c, "out")
+	if len(rows) != 1 || rows[0] != "3" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGroupAggValidityFilter(t *testing.T) {
+	c := newCluster()
+	writeTuples(c, "in",
+		codec.Tuple{"Ig1", "L10", algebra.Null},
+		codec.Tuple{"Ig1", "L20", "Lx"},
+	)
+	in := &rel{file: "in", cols: []string{"g", "v", "sec"}}
+	valid := func(row codec.Tuple) bool { return !algebra.IsNull(row[2]) }
+	job, _ := groupAggJob("agg", in, []string{"g"}, []algebra.AggSpec{{Func: sparql.Count, Var: "v", As: "c"}}, valid, nil, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, c, "out")
+	if len(rows) != 1 || rows[0] != "Ig1|1" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDistinctJob(t *testing.T) {
+	c := newCluster()
+	writeTuples(c, "in",
+		codec.Tuple{"Ia", "L1", "Ljunk1"},
+		codec.Tuple{"Ia", "L1", "Ljunk2"}, // same after projection
+		codec.Tuple{"Ib", "L2", "Ljunk3"},
+	)
+	in := &rel{file: "in", cols: []string{"s", "v", "junk"}}
+	job, out := distinctJob("d", in, []string{"s", "v"}, nil, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, c, "out")
+	if strings.Join(rows, ";") != "Ia|L1;Ib|L2" {
+		t.Errorf("rows = %v", rows)
+	}
+	if strings.Join(out.cols, ",") != "s,v" {
+		t.Errorf("schema = %v", out.cols)
+	}
+}
+
+func TestStarJoinDuplicateFileRejected(t *testing.T) {
+	c := newCluster()
+	writeTuples(c, "same", codec.Tuple{"Ia", "L1"})
+	inputs := []*starInput{
+		{rel: &rel{file: "same", cols: []string{"p", "x"}}, keyCol: "p"},
+		{rel: &rel{file: "same", cols: []string{"p", "y"}}, keyCol: "p"},
+	}
+	r := newRunner(c, "tmp/t")
+	conf := Config{MapJoinBytes: 0} // force reduce-side
+	if _, err := r.starJoin(conf, "sj", inputs, nil, "out"); err == nil {
+		t.Error("duplicate-file reduce-side star join accepted")
+	}
+	// The map-join path handles shared files fine.
+	conf = Config{MapJoinBytes: 1 << 40}
+	if _, err := r.starJoin(conf, "sj2", inputs, nil, "out2"); err != nil {
+		t.Errorf("map-join path rejected shared files: %v", err)
+	}
+}
+
+func TestMapJoinThresholdScalesWithData(t *testing.T) {
+	cfg := mapred.DefaultConfig()
+	cfg.DataScale = 1000
+	c := mapred.NewCluster(cfg)
+	w := c.FS.Create("f", 1)
+	w.Write(make([]byte, 1<<10)) // 1024B -> 1,024,000B at paper scale
+	conf := DefaultConfig()
+	if got := conf.storedSize(c, "f"); got != 1024*1000 {
+		t.Errorf("scaled stored size = %d, want %d", got, 1024*1000)
+	}
+	if got := conf.storedSize(c, "missing"); got < 1<<60 {
+		t.Errorf("missing file size = %d, want huge", got)
+	}
+}

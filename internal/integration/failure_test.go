@@ -1,0 +1,140 @@
+package integration
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/rdf"
+)
+
+// Failure injection: jobs must surface mapper/reducer errors and corrupt
+// records instead of silently dropping data.
+
+func TestMapperErrorAbortsJob(t *testing.T) {
+	c, _ := setup(t, ecommerceGraph())
+	boom := errors.New("boom")
+	job := &mapred.Job{
+		Name:   "failing",
+		Inputs: []string{"test/tg/" + firstFile(t, c, "test/tg/")},
+		Output: "out",
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error { return boom })
+		},
+	}
+	_, err := c.Run(job)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("mapper error not propagated: %v", err)
+	}
+	// The failed job must not leave a usable output file behind the
+	// caller's back... it may exist but the error is authoritative.
+}
+
+func TestReducerErrorAbortsJob(t *testing.T) {
+	c, _ := setup(t, ecommerceGraph())
+	job := &mapred.Job{
+		Name:   "failing-reduce",
+		Inputs: []string{"test/tg/" + firstFile(t, c, "test/tg/")},
+		Output: "out",
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
+				emit("k", rec)
+				return nil
+			})
+		},
+		NewReducer: func() mapred.Reducer {
+			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
+				return errors.New("reduce exploded")
+			})
+		},
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Fatalf("reducer error not propagated: %v", err)
+	}
+}
+
+func firstFile(t *testing.T, c *mapred.Cluster, prefix string) string {
+	t.Helper()
+	names := c.FS.List(prefix)
+	if len(names) == 0 {
+		t.Fatalf("no files under %s", prefix)
+	}
+	return strings.TrimPrefix(names[0], prefix)
+}
+
+// Corrupt triplegroup records in the store must fail the NTGA engines
+// loudly, not skew aggregates.
+func TestCorruptTriplegroupDetected(t *testing.T) {
+	g := ecommerceGraph()
+	c, ds := setup(t, g)
+	// Append garbage to every triplegroup file.
+	for _, name := range c.FS.List("test/tg/") {
+		f, err := c.FS.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := c.FS.Create(name+".tmp", 1)
+		for _, rec := range f.Records {
+			w.Write(rec)
+		}
+		w.Write([]byte{0xFF, 0xFE, 0x01})
+		// Swap in the corrupted file under the original name.
+		orig, _ := c.FS.Open(name + ".tmp")
+		w2 := c.FS.Create(name, 1)
+		for _, rec := range orig.Records {
+			w2.Write(rec)
+		}
+		c.FS.Delete(name + ".tmp")
+	}
+	aq := buildAQ(t, queries["mg1"])
+	for _, e := range engines()[2:] { // the NTGA engines read these files
+		if _, _, err := e.Execute(c, ds, aq); err == nil {
+			t.Errorf("%s accepted corrupt triplegroup records", e.Name())
+		}
+	}
+}
+
+// A query over data that simply lacks the queried properties must return
+// cleanly (empty or default rows), not error.
+func TestQueryOverForeignData(t *testing.T) {
+	g := &rdf.Graph{}
+	g.Add(rdf.T(iri("x"), iri("unrelated"), lit("1")))
+	aq := buildAQ(t, queries["mg1"])
+	for _, e := range engines() {
+		c, ds := setup(t, g)
+		res, _, err := e.Execute(c, ds, aq)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: rows = %v, want none (grouped side empty)", e.Name(), res.Rows)
+		}
+	}
+}
+
+// Engines must not mutate the base dataset: running one engine then
+// another over the same loaded dataset yields identical results (the
+// harness relies on this).
+func TestEnginesDoNotCorruptSharedDataset(t *testing.T) {
+	g := ecommerceGraph()
+	c, ds := setup(t, g)
+	aq := buildAQ(t, queries["mg3"])
+	var first *engine.Result
+	for round := 0; round < 2; round++ {
+		for _, e := range engines() {
+			got, _, err := e.Execute(c, ds, aq)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, e.Name(), err)
+			}
+			if first == nil {
+				first = got
+				continue
+			}
+			if diff := first.Diff(got); diff != "" {
+				t.Fatalf("round %d %s drifted: %s", round, e.Name(), diff)
+			}
+		}
+	}
+}

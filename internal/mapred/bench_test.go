@@ -1,0 +1,46 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWordCountThroughput measures full-cycle engine throughput:
+// splits, parallel map tasks, combiner, shuffle, reduce, materialise.
+func BenchmarkWordCountThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	var bytes int64
+	lines := make([]string, 2000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%d w%d w%d w%d", i%7, i%3, i%11, i%29)
+		bytes += int64(len(lines[i]))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(cfg)
+		w := c.FS.Create("in", 1)
+		for _, l := range lines {
+			w.Write([]byte(l))
+		}
+		if _, err := c.Run(wordCountJob("in", "out", true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShufflePath isolates the sort-merge shuffle.
+func BenchmarkShufflePath(b *testing.B) {
+	in := make([]kv, 5000)
+	for i := range in {
+		in[i] = kv{key: fmt.Sprintf("k%d", i%37), value: []byte("v")}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := make([]kv, len(in))
+		copy(buf, in)
+		if groups := sortAndGroup(buf); len(groups) != 37 {
+			b.Fatalf("groups = %d", len(groups))
+		}
+	}
+}

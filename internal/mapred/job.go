@@ -1,0 +1,173 @@
+// Package mapred is an in-process MapReduce engine modelled on Hadoop: jobs
+// read record files from a dfs.FS, run parallel map tasks over block-sized
+// input splits, partition and sort map output by key, optionally combine,
+// reduce, and materialise output back to the DFS. Every executed job yields
+// exact volume metrics (records and bytes read, shuffled and written), and a
+// calibrated cost model converts those volumes into simulated cluster
+// seconds for a configurable cluster — the substitute for the paper's
+// 10–60-node Hadoop deployments.
+package mapred
+
+import "rapidanalytics/internal/dfs"
+
+// Emit is the output callback handed to mappers, combiners and reducers.
+type Emit func(key string, value []byte)
+
+// Mapper consumes one input record at a time. A fresh Mapper is built per
+// map task, so implementations may carry per-task state (e.g. the paper's
+// multiAggMap hash table, Algorithm 3).
+type Mapper interface {
+	Map(record []byte, emit Emit) error
+}
+
+// MapCloser is implemented by mappers that buffer state across Map calls
+// and must flush it when the task's input is exhausted — the Map.clean()
+// hook of the paper's Algorithm 3.
+type MapCloser interface {
+	Close(emit Emit) error
+}
+
+// Reducer consumes one key group at a time. Also used for combiners.
+type Reducer interface {
+	Reduce(key string, values [][]byte, emit Emit) error
+}
+
+// TaskContext gives a map task access to its environment: which input file
+// its split came from, and any broadcast side inputs (the in-memory hash
+// tables of Hive map-joins).
+type TaskContext struct {
+	// InputFile is the DFS file the task's split belongs to.
+	InputFile string
+	sideData  map[string][][]byte
+}
+
+// SideInput returns the records of a broadcast side input file.
+func (tc *TaskContext) SideInput(name string) [][]byte { return tc.sideData[name] }
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(record []byte, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(record []byte, emit Emit) error { return f(record, emit) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values [][]byte, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// Job describes one MapReduce cycle.
+type Job struct {
+	// Name identifies the job in metrics and traces.
+	Name string
+	// Inputs are DFS file names read by the map phase.
+	Inputs []string
+	// SideInputs are DFS files broadcast whole to every map task (map-join
+	// tables). Their size is charged once per simulated map task.
+	SideInputs []string
+	// Output is the DFS file the job materialises.
+	Output string
+	// OutputCompression is the output file's compression ratio (1 = none).
+	OutputCompression float64
+	// NewMapper builds a mapper for one map task.
+	NewMapper func(tc *TaskContext) Mapper
+	// NewCombiner optionally builds a combiner run over each map task's
+	// local output.
+	NewCombiner func() Reducer
+	// NewReducer builds a reducer; nil makes the job map-only.
+	NewReducer func() Reducer
+	// Partitions is the number of reduce partitions used for execution
+	// (simulated reduce-task counts come from the cost model instead).
+	// Defaults to 4 when zero.
+	Partitions int
+}
+
+// MapOnly reports whether the job has no reduce phase.
+func (j *Job) MapOnly() bool { return j.NewReducer == nil }
+
+// Metrics records the measured volumes of one executed job, before cost
+// modelling.
+type Metrics struct {
+	Job     string
+	MapOnly bool
+
+	MapInputRecords  int64
+	MapInputBytes    int64 // uncompressed logical bytes read
+	MapStoredBytes   int64 // stored (compressed) bytes read
+	SideInputBytes   int64 // stored bytes of broadcast side inputs
+	MapEmitRecords   int64 // emitted by mappers, before combining
+	MapOutputRecords int64 // after combining; what is shuffled
+	MapOutputBytes   int64 // after combining; what is shuffled
+
+	ReduceGroups      int64
+	OutputRecords     int64
+	OutputBytes       int64 // uncompressed logical bytes written
+	OutputStoredBytes int64 // stored bytes written
+	SimulatedMapTasks int   // from the cost model's block math
+	SimulatedRedTasks int
+	SimSeconds        float64
+}
+
+// WorkflowMetrics aggregates a multi-job workflow.
+type WorkflowMetrics struct {
+	Jobs []*Metrics
+}
+
+// Cycles returns the number of MR cycles (jobs).
+func (w *WorkflowMetrics) Cycles() int { return len(w.Jobs) }
+
+// MapOnlyCycles returns how many cycles were map-only.
+func (w *WorkflowMetrics) MapOnlyCycles() int {
+	n := 0
+	for _, m := range w.Jobs {
+		if m.MapOnly {
+			n++
+		}
+	}
+	return n
+}
+
+// SimSeconds returns the total simulated time of the workflow (jobs run
+// sequentially, as Hadoop chains them).
+func (w *WorkflowMetrics) SimSeconds() float64 {
+	var t float64
+	for _, m := range w.Jobs {
+		t += m.SimSeconds
+	}
+	return t
+}
+
+// ShuffleBytes returns the total bytes shuffled across all cycles.
+func (w *WorkflowMetrics) ShuffleBytes() int64 {
+	var b int64
+	for _, m := range w.Jobs {
+		if !m.MapOnly {
+			b += m.MapOutputBytes
+		}
+	}
+	return b
+}
+
+// MaterializedBytes returns the total uncompressed bytes written to the DFS
+// across all cycles — the paper's intermediate-result materialisation cost
+// (the quantity that blew past HDFS capacity for naive Hive on MG13).
+func (w *WorkflowMetrics) MaterializedBytes() int64 {
+	var b int64
+	for _, m := range w.Jobs {
+		b += m.OutputBytes
+	}
+	return b
+}
+
+// Cluster executes jobs against a DFS under a cost-model configuration.
+type Cluster struct {
+	FS     *dfs.FS
+	Config ClusterConfig
+}
+
+// NewCluster returns a cluster over a fresh file system.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	return &Cluster{FS: dfs.New(), Config: cfg}
+}

@@ -1,0 +1,276 @@
+package mapred
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// kv is a key/value pair in flight between map and reduce.
+type kv struct {
+	key   string
+	value []byte
+}
+
+// split is one map task's slice of an input file.
+type split struct {
+	file    string
+	records [][]byte
+	bytes   int64
+	stored  int64
+}
+
+// Run executes one job and returns its metrics (with SimSeconds filled in
+// from the cluster's cost model). Map tasks run in parallel, bounded by the
+// number of CPUs; determinism is preserved by collecting map output in task
+// order before the sort-merge shuffle.
+func (c *Cluster) Run(job *Job) (*Metrics, error) {
+	m := &Metrics{Job: job.Name, MapOnly: job.MapOnly()}
+	splits, err := c.makeSplits(job, m)
+	if err != nil {
+		return nil, err
+	}
+	side, err := c.loadSideInputs(job, m)
+	if err != nil {
+		return nil, err
+	}
+
+	partitions := job.Partitions
+	if partitions <= 0 {
+		partitions = 4
+	}
+	if job.MapOnly() {
+		partitions = 1
+	}
+
+	type taskResult struct {
+		parts [][]kv
+		emits int64
+		err   error
+	}
+	results := make([]taskResult, len(splits))
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i, sp := range splits {
+		wg.Add(1)
+		go func(i int, sp split) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts, emits, err := c.runMapTask(job, sp, side, partitions)
+			results[i] = taskResult{parts: parts, emits: emits, err: err}
+		}(i, sp)
+	}
+	wg.Wait()
+
+	// Collect in task order for determinism.
+	partData := make([][]kv, partitions)
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("mapred: job %s map task %d: %w", job.Name, i, results[i].err)
+		}
+		m.MapEmitRecords += results[i].emits
+		for p, kvs := range results[i].parts {
+			partData[p] = append(partData[p], kvs...)
+		}
+	}
+	for _, part := range partData {
+		for _, e := range part {
+			m.MapOutputRecords++
+			m.MapOutputBytes += int64(len(e.key) + len(e.value))
+		}
+	}
+
+	ratio := job.OutputCompression
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	out := c.FS.Create(job.Output, ratio)
+	if job.MapOnly() {
+		for _, part := range partData {
+			for _, e := range part {
+				out.Write(e.value)
+				m.OutputRecords++
+				m.OutputBytes += int64(len(e.value))
+			}
+		}
+	} else {
+		for _, part := range partData {
+			groups := sortAndGroup(part)
+			red := job.NewReducer()
+			for _, g := range groups {
+				m.ReduceGroups++
+				err := red.Reduce(g.key, g.values, func(_ string, value []byte) {
+					out.Write(value)
+					m.OutputRecords++
+					m.OutputBytes += int64(len(value))
+				})
+				if err != nil {
+					return nil, fmt.Errorf("mapred: job %s reduce key %q: %w", job.Name, g.key, err)
+				}
+			}
+		}
+	}
+	m.OutputStoredBytes = out.File().StoredBytes()
+	c.Config.cost(m)
+	return m, nil
+}
+
+// RunWorkflow executes jobs sequentially, stopping at the first error.
+func (c *Cluster) RunWorkflow(jobs []*Job) (*WorkflowMetrics, error) {
+	wm := &WorkflowMetrics{}
+	for _, j := range jobs {
+		m, err := c.Run(j)
+		if err != nil {
+			return wm, err
+		}
+		wm.Jobs = append(wm.Jobs, m)
+	}
+	return wm, nil
+}
+
+func maxParallel() int {
+	n := runtime.NumCPU()
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// makeSplits carves each input file into block-sized splits and accounts
+// input volumes.
+func (c *Cluster) makeSplits(job *Job, m *Metrics) ([]split, error) {
+	blockSize := c.Config.ExecSplitBytes
+	if blockSize <= 0 {
+		blockSize = 4 << 20
+	}
+	var splits []split
+	for _, name := range job.Inputs {
+		f, err := c.FS.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
+		}
+		m.MapInputRecords += int64(f.NumRecords())
+		m.MapInputBytes += f.Bytes
+		m.MapStoredBytes += f.StoredBytes()
+		cur := split{file: name}
+		for _, rec := range f.Records {
+			cur.records = append(cur.records, rec)
+			cur.bytes += int64(len(rec))
+			if cur.bytes >= blockSize {
+				splits = append(splits, cur)
+				cur = split{file: name}
+			}
+		}
+		if len(cur.records) > 0 || f.NumRecords() == 0 {
+			splits = append(splits, cur)
+		}
+	}
+	return splits, nil
+}
+
+func (c *Cluster) loadSideInputs(job *Job, m *Metrics) (map[string][][]byte, error) {
+	if len(job.SideInputs) == 0 {
+		return nil, nil
+	}
+	side := make(map[string][][]byte, len(job.SideInputs))
+	for _, name := range job.SideInputs {
+		f, err := c.FS.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s side input: %w", job.Name, err)
+		}
+		side[name] = f.Records
+		m.SideInputBytes += f.StoredBytes()
+	}
+	return side, nil
+}
+
+// runMapTask runs one mapper over a split, partitions its output, and
+// applies the combiner locally. It returns the partitioned (post-combiner)
+// output and the number of records the mapper emitted before combining.
+func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, partitions int) ([][]kv, int64, error) {
+	tc := &TaskContext{InputFile: sp.file, sideData: side}
+	mapper := job.NewMapper(tc)
+	parts := make([][]kv, partitions)
+	var emits int64
+	emit := func(key string, value []byte) {
+		emits++
+		p := 0
+		if partitions > 1 {
+			p = partitionOf(key, partitions)
+		}
+		parts[p] = append(parts[p], kv{key: key, value: value})
+	}
+	for _, rec := range sp.records {
+		if err := mapper.Map(rec, emit); err != nil {
+			return nil, 0, err
+		}
+	}
+	if closer, ok := mapper.(MapCloser); ok {
+		if err := closer.Close(emit); err != nil {
+			return nil, 0, err
+		}
+	}
+	if job.NewCombiner != nil && !job.MapOnly() {
+		for p := range parts {
+			combined, err := combine(job.NewCombiner(), parts[p], partitions, p)
+			if err != nil {
+				return nil, 0, err
+			}
+			parts[p] = combined
+		}
+	}
+	return parts, emits, nil
+}
+
+func combine(comb Reducer, in []kv, partitions, p int) ([]kv, error) {
+	groups := sortAndGroup(in)
+	var out []kv
+	for _, g := range groups {
+		err := comb.Reduce(g.key, g.values, func(key string, value []byte) {
+			out = append(out, kv{key: key, value: value})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Combiner output must stay in its partition; re-partitioning is not
+	// allowed (keys must be preserved or at least co-partitioned).
+	for _, e := range out {
+		if partitions > 1 && partitionOf(e.key, partitions) != p {
+			return nil, fmt.Errorf("mapred: combiner moved key %q across partitions", e.key)
+		}
+	}
+	return out, nil
+}
+
+type group struct {
+	key    string
+	values [][]byte
+}
+
+// sortAndGroup sorts key/value pairs by key (stable, preserving map-task
+// emission order within a key) and groups equal keys.
+func sortAndGroup(in []kv) []group {
+	sort.SliceStable(in, func(i, j int) bool { return in[i].key < in[j].key })
+	var groups []group
+	for i := 0; i < len(in); {
+		j := i
+		g := group{key: in[i].key}
+		for j < len(in) && in[j].key == g.key {
+			g.values = append(g.values, in[j].value)
+			j++
+		}
+		groups = append(groups, g)
+		i = j
+	}
+	return groups
+}
+
+func partitionOf(key string, partitions int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(partitions))
+}

@@ -1,0 +1,59 @@
+package ntga
+
+import (
+	"fmt"
+	"testing"
+
+	"rapidanalytics/internal/algebra"
+)
+
+func benchTG(props, fanout int) TripleGroup {
+	g := TripleGroup{Subject: "Is"}
+	for i := 0; i < props; i++ {
+		for j := 0; j < fanout; j++ {
+			g.Triples = append(g.Triples, PO{
+				Prop: fmt.Sprintf("http://e/p%d", i),
+				Obj:  fmt.Sprintf("Lv%d_%d", i, j),
+			})
+		}
+	}
+	return g
+}
+
+func BenchmarkOptGroupFilter(b *testing.B) {
+	tg := benchTG(6, 2)
+	prim := []algebra.PropRef{{Prop: "http://e/p0"}, {Prop: "http://e/p1"}}
+	opt := []algebra.PropRef{{Prop: "http://e/p2"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := OptGroupFilter(tg, prim, opt); !ok {
+			b.Fatal("filtered out")
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeAnnTG(b *testing.B) {
+	a := Merge(NewAnnTG(0, benchTG(4, 2)), NewAnnTG(1, benchTG(3, 1)))
+	enc := a.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAnnTG(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchPattern(b *testing.B) {
+	cp := buildComposite(b)
+	atg := Merge(NewAnnTG(0, productTG("p1", "f1", "f2", "f3")), NewAnnTG(1, offerTG("o1", "p1", "100")))
+	tps := PatternTriples(cp, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		MatchPattern(&atg, tps, nil, func(Binding) { n++ })
+		if n != 3 {
+			b.Fatalf("solutions = %d", n)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package ntga
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/rdf"
+	"rapidanalytics/internal/sparql"
+)
+
+func ref(prop string) algebra.PropRef { return algebra.PropRef{Prop: prop} }
+
+func tg(subject string, pos ...string) TripleGroup {
+	out := TripleGroup{Subject: "I" + subject}
+	for _, po := range pos {
+		parts := strings.SplitN(po, "=", 2)
+		out.Triples = append(out.Triples, PO{Prop: parts[0], Obj: "L" + parts[1]})
+	}
+	return out
+}
+
+// Figure 4(a): optional group filter with P_prim = {product, price} and
+// P_opt = {validFrom, validTo}.
+func TestOptGroupFilterFigure4a(t *testing.T) {
+	prim := []algebra.PropRef{ref("product"), ref("price")}
+	opt := []algebra.PropRef{ref("validFrom"), ref("validTo")}
+	tg1 := tg("o1", "product=p1", "price=100", "validTo=2010")
+	tg2 := tg("o2", "product=p2", "price=200")
+	tg3 := tg("o3", "product=p3", "validFrom=2008") // no price -> filtered
+	tg4 := tg("o4", "product=p4", "price=400", "validFrom=2009", "validTo=2011")
+
+	for _, tc := range []struct {
+		in   TripleGroup
+		ok   bool
+		size int
+	}{
+		{tg1, true, 3},
+		{tg2, true, 2},
+		{tg3, false, 0},
+		{tg4, true, 4},
+	} {
+		got, ok := OptGroupFilter(tc.in, prim, opt)
+		if ok != tc.ok {
+			t.Errorf("OptGroupFilter(%v) ok = %v, want %v", tc.in, ok, tc.ok)
+		}
+		if ok && len(got.Triples) != tc.size {
+			t.Errorf("OptGroupFilter(%v) kept %d triples, want %d", tc.in, len(got.Triples), tc.size)
+		}
+	}
+}
+
+// The filter must also project away irrelevant properties.
+func TestOptGroupFilterProjects(t *testing.T) {
+	in := tg("o1", "product=p1", "price=100", "unrelated=x")
+	got, ok := OptGroupFilter(in, []algebra.PropRef{ref("product"), ref("price")}, nil)
+	if !ok || len(got.Triples) != 2 {
+		t.Fatalf("got %v ok=%v", got, ok)
+	}
+	for _, po := range got.Triples {
+		if po.Prop == "unrelated" {
+			t.Error("irrelevant property not projected away")
+		}
+	}
+}
+
+func TestOptGroupFilterConstObjRef(t *testing.T) {
+	typed := algebra.PropRef{Prop: rdf.RDFType, Obj: rdf.NewIRI("PT18")}
+	in := TripleGroup{Subject: "Ip1", Triples: []PO{
+		{Prop: rdf.RDFType, Obj: "IPT18"},
+		{Prop: rdf.RDFType, Obj: "IOther"},
+		{Prop: "label", Obj: "Lx"},
+	}}
+	got, ok := OptGroupFilter(in, []algebra.PropRef{typed, ref("label")}, nil)
+	if !ok {
+		t.Fatal("typed filter rejected matching triplegroup")
+	}
+	// Only the matching type triple survives projection.
+	if len(got.Triples) != 2 {
+		t.Errorf("projection kept %v", got.Triples)
+	}
+	in2 := TripleGroup{Subject: "Ip2", Triples: []PO{
+		{Prop: rdf.RDFType, Obj: "IOther"},
+		{Prop: "label", Obj: "Lx"},
+	}}
+	if _, ok := OptGroupFilter(in2, []algebra.PropRef{typed, ref("label")}, nil); ok {
+		t.Error("typed filter accepted wrong type object")
+	}
+}
+
+// Figure 4(b): n-split with P_sec1 = {validFrom}, P_sec2 = {validTo}.
+func TestNSplitFigure4b(t *testing.T) {
+	prim := []algebra.PropRef{ref("product"), ref("price")}
+	secs := [][]algebra.PropRef{{ref("validFrom")}, {ref("validTo")}}
+	tg1 := tg("o1", "product=p1", "price=100", "validTo=2010")
+	tg4 := tg("o4", "product=p4", "price=400", "validFrom=2009", "validTo=2011")
+
+	got1 := NSplit(tg1, prim, secs)
+	if len(got1) != 1 || got1[0].Pattern != 1 {
+		t.Fatalf("NSplit(tg1) = %v, want single pattern-2 split", got1)
+	}
+	if len(got1[0].TG.Triples) != 3 {
+		t.Errorf("split tg1 triples = %v", got1[0].TG.Triples)
+	}
+	got4 := NSplit(tg4, prim, secs)
+	if len(got4) != 2 {
+		t.Fatalf("NSplit(tg4) = %v, want both splits", got4)
+	}
+	for _, s := range got4 {
+		if len(s.TG.Triples) != 3 {
+			t.Errorf("split %d kept %v", s.Pattern, s.TG.Triples)
+		}
+	}
+}
+
+// Figure 4(c): a pattern with no secondary properties always yields a
+// split containing only the primaries.
+func TestNSplitEmptySecondary(t *testing.T) {
+	prim := []algebra.PropRef{ref("product"), ref("price")}
+	secs := [][]algebra.PropRef{{}, {ref("validTo")}}
+	tg2 := tg("o2", "product=p2", "price=200")
+	got := NSplit(tg2, prim, secs)
+	if len(got) != 1 || got[0].Pattern != 0 || len(got[0].TG.Triples) != 2 {
+		t.Fatalf("NSplit = %v", got)
+	}
+	tg4 := tg("o4", "product=p4", "price=400", "validTo=2011")
+	got4 := NSplit(tg4, prim, secs)
+	if len(got4) != 2 {
+		t.Fatalf("NSplit(tg4) = %v", got4)
+	}
+	if len(got4[0].TG.Triples) != 2 || len(got4[1].TG.Triples) != 3 {
+		t.Errorf("split sizes = %d, %d", len(got4[0].TG.Triples), len(got4[1].TG.Triples))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a := NewAnnTG(0, tg("p1", "type=PT18", "pf=f1", "pf=f2"))
+	b := NewAnnTG(1, tg("o1", "product=p1", "price=100"))
+	m := Merge(a, b)
+	dec, err := DecodeAnnTG(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeAnnTG: %v", err)
+	}
+	if !reflect.DeepEqual(dec, m) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", dec, m)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(subject string, props, objs []string) bool {
+		g := TripleGroup{Subject: subject}
+		for i := range props {
+			obj := ""
+			if i < len(objs) {
+				obj = objs[i]
+			}
+			g.Triples = append(g.Triples, PO{Prop: props[i], Obj: obj})
+		}
+		a := NewAnnTG(3, g)
+		dec, err := DecodeAnnTG(a.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	a := NewAnnTG(0, tg("s", "p=1"))
+	enc := a.Encode()
+	for _, bad := range [][]byte{
+		{},
+		enc[:len(enc)-1],
+		append(append([]byte{}, enc...), 0xFF),
+	} {
+		if _, err := DecodeAnnTG(bad); err == nil {
+			t.Errorf("DecodeAnnTG(% x) succeeded", bad)
+		}
+	}
+}
+
+func TestMergeOrdersStars(t *testing.T) {
+	a := NewAnnTG(2, tg("c", "cn=UK"))
+	b := NewAnnTG(0, tg("p", "type=PT18"))
+	m := Merge(a, b)
+	if !reflect.DeepEqual(m.Stars, []int{0, 2}) {
+		t.Errorf("Stars = %v", m.Stars)
+	}
+	if c, ok := m.Component(2); !ok || c.Subject != "Ic" {
+		t.Errorf("Component(2) = %v, %v", c, ok)
+	}
+	if _, ok := m.Component(1); ok {
+		t.Error("Component(1) should be absent")
+	}
+}
+
+// buildComposite builds the MG1-style composite pattern used by the
+// matching and α tests: star0 = {type=PT1, label, pf?}, star1 = {product,
+// price}, where pf is pattern 0's secondary.
+func buildComposite(t testing.TB) *algebra.CompositePattern {
+	t.Helper()
+	q := sparql.MustParse(`PREFIX e: <http://e/>
+SELECT ?f ?cntF ?cntT {
+  { SELECT ?f (COUNT(?pr2) AS ?cntF)
+    { ?p2 a e:PT1 ; e:label ?l2 ; e:pf ?f .
+      ?off2 e:product ?p2 ; e:price ?pr2 .
+    } GROUP BY ?f
+  }
+  { SELECT (COUNT(?pr) AS ?cntT)
+    { ?p1 a e:PT1 ; e:label ?l1 .
+      ?off1 e:product ?p1 ; e:price ?pr .
+    }
+  }
+}`)
+	aq, err := algebra.Build(q)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cp, err := algebra.BuildComposite(aq.Subqueries)
+	if err != nil {
+		t.Fatalf("BuildComposite: %v", err)
+	}
+	return cp
+}
+
+func productTG(name string, features ...string) TripleGroup {
+	g := TripleGroup{Subject: "I" + name, Triples: []PO{
+		{Prop: rdf.RDFType, Obj: "Ihttp://e/PT1"},
+		{Prop: "http://e/label", Obj: "L" + name},
+	}}
+	for _, f := range features {
+		g.Triples = append(g.Triples, PO{Prop: "http://e/pf", Obj: "I" + f})
+	}
+	return g
+}
+
+func offerTG(name, product, price string) TripleGroup {
+	return TripleGroup{Subject: "I" + name, Triples: []PO{
+		{Prop: "http://e/product", Obj: "I" + product},
+		{Prop: "http://e/price", Obj: "L" + price},
+	}}
+}
+
+// The α condition (Figure 5): a joined triplegroup without the secondary
+// pf cannot contribute to the per-feature pattern but still contributes to
+// the GROUP BY ALL pattern.
+func TestSatisfiesPattern(t *testing.T) {
+	cp := buildComposite(t)
+	withPF := Merge(NewAnnTG(0, productTG("p1", "f1")), NewAnnTG(1, offerTG("o1", "p1", "100")))
+	withoutPF := Merge(NewAnnTG(0, productTG("p2")), NewAnnTG(1, offerTG("o2", "p2", "200")))
+	if !SatisfiesPattern(&withPF, cp, 0) || !SatisfiesPattern(&withPF, cp, 1) {
+		t.Error("triplegroup with pf should satisfy both patterns")
+	}
+	if SatisfiesPattern(&withoutPF, cp, 0) {
+		t.Error("triplegroup without pf satisfies the per-feature pattern")
+	}
+	if !SatisfiesPattern(&withoutPF, cp, 1) {
+		t.Error("triplegroup without pf should satisfy the ALL pattern")
+	}
+	if !SatisfiesAnyPattern(&withoutPF, cp) || !SatisfiesAnyPattern(&withPF, cp) {
+		t.Error("α-Join admission failed")
+	}
+}
+
+// Binding multiplicity: a product with two features yields two solutions
+// for the per-feature pattern and one for the featureless pattern.
+func TestMatchPatternMultiplicity(t *testing.T) {
+	cp := buildComposite(t)
+	atg := Merge(NewAnnTG(0, productTG("p1", "f1", "f2")), NewAnnTG(1, offerTG("o1", "p1", "100")))
+
+	count := 0
+	features := map[string]bool{}
+	MatchPattern(&atg, PatternTriples(cp, 0), nil, func(b Binding) {
+		count++
+		features[b["f"]] = true
+		if b["pr2"] != "L100" {
+			t.Errorf("price binding = %q", b["pr2"])
+		}
+	})
+	if count != 2 || !features["If1"] || !features["If2"] {
+		t.Errorf("pattern 0 solutions = %d (%v), want 2", count, features)
+	}
+
+	count = 0
+	MatchPattern(&atg, PatternTriples(cp, 1), nil, func(b Binding) { count++ })
+	if count != 1 {
+		t.Errorf("pattern 1 solutions = %d, want 1", count)
+	}
+}
+
+// A missing star component yields no solutions.
+func TestMatchPatternMissingStar(t *testing.T) {
+	cp := buildComposite(t)
+	atg := NewAnnTG(0, productTG("p1", "f1"))
+	called := false
+	MatchPattern(&atg, PatternTriples(cp, 0), nil, func(Binding) { called = true })
+	if called {
+		t.Error("solutions produced despite missing star component")
+	}
+}
+
+// Shared variables across triple patterns must agree: an object variable
+// used twice only matches consistent objects.
+func TestMatchPatternConsistency(t *testing.T) {
+	tps := map[int][]sparql.TriplePattern{
+		0: {
+			{S: sparql.V("s"), P: sparql.C(rdf.NewIRI("p")), O: sparql.V("x")},
+			{S: sparql.V("s"), P: sparql.C(rdf.NewIRI("q")), O: sparql.V("x")},
+		},
+	}
+	atg := NewAnnTG(0, TripleGroup{Subject: "Is", Triples: []PO{
+		{Prop: "p", Obj: "L1"},
+		{Prop: "p", Obj: "L2"},
+		{Prop: "q", Obj: "L2"},
+		{Prop: "q", Obj: "L3"},
+	}})
+	var got []string
+	MatchPattern(&atg, tps, nil, func(b Binding) { got = append(got, b["x"]) })
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"L2"}) {
+		t.Errorf("consistent solutions = %v, want [L2]", got)
+	}
+}
+
+// Property: GroupBySubject partitions the graph — total triples preserved,
+// one group per distinct subject.
+func TestGroupBySubjectQuick(t *testing.T) {
+	f := func(edges []uint8) bool {
+		g := &rdf.Graph{}
+		subjects := map[string]bool{}
+		for i, e := range edges {
+			s := rdf.NewIRI(string(rune('a' + e%5)))
+			subjects[s.Key()] = true
+			g.Add(rdf.T(s, rdf.NewIRI("p"), rdf.NewLiteral(string(rune('0'+i%10)))))
+		}
+		tgs := GroupBySubject(g)
+		if len(tgs) != len(subjects) {
+			return false
+		}
+		total := 0
+		for _, tg := range tgs {
+			total += len(tg.Triples)
+		}
+		return total == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

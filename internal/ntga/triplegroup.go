@@ -1,0 +1,252 @@
+// Package ntga implements the Nested TripleGroup Data Model and Algebra:
+// triplegroups (triples grouped by subject), annotated/joined triplegroups,
+// and the paper's logical operators — optional group filter (σ^γopt,
+// Definition 3.3), n-split (χ, Definition 3.4), α-Join (Definition 3.5) and
+// the binding enumeration underlying the triplegroup Agg-Join (γ^AgJ,
+// Definition 3.6). The operators here are pure functions; the engines wrap
+// them into map/reduce physical operators.
+package ntga
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/rdf"
+)
+
+// PO is one property/object pair of a triplegroup. Both are stored in
+// compact key form: the property as its IRI, the object as rdf.Term.Key.
+type PO struct {
+	Prop string
+	Obj  string
+}
+
+// TripleGroup is a set of triples sharing one subject.
+type TripleGroup struct {
+	// Subject is the shared subject in rdf.Term.Key form.
+	Subject string
+	// Triples are the property/object pairs.
+	Triples []PO
+}
+
+// Props returns the set of distinct property IRIs in the triplegroup.
+func (tg *TripleGroup) Props() map[string]bool {
+	m := make(map[string]bool, len(tg.Triples))
+	for _, t := range tg.Triples {
+		m[t.Prop] = true
+	}
+	return m
+}
+
+// HasRef reports whether the triplegroup contains a triple matching the
+// property reference (property equal and, for constant-object references,
+// object equal).
+func (tg *TripleGroup) HasRef(ref algebra.PropRef) bool {
+	objKey := ""
+	if ref.HasConstObj() {
+		objKey = ref.Obj.Key()
+	}
+	for _, t := range tg.Triples {
+		if t.Prop != ref.Prop {
+			continue
+		}
+		if objKey == "" || t.Obj == objKey {
+			return true
+		}
+	}
+	return false
+}
+
+// Objects returns the object keys of triples with the given property.
+func (tg *TripleGroup) Objects(prop string) []string {
+	var out []string
+	for _, t := range tg.Triples {
+		if t.Prop == prop {
+			out = append(out, t.Obj)
+		}
+	}
+	return out
+}
+
+// Project returns a copy of the triplegroup restricted to triples matching
+// any of the property references.
+func (tg *TripleGroup) Project(refs []algebra.PropRef) TripleGroup {
+	out := TripleGroup{Subject: tg.Subject}
+	for _, t := range tg.Triples {
+		for _, ref := range refs {
+			if t.Prop != ref.Prop {
+				continue
+			}
+			if ref.HasConstObj() && t.Obj != ref.Obj.Key() {
+				continue
+			}
+			out.Triples = append(out.Triples, t)
+			break
+		}
+	}
+	return out
+}
+
+// String renders the triplegroup for diagnostics.
+func (tg *TripleGroup) String() string {
+	parts := make([]string, len(tg.Triples))
+	for i, t := range tg.Triples {
+		parts[i] = t.Prop + "→" + t.Obj
+	}
+	return tg.Subject + "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Encode serialises the triplegroup.
+func (tg *TripleGroup) Encode() []byte {
+	buf := codec.AppendString(nil, tg.Subject)
+	buf = codec.AppendUvarint(buf, uint64(len(tg.Triples)))
+	for _, t := range tg.Triples {
+		buf = codec.AppendString(buf, t.Prop)
+		buf = codec.AppendString(buf, t.Obj)
+	}
+	return buf
+}
+
+// DecodeTripleGroup parses a triplegroup written by Encode, returning the
+// remaining buffer (triplegroups nest inside annotated triplegroups).
+func DecodeTripleGroup(buf []byte) (TripleGroup, []byte, error) {
+	var tg TripleGroup
+	var err error
+	tg.Subject, buf, err = codec.ReadString(buf)
+	if err != nil {
+		return tg, nil, fmt.Errorf("ntga: triplegroup subject: %w", err)
+	}
+	n, buf, err := codec.ReadUvarint(buf)
+	if err != nil {
+		return tg, nil, fmt.Errorf("ntga: triplegroup arity: %w", err)
+	}
+	if n > 0 {
+		tg.Triples = make([]PO, n)
+	}
+	for i := range tg.Triples {
+		tg.Triples[i].Prop, buf, err = codec.ReadString(buf)
+		if err != nil {
+			return tg, nil, fmt.Errorf("ntga: triple %d property: %w", i, err)
+		}
+		tg.Triples[i].Obj, buf, err = codec.ReadString(buf)
+		if err != nil {
+			return tg, nil, fmt.Errorf("ntga: triple %d object: %w", i, err)
+		}
+	}
+	return tg, buf, nil
+}
+
+// GroupBySubject builds subject triplegroups from a graph, ordered by
+// subject key for determinism.
+func GroupBySubject(g *rdf.Graph) []TripleGroup {
+	bySubject := map[string]*TripleGroup{}
+	var order []string
+	for _, t := range g.Triples {
+		key := t.Subject.Key()
+		tg, ok := bySubject[key]
+		if !ok {
+			tg = &TripleGroup{Subject: key}
+			bySubject[key] = tg
+			order = append(order, key)
+		}
+		tg.Triples = append(tg.Triples, PO{Prop: t.Property.Value, Obj: t.Object.Key()})
+	}
+	sort.Strings(order)
+	out := make([]TripleGroup, len(order))
+	for i, key := range order {
+		out[i] = *bySubject[key]
+	}
+	return out
+}
+
+// AnnTG is an annotated (possibly joined) triplegroup: one component
+// triplegroup per composite star already matched. It is the value type
+// flowing through the NTGA physical operators (the paper's AnnTG).
+type AnnTG struct {
+	// Stars lists the composite-star indexes present, ascending.
+	Stars []int
+	// TGs holds the component triplegroups, parallel to Stars.
+	TGs []TripleGroup
+}
+
+// NewAnnTG wraps a single star's triplegroup.
+func NewAnnTG(star int, tg TripleGroup) AnnTG {
+	return AnnTG{Stars: []int{star}, TGs: []TripleGroup{tg}}
+}
+
+// Component returns the triplegroup for the given star index.
+func (a *AnnTG) Component(star int) (TripleGroup, bool) {
+	for i, s := range a.Stars {
+		if s == star {
+			return a.TGs[i], true
+		}
+	}
+	return TripleGroup{}, false
+}
+
+// Merge combines two joined triplegroups with disjoint star sets.
+func Merge(a, b AnnTG) AnnTG {
+	out := AnnTG{
+		Stars: make([]int, 0, len(a.Stars)+len(b.Stars)),
+		TGs:   make([]TripleGroup, 0, len(a.TGs)+len(b.TGs)),
+	}
+	i, j := 0, 0
+	for i < len(a.Stars) && j < len(b.Stars) {
+		if a.Stars[i] < b.Stars[j] {
+			out.Stars = append(out.Stars, a.Stars[i])
+			out.TGs = append(out.TGs, a.TGs[i])
+			i++
+		} else {
+			out.Stars = append(out.Stars, b.Stars[j])
+			out.TGs = append(out.TGs, b.TGs[j])
+			j++
+		}
+	}
+	for ; i < len(a.Stars); i++ {
+		out.Stars = append(out.Stars, a.Stars[i])
+		out.TGs = append(out.TGs, a.TGs[i])
+	}
+	for ; j < len(b.Stars); j++ {
+		out.Stars = append(out.Stars, b.Stars[j])
+		out.TGs = append(out.TGs, b.TGs[j])
+	}
+	return out
+}
+
+// Encode serialises the annotated triplegroup.
+func (a *AnnTG) Encode() []byte {
+	buf := codec.AppendUvarint(nil, uint64(len(a.Stars)))
+	for i, s := range a.Stars {
+		buf = codec.AppendUvarint(buf, uint64(s))
+		buf = append(buf, a.TGs[i].Encode()...)
+	}
+	return buf
+}
+
+// DecodeAnnTG parses an annotated triplegroup written by Encode.
+func DecodeAnnTG(buf []byte) (AnnTG, error) {
+	n, buf, err := codec.ReadUvarint(buf)
+	if err != nil {
+		return AnnTG{}, fmt.Errorf("ntga: anntg arity: %w", err)
+	}
+	a := AnnTG{Stars: make([]int, n), TGs: make([]TripleGroup, n)}
+	for i := 0; i < int(n); i++ {
+		s, rest, err := codec.ReadUvarint(buf)
+		if err != nil {
+			return AnnTG{}, fmt.Errorf("ntga: anntg star %d: %w", i, err)
+		}
+		a.Stars[i] = int(s)
+		a.TGs[i], rest, err = DecodeTripleGroup(rest)
+		if err != nil {
+			return AnnTG{}, err
+		}
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return AnnTG{}, fmt.Errorf("ntga: %d trailing bytes after anntg", len(buf))
+	}
+	return a, nil
+}

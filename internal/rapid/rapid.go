@@ -1,0 +1,213 @@
+// Package rapid implements RAPID+ (Naive): the NTGA baseline that evaluates
+// each graph pattern of an analytical query sequentially — triplegroup
+// formation and star filtering fused into map phases, one TG_Join cycle per
+// inter-star edge, one grouping-aggregation cycle per subquery, and a final
+// map-only join of the aggregated results (the paper's [25, 33]).
+//
+// Compared with the Hive engines, all of a star pattern's joins happen for
+// free (triples arrive pre-grouped by subject); compared with
+// RAPIDAnalytics, nothing is shared between the overlapping graph patterns.
+package rapid
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+	"rapidanalytics/internal/tgops"
+)
+
+var runSeq atomic.Int64
+
+// Engine is the RAPID+ (Naive) engine.
+type Engine struct{}
+
+// New returns the engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "RAPID+ (Naive)" }
+
+// Execute implements engine.Engine.
+func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, error) {
+	run := engine.NewRunner(c, fmt.Sprintf("tmp/rapid/%d", runSeq.Add(1)))
+	var aggFiles []string
+	for k, sq := range aq.Subqueries {
+		file, err := evalSubquery(run, ds, sq, k, false, true)
+		if err != nil {
+			return nil, run.WM, err
+		}
+		aggFiles = append(aggFiles, file)
+	}
+	return engine.FinishQuery(run, aq, aggFiles)
+}
+
+// evalSubquery evaluates one subquery over the triplegroup store: pattern
+// matching via TG joins, then one grouping-aggregation cycle. hashAgg
+// selects map-side hash pre-aggregation (RAPIDAnalytics' single-grouping
+// path) over the plain combiner (RAPID+).
+func evalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune bool) (string, error) {
+	gp := sq.Pattern
+	src, err := matchPattern(run, ds, gp, fmt.Sprintf("gp%d", k), nil, prune)
+	if err != nil {
+		return "", err
+	}
+	spec := tgops.AggJoinSpec{
+		ID:             k,
+		GroupVars:      sq.GroupBy,
+		Aggs:           sq.Aggs,
+		TPs:            starTriples(gp),
+		OptTPs:         starOptionals(gp),
+		Having:         GroupedHaving(sq),
+		BindingFilters: unboundFilters(gp),
+	}
+	out := run.Path(fmt.Sprintf("gp%d-agg", k))
+	job := tgops.AggJoinJob(fmt.Sprintf("gp%d-agg", k), src, []tgops.AggJoinSpec{spec}, false, hashAgg, out)
+	if err := run.Exec(job); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// matchPattern runs the TG join chain for a plain (non-composite) graph
+// pattern and returns the source of matched (annotated) triplegroups. A
+// single-star pattern needs no join cycle: the filtered scan feeds the next
+// operator directly. cp, when non-nil, enables α filtering during joins
+// (used by RAPIDAnalytics; nil here).
+func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPattern, tag string, cp *algebra.CompositePattern, prune bool) (tgops.Source, error) {
+	scans := make([]tgops.Source, len(gp.Stars))
+	for i, st := range gp.Stars {
+		scans[i] = starScan(ds, i, st, gp.Filters, prune)
+	}
+	order, err := algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		return tgops.Source{}, err
+	}
+	return JoinChain(run, scans, order, tag, cp)
+}
+
+// JoinChain executes the ordered TG (α-)join cycles; the accumulated side
+// starts from star 0 (the JoinOrder contract). Exported for the
+// RAPIDAnalytics planner, which drives the same physical joins over a
+// composite pattern.
+func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, cp *algebra.CompositePattern) (tgops.Source, error) {
+	acc := scans[0]
+	for i, edge := range order {
+		leftEp := tgops.Endpoint{Star: edge.Left, Role: edge.LeftRole, Props: edge.LeftProps}
+		rightEp := tgops.Endpoint{Star: edge.Right, Role: edge.RightRole, Props: edge.RightProps}
+		out := run.Path(fmt.Sprintf("%s-join%d", tag, i))
+		job := tgops.AlphaJoinJob(
+			fmt.Sprintf("%s-join%d", tag, i),
+			tgops.JoinSide{Src: acc, Ep: leftEp},
+			tgops.JoinSide{Src: scans[edge.Right], Ep: rightEp},
+			cp, out)
+		if err := run.Exec(job); err != nil {
+			return tgops.Source{}, err
+		}
+		acc = tgops.Source{Files: []string{out}}
+	}
+	return acc, nil
+}
+
+// starScan builds the TG_OptGrpFilter-fused scan for one star of a plain
+// pattern: every property is primary, and FILTERs on the star's object
+// variables apply at triple level.
+// starScan builds the TG_OptGrpFilter-fused scan for one star. With prune,
+// inputs are limited to the equivalence classes that can match the star's
+// bound primaries — the paper's pre-processing benefit ("rdf:type triples
+// ... grouped based on prefixes"); without, every class is scanned.
+func starScan(ds *engine.Dataset, star int, st *algebra.StarPattern, filters []sparql.Filter, prune bool) tgops.Source {
+	prim := st.Props()
+	spec := &tgops.ScanSpec{
+		Star:    star,
+		Prim:    prim,
+		Opt:     st.OptionalRefs(),
+		Filters: propFilters(st.Triples, filters),
+		KeepAll: st.HasUnbound(),
+	}
+	files := ds.TG.FilesFor(prim)
+	if !prune {
+		files = ds.TG.AllFiles()
+	}
+	return tgops.Source{Files: files, Scan: spec}
+}
+
+// propFilters maps FILTER constraints onto the bound properties whose
+// objects bind the filtered variables. Filters on unbound-pattern variables
+// are excluded: they apply per solution instead (unboundFilters).
+func propFilters(tps []sparql.TriplePattern, filters []sparql.Filter) []tgops.PropFilter {
+	var out []tgops.PropFilter
+	for _, f := range filters {
+		for _, tp := range tps {
+			if !tp.P.IsVar && tp.O.IsVar && tp.O.Var == f.Var {
+				out = append(out, tgops.PropFilter{Prop: tp.P.Term.Value, Filter: f})
+			}
+		}
+	}
+	return out
+}
+
+// unboundFilters selects the FILTER constraints that reference an
+// unbound-property pattern's variables anywhere in the graph pattern.
+func unboundFilters(gp *algebra.GraphPattern) []sparql.Filter {
+	unboundVars := map[string]bool{}
+	for _, st := range gp.Stars {
+		for _, tp := range st.Triples {
+			if !tp.P.IsVar {
+				continue
+			}
+			unboundVars[tp.P.Var] = true
+			if tp.O.IsVar {
+				unboundVars[tp.O.Var] = true
+			}
+		}
+	}
+	var out []sparql.Filter
+	for _, f := range gp.Filters {
+		if unboundVars[f.Var] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// starTriples groups a plain pattern's required triple patterns by star
+// index, the form binding enumeration consumes.
+func starTriples(gp *algebra.GraphPattern) map[int][]sparql.TriplePattern {
+	out := map[int][]sparql.TriplePattern{}
+	for i, st := range gp.Stars {
+		out[i] = st.Triples
+	}
+	return out
+}
+
+// starOptionals groups a pattern's OPTIONAL triple patterns by star index.
+func starOptionals(gp *algebra.GraphPattern) map[int][]sparql.TriplePattern {
+	out := map[int][]sparql.TriplePattern{}
+	for i, st := range gp.Stars {
+		if len(st.Optionals) > 0 {
+			out[i] = st.Optionals
+		}
+	}
+	return out
+}
+
+// GroupedHaving returns the HAVING predicate applied during grouped
+// aggregation; GROUP BY ALL subqueries defer it to the post-default-row
+// repair (engine.ApplyGroupByAllHaving).
+func GroupedHaving(sq *algebra.Subquery) func([]string) bool {
+	if sq.GroupByAll() || len(sq.Having) == 0 {
+		return nil
+	}
+	return sq.HavingPassed
+}
+
+// EvalSubquery exposes the single-subquery path for RAPIDAnalytics'
+// single-grouping queries (identical workflow, hash aggregation and input
+// pruning configurable).
+func EvalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune bool) (string, error) {
+	return evalSubquery(run, ds, sq, k, hashAgg, prune)
+}

@@ -1,0 +1,182 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples serialises the graph in N-Triples format, one statement per
+// line.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses an N-Triples document. It accepts the subset of the
+// grammar produced by WriteNTriples and by common exporters: IRIs in angle
+// brackets, plain and language-tagged/typed literals (tags and datatypes are
+// dropped), blank nodes, comments and blank lines.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := &Graph{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		g.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseNTLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("property: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), ".") {
+		return Triple{}, fmt.Errorf("missing terminating dot")
+	}
+	return Triple{Subject: s, Property: pr, Object: o}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) rest() string { return p.in[p.pos:] }
+
+func (p *ntParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		v := p.in[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return NewIRI(v), nil
+	case '_':
+		if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		start := p.pos + 2
+		end := start
+		for end < len(p.in) && p.in[end] != ' ' && p.in[end] != '\t' {
+			end++
+		}
+		v := p.in[start:end]
+		p.pos = end
+		if v == "" {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		return NewBlank(v), nil
+	case '"':
+		v, n, err := unescapeQuoted(p.in[p.pos:])
+		if err != nil {
+			return Term{}, err
+		}
+		p.pos += n
+		// Drop optional language tag or datatype.
+		if strings.HasPrefix(p.rest(), "@") {
+			for p.pos < len(p.in) && p.in[p.pos] != ' ' && p.in[p.pos] != '\t' {
+				p.pos++
+			}
+		} else if strings.HasPrefix(p.rest(), "^^") {
+			p.pos += 2
+			if p.pos < len(p.in) && p.in[p.pos] == '<' {
+				end := strings.IndexByte(p.in[p.pos:], '>')
+				if end < 0 {
+					return Term{}, fmt.Errorf("unterminated datatype IRI")
+				}
+				p.pos += end + 1
+			}
+		}
+		return NewLiteral(v), nil
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.in[p.pos])
+	}
+}
+
+// unescapeQuoted parses a double-quoted, backslash-escaped string starting at
+// in[0] == '"'. It returns the unescaped value and the number of input bytes
+// consumed (including both quotes).
+func unescapeQuoted(in string) (string, int, error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", 0, fmt.Errorf("expected opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch in[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", in[i])
+			}
+			i++
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated literal")
+}

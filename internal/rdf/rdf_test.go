@@ -1,0 +1,161 @@
+package rdf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLiteral(`say "hi"`), `"say \"hi\""`},
+		{NewLiteral("a\nb\tc\\d"), `"a\nb\tc\\d"`},
+		{NewBlank("b0"), "_:b0"},
+	}
+	for _, tc := range tests {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestTermKeyRoundTrip(t *testing.T) {
+	terms := []Term{
+		NewIRI("http://ex.org/a"),
+		NewLiteral("42"),
+		NewLiteral(""),
+		NewBlank("x1"),
+	}
+	for _, tm := range terms {
+		got := TermFromKey(tm.Key())
+		if tm.Value == "" {
+			continue // empty values are invalid terms; Key is still total
+		}
+		if got != tm {
+			t.Errorf("TermFromKey(Key(%v)) = %v", tm, got)
+		}
+	}
+}
+
+func TestTermKeyDistinguishesKinds(t *testing.T) {
+	iri := NewIRI("x")
+	lit := NewLiteral("x")
+	bn := NewBlank("x")
+	if iri.Key() == lit.Key() || iri.Key() == bn.Key() || lit.Key() == bn.Key() {
+		t.Errorf("keys collide across kinds: %q %q %q", iri.Key(), lit.Key(), bn.Key())
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := &Graph{}
+	g.Add(
+		T(NewIRI("http://ex.org/p1"), TypeTerm, NewIRI("http://ex.org/Product")),
+		T(NewIRI("http://ex.org/p1"), NewIRI("http://ex.org/label"), NewLiteral("widget \"deluxe\"\nmodel")),
+		T(NewBlank("o1"), NewIRI("http://ex.org/price"), NewLiteral("42.5")),
+	)
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatalf("WriteNTriples: %v", err)
+	}
+	got, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if !reflect.DeepEqual(got.Triples, g.Triples) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got.Triples, g.Triples)
+	}
+}
+
+func TestNTriplesRoundTripQuick(t *testing.T) {
+	// Property: any literal value survives a write/read round trip.
+	f := func(s string) bool {
+		if !validUTF8NoControl(s) {
+			return true
+		}
+		g := &Graph{}
+		g.Add(T(NewIRI("http://e/s"), NewIRI("http://e/p"), NewLiteral(s)))
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadNTriples(&buf)
+		if err != nil {
+			return false
+		}
+		return len(got.Triples) == 1 && got.Triples[0].Object.Value == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validUTF8NoControl(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD || (r < 0x20 && r != '\n' && r != '\r' && r != '\t') {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNTriplesParsesForeignForms(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"",
+		`<http://e/s> <http://e/p> "x"@en .`,
+		`<http://e/s> <http://e/p> "12"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		`_:b1 <http://e/p> <http://e/o> .`,
+	}, "\n")
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("got %d triples, want 3", g.Len())
+	}
+	if g.Triples[0].Object != NewLiteral("x") {
+		t.Errorf("language tag not dropped: %v", g.Triples[0].Object)
+	}
+	if g.Triples[1].Object != NewLiteral("12") {
+		t.Errorf("datatype not dropped: %v", g.Triples[1].Object)
+	}
+	if g.Triples[2].Subject != NewBlank("b1") {
+		t.Errorf("blank node subject: %v", g.Triples[2].Subject)
+	}
+}
+
+func TestNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://e/s> <http://e/p> "x"`,     // missing dot
+		`<http://e/s> <http://e/p .`,        // unterminated IRI
+		`<http://e/s> <http://e/p> "x .`,    // unterminated literal
+		`<http://e/s> "lit" <http://e/o> .`, // literal property is fine syntactically but object missing? actually valid shape
+	}
+	for _, line := range bad[:3] {
+		if _, err := ReadNTriples(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestGraphProperties(t *testing.T) {
+	g := &Graph{}
+	p := NewIRI("http://e/p")
+	q := NewIRI("http://e/q")
+	g.Add(
+		T(NewIRI("http://e/s1"), p, NewLiteral("1")),
+		T(NewIRI("http://e/s2"), p, NewLiteral("2")),
+		T(NewIRI("http://e/s1"), q, NewLiteral("3")),
+	)
+	props := g.Properties()
+	if props["http://e/p"] != 2 || props["http://e/q"] != 1 {
+		t.Errorf("Properties() = %v", props)
+	}
+}

@@ -1,0 +1,173 @@
+// Package rdf provides the core RDF data model used throughout the system:
+// terms (IRIs, literals, blank nodes), triples, and an N-Triples
+// reader/writer. The model is deliberately lexical — values are strings and
+// numeric interpretation happens at filter/aggregation time — matching how
+// the paper's systems (Hive over text/ORC tables, Pig triplegroups) treat
+// RDF terms.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is an internationalized resource identifier.
+	IRI TermKind = iota
+	// Literal is an RDF literal. Only plain (string) literals are needed by
+	// the analytical workloads; numeric interpretation is lexical.
+	Literal
+	// Blank is a blank node with a local label.
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term. The zero Term is an empty IRI and is treated as
+// invalid by Valid.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewBlank returns a blank-node term with the given label (without the "_:"
+// prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// Valid reports whether the term has a non-empty value.
+func (t Term) Valid() bool { return t.Value != "" }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// String renders the term in N-Triples surface syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return `"` + escapeLiteral(t.Value) + `"`
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return t.Value
+	}
+}
+
+// Key returns a compact string that uniquely identifies the term across
+// kinds. It is used as a join/grouping key; two terms are join-equal iff
+// their keys are equal.
+func (t Term) Key() string {
+	switch t.Kind {
+	case Literal:
+		return "L" + t.Value
+	case Blank:
+		return "B" + t.Value
+	default:
+		return "I" + t.Value
+	}
+}
+
+// TermFromKey reverses Term.Key.
+func TermFromKey(k string) Term {
+	if k == "" {
+		return Term{}
+	}
+	switch k[0] {
+	case 'L':
+		return NewLiteral(k[1:])
+	case 'B':
+		return NewBlank(k[1:])
+	default:
+		return NewIRI(k[1:])
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	Subject  Term
+	Property Term // called Predicate in RDF specs; the paper says Property
+	Object   Term
+}
+
+// T is a convenience constructor for a triple of IRIs/literals.
+func T(s, p Term, o Term) Triple { return Triple{Subject: s, Property: p, Object: o} }
+
+// String renders the triple in N-Triples syntax (without the trailing dot).
+func (t Triple) String() string {
+	return t.Subject.String() + " " + t.Property.String() + " " + t.Object.String()
+}
+
+// RDFType is the rdf:type property IRI.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// TypeTerm is the rdf:type property as a Term.
+var TypeTerm = NewIRI(RDFType)
+
+// Graph is an in-memory bag of triples. It is the substrate the reference
+// implementation queries directly and the input to the store loaders.
+type Graph struct {
+	Triples []Triple
+}
+
+// Add appends triples to the graph.
+func (g *Graph) Add(ts ...Triple) { g.Triples = append(g.Triples, ts...) }
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.Triples) }
+
+// Properties returns the set of distinct property IRIs in the graph.
+func (g *Graph) Properties() map[string]int {
+	m := make(map[string]int)
+	for _, t := range g.Triples {
+		m[t.Property.Value]++
+	}
+	return m
+}

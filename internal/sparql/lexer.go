@@ -1,0 +1,233 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind identifies lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF    tokenKind = iota
+	tokIdent            // bare identifier or keyword (SELECT, WHERE, a, regex, ...)
+	tokVar              // ?name
+	tokIRI              // <...>
+	tokPName            // prefix:local (prefix may be empty)
+	tokString           // "..."
+	tokNumber           // 123 or 1.5
+	tokPunct            // one of { } ( ) ; . , and operators
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokIRI:
+		return "IRI"
+	case tokPName:
+		return "prefixed name"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokPunct:
+		return "punctuation"
+	default:
+		return "token"
+	}
+}
+
+// token is a single lexical token. Text holds the semantic payload: the
+// variable name without '?', the IRI without angle brackets, the unquoted
+// string, the raw prefixed name, or the punctuation/operator itself.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenises a SPARQL query string.
+type lexer struct {
+	in   string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("sparql: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.in); i++ {
+		if l.in[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.in[l.pos]
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+	switch {
+	case c == '?' || c == '$':
+		l.advance(1)
+		name := l.takeWhile(isNameChar)
+		if name == "" {
+			return token{}, l.errorf("empty variable name")
+		}
+		return mk(tokVar, name), nil
+	case c == '<':
+		end := strings.IndexByte(l.in[l.pos:], '>')
+		if end < 0 {
+			return token{}, l.errorf("unterminated IRI")
+		}
+		iri := l.in[l.pos+1 : l.pos+end]
+		l.advance(end + 1)
+		return mk(tokIRI, iri), nil
+	case c == '"':
+		val, n, err := unescapeString(l.in[l.pos:])
+		if err != nil {
+			return token{}, l.errorf("%v", err)
+		}
+		l.advance(n)
+		return mk(tokString, val), nil
+	case c >= '0' && c <= '9':
+		num := l.takeWhile(func(r byte) bool { return r >= '0' && r <= '9' || r == '.' })
+		return mk(tokNumber, num), nil
+	case isNameStart(c):
+		word := l.takeWhile(isNameChar)
+		if l.pos < len(l.in) && l.in[l.pos] == ':' {
+			// prefixed name: prefix ':' local
+			l.advance(1)
+			local := l.takeWhile(isNameChar)
+			return mk(tokPName, word+":"+local), nil
+		}
+		return mk(tokIdent, word), nil
+	case c == ':':
+		// default-prefix name
+		l.advance(1)
+		local := l.takeWhile(isNameChar)
+		return mk(tokPName, ":"+local), nil
+	default:
+		// punctuation and operators, longest match first
+		two := ""
+		if l.pos+1 < len(l.in) {
+			two = l.in[l.pos : l.pos+2]
+		}
+		switch two {
+		case ">=", "<=", "!=", "&&", "||":
+			l.advance(2)
+			return mk(tokPunct, two), nil
+		}
+		switch c {
+		case '{', '}', '(', ')', ';', '.', ',', '*', '/', '+', '-', '=', '<', '>':
+			l.advance(1)
+			return mk(tokPunct, string(c)), nil
+		}
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) takeWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.in) && pred(l.in[l.pos]) {
+		l.advance(1)
+	}
+	return l.in[start:l.pos]
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+// unescapeString parses a double-quoted string starting at in[0] == '"',
+// returning the value and the number of bytes consumed.
+func unescapeString(in string) (string, int, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		switch in[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in string")
+			}
+			i++
+			switch in[i] {
+			case '"', '\\':
+				b.WriteByte(in[i])
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", in[i])
+			}
+			i++
+		default:
+			b.WriteByte(in[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated string")
+}
+
+// keywordEq reports whether the identifier token text equals the keyword,
+// case-insensitively (SPARQL keywords are case-insensitive).
+func keywordEq(text, kw string) bool {
+	return strings.EqualFold(text, kw)
+}
+
+// isKeyword reports whether text equals any of the given keywords.
+func isKeyword(text string, kws ...string) bool {
+	for _, kw := range kws {
+		if keywordEq(text, kw) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/dfs"
+	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func storeGraph() *rdf.Graph {
+	g := &rdf.Graph{}
+	g.Add(
+		rdf.T(iri("p1"), rdf.TypeTerm, iri("PT1")),
+		rdf.T(iri("p1"), iri("label"), lit("one")),
+		rdf.T(iri("p1"), iri("pf"), iri("f1")),
+		rdf.T(iri("p2"), rdf.TypeTerm, iri("PT2")),
+		rdf.T(iri("p2"), iri("label"), lit("two")),
+		rdf.T(iri("o1"), iri("product"), iri("p1")),
+		rdf.T(iri("o1"), iri("price"), lit("10")),
+	)
+	return g
+}
+
+func TestBuildVP(t *testing.T) {
+	fs := dfs.New()
+	vp := BuildVP(fs, storeGraph(), "t/vp")
+	// One table per non-type property.
+	for _, prop := range []string{"label", "pf", "product", "price"} {
+		file, isType, ok := vp.TableFor(algebra.PropRef{Prop: "http://e/" + prop})
+		if !ok || isType {
+			t.Fatalf("TableFor(%s) = %q, %v, %v", prop, file, isType, ok)
+		}
+		f, err := fs.Open(file)
+		if err != nil {
+			t.Fatalf("open %s: %v", file, err)
+		}
+		if f.NumRecords() == 0 {
+			t.Errorf("%s table empty", prop)
+		}
+		// ORC-style compression applies.
+		if f.StoredBytes() >= f.Bytes {
+			t.Errorf("%s table not compressed: stored %d >= logical %d", prop, f.StoredBytes(), f.Bytes)
+		}
+		// Rows decode as (subject, object) tuples.
+		tu, err := codec.DecodeTuple(f.Records[0])
+		if err != nil || len(tu) != 2 {
+			t.Errorf("%s row = %v, %v", prop, tu, err)
+		}
+	}
+	// rdf:type triples land in per-object partitions of 1-column rows.
+	for _, typ := range []string{"PT1", "PT2"} {
+		file, isType, ok := vp.TableFor(algebra.PropRef{Prop: rdf.RDFType, Obj: iri(typ)})
+		if !ok || !isType {
+			t.Fatalf("TableFor(type=%s) = %v %v", typ, isType, ok)
+		}
+		f, err := fs.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumRecords() != 1 {
+			t.Errorf("type partition %s rows = %d", typ, f.NumRecords())
+		}
+		tu, err := codec.DecodeTuple(f.Records[0])
+		if err != nil || len(tu) != 1 {
+			t.Errorf("type row = %v, %v", tu, err)
+		}
+	}
+	// Missing tables are reported.
+	if _, _, ok := vp.TableFor(algebra.PropRef{Prop: "http://e/nope"}); ok {
+		t.Error("TableFor accepted a missing property")
+	}
+	if vp.Rows[vp.Tables["http://e/label"]] != 2 {
+		t.Errorf("label row count = %d, want 2", vp.Rows[vp.Tables["http://e/label"]])
+	}
+}
+
+func TestBuildTGEquivalenceClasses(t *testing.T) {
+	fs := dfs.New()
+	tg := BuildTG(fs, storeGraph(), "t/tg")
+	// p1 {type=PT1, label, pf}, p2 {type=PT2, label}, o1 {product, price}:
+	// three distinct equivalence classes.
+	if len(tg.Files) != 3 {
+		t.Fatalf("equivalence classes = %d, want 3", len(tg.Files))
+	}
+	total := 0
+	for _, f := range tg.Files {
+		df, err := fs.Open(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range df.Records {
+			g, rest, err := ntga.DecodeTripleGroup(rec)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("triplegroup decode: %v", err)
+			}
+			total += len(g.Triples)
+		}
+	}
+	if total != storeGraph().Len() {
+		t.Errorf("triples in store = %d, want %d", total, storeGraph().Len())
+	}
+}
+
+func TestFilesForPruning(t *testing.T) {
+	fs := dfs.New()
+	tg := BuildTG(fs, storeGraph(), "t/tg")
+	// The offer star {product, price} matches exactly one class.
+	offer := tg.FilesFor([]algebra.PropRef{{Prop: "http://e/product"}, {Prop: "http://e/price"}})
+	if len(offer) != 1 {
+		t.Errorf("offer files = %v", offer)
+	}
+	// A type-constrained star prunes by type object: PT1 matches only p1's
+	// class, even though both product classes have label.
+	pt1 := tg.FilesFor([]algebra.PropRef{
+		{Prop: rdf.RDFType, Obj: iri("PT1")},
+		{Prop: "http://e/label"},
+	})
+	if len(pt1) != 1 {
+		t.Errorf("PT1 files = %v", pt1)
+	}
+	pt9 := tg.FilesFor([]algebra.PropRef{{Prop: rdf.RDFType, Obj: iri("PT9")}})
+	if len(pt9) != 0 {
+		t.Errorf("PT9 files = %v, want none", pt9)
+	}
+	// Label-only stars match both product classes.
+	label := tg.FilesFor([]algebra.PropRef{{Prop: "http://e/label"}})
+	if len(label) != 2 {
+		t.Errorf("label files = %v", label)
+	}
+	// Non-type constant-object refs prune on the property only.
+	cobj := tg.FilesFor([]algebra.PropRef{{Prop: "http://e/label", Obj: lit("one")}})
+	if len(cobj) != 2 {
+		t.Errorf("constant-object label files = %v, want both classes", cobj)
+	}
+}
+
+func TestECKeyForRef(t *testing.T) {
+	typeRef := algebra.PropRef{Prop: rdf.RDFType, Obj: iri("PT1")}
+	if got := ECKeyForRef(typeRef); got != "type="+iri("PT1").Key() {
+		t.Errorf("type key = %q", got)
+	}
+	plain := algebra.PropRef{Prop: "http://e/p", Obj: lit("x")}
+	if got := ECKeyForRef(plain); got != "http://e/p" {
+		t.Errorf("plain key = %q", got)
+	}
+}
+
+func TestSanitizeDistinct(t *testing.T) {
+	// Different IRIs with the same local name must not collide.
+	a := sanitize("http://a.org/ns#price")
+	b := sanitize("http://b.org/ns#price")
+	if a == b {
+		t.Errorf("sanitize collision: %q", a)
+	}
+}

@@ -1,0 +1,430 @@
+// Package tgops provides the NTGA physical operators as MapReduce jobs:
+// TG_OptGrpFilter-fused triplegroup scans, TG_AlphaJoin (Algorithm 2), and
+// TG_AgJ with map-side hash pre-aggregation (Algorithm 3). Both NTGA
+// engines — RAPID+ (Naive) and RAPIDAnalytics — compose their workflows
+// from these builders.
+package tgops
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/sparql"
+)
+
+// PropFilter applies a FILTER constraint at triplegroup level: triples of
+// Prop whose objects fail the filter are removed (bindings over the
+// remaining triples implement per-solution filter semantics).
+type PropFilter struct {
+	Prop   string
+	Filter sparql.Filter
+}
+
+// ScanSpec describes a TG_OptGrpFilter-fused scan of raw triplegroup files
+// for one (composite) star: project to Prim ∪ Opt, require all of Prim,
+// apply property-level filters.
+type ScanSpec struct {
+	Star    int
+	Prim    []algebra.PropRef
+	Opt     []algebra.PropRef
+	Filters []PropFilter
+	// KeepAll skips the projection onto Prim ∪ Opt: the star contains an
+	// unbound-property pattern, so every triple of the subject is relevant.
+	KeepAll bool
+}
+
+// Source is a job input: either raw triplegroup files with a scan spec, or
+// an intermediate file of annotated (joined) triplegroups.
+type Source struct {
+	Files []string
+	// Scan is non-nil for raw triplegroup inputs.
+	Scan *ScanSpec
+}
+
+// annTGOf decodes one record of the source into an annotated triplegroup.
+// Raw triplegroups pass through TG_OptGrpFilter first; the second result is
+// false when the record is filtered out.
+func (s *Source) annTGOf(rec []byte) (ntga.AnnTG, bool, error) {
+	if s.Scan == nil {
+		a, err := ntga.DecodeAnnTG(rec)
+		if err != nil {
+			return ntga.AnnTG{}, false, err
+		}
+		return a, true, nil
+	}
+	tg, rest, err := ntga.DecodeTripleGroup(rec)
+	if err != nil {
+		return ntga.AnnTG{}, false, err
+	}
+	if len(rest) != 0 {
+		return ntga.AnnTG{}, false, fmt.Errorf("tgops: %d trailing bytes after triplegroup", len(rest))
+	}
+	var out ntga.TripleGroup
+	var ok bool
+	if s.Scan.KeepAll {
+		// Unbound-property star: validate the bound primaries, keep every
+		// triple.
+		out, ok = tg, true
+		for _, ref := range s.Scan.Prim {
+			if !tg.HasRef(ref) {
+				ok = false
+				break
+			}
+		}
+	} else {
+		out, ok = ntga.OptGroupFilter(tg, s.Scan.Prim, s.Scan.Opt)
+	}
+	if !ok {
+		return ntga.AnnTG{}, false, nil
+	}
+	if len(s.Scan.Filters) > 0 {
+		out, ok = applyPropFilters(out, s.Scan)
+		if !ok {
+			return ntga.AnnTG{}, false, nil
+		}
+	}
+	return ntga.NewAnnTG(s.Scan.Star, out), true, nil
+}
+
+// applyPropFilters drops triples whose objects fail a filter; the
+// triplegroup survives only if every primary property retains at least one
+// triple.
+func applyPropFilters(tg ntga.TripleGroup, spec *ScanSpec) (ntga.TripleGroup, bool) {
+	out := ntga.TripleGroup{Subject: tg.Subject}
+	for _, po := range tg.Triples {
+		keep := true
+		for _, pf := range spec.Filters {
+			if pf.Prop != po.Prop {
+				continue
+			}
+			ok, err := algebra.EvalFilter(pf.Filter, po.Obj)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Triples = append(out.Triples, po)
+		}
+	}
+	for _, ref := range spec.Prim {
+		if !out.HasRef(ref) {
+			return ntga.TripleGroup{}, false
+		}
+	}
+	return out, true
+}
+
+// Endpoint designates where a join variable lives in an annotated
+// triplegroup: the subject of a star, or the objects of carrying properties
+// within a star.
+type Endpoint struct {
+	Star  int
+	Role  algebra.Role
+	Props []algebra.PropRef
+}
+
+// joinKeys extracts the join key values at an endpoint — one per matching
+// object for multi-valued join properties (Algorithm 2's objList).
+func joinKeys(a *ntga.AnnTG, ep Endpoint) []string {
+	comp, ok := a.Component(ep.Star)
+	if !ok {
+		return nil
+	}
+	if ep.Role == algebra.RoleSubject {
+		return []string{comp.Subject}
+	}
+	var keys []string
+	seen := map[string]bool{}
+	for _, ref := range ep.Props {
+		for _, obj := range comp.Objects(ref.Prop) {
+			if !seen[obj] {
+				seen[obj] = true
+				keys = append(keys, obj)
+			}
+		}
+	}
+	return keys
+}
+
+// JoinSide couples an input source with its join endpoint.
+type JoinSide struct {
+	Src Source
+	Ep  Endpoint
+}
+
+// AlphaJoinJob builds the TG_AlphaJoin cycle (Algorithm 2): both sides are
+// tagged on their join keys and joined reduce-side; the joined triplegroup
+// is materialised only if it satisfies at least one original pattern's α
+// condition. A nil composite pattern disables the α check (RAPID+'s plain
+// TG_Join, and the α-ablation of RAPIDAnalytics).
+func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePattern, output string) *mapred.Job {
+	var inputs []string
+	seen := map[string]bool{}
+	for _, f := range append(append([]string{}, left.Src.Files...), right.Src.Files...) {
+		if !seen[f] {
+			seen[f] = true
+			inputs = append(inputs, f)
+		}
+	}
+	inFiles := func(files []string, name string) bool {
+		for _, f := range files {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	return &mapred.Job{
+		Name:   name,
+		Inputs: inputs,
+		Output: output,
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			var sides []struct {
+				side JoinSide
+				tag  byte
+			}
+			if inFiles(left.Src.Files, tc.InputFile) {
+				sides = append(sides, struct {
+					side JoinSide
+					tag  byte
+				}{left, 0})
+			}
+			if inFiles(right.Src.Files, tc.InputFile) {
+				sides = append(sides, struct {
+					side JoinSide
+					tag  byte
+				}{right, 1})
+			}
+			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
+				for _, s := range sides {
+					a, ok, err := s.side.Src.annTGOf(rec)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					enc := a.Encode()
+					for _, key := range joinKeys(&a, s.side.Ep) {
+						emit(key, append([]byte{s.tag}, enc...))
+					}
+				}
+				return nil
+			})
+		},
+		NewReducer: func() mapred.Reducer {
+			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
+				var ls, rs []ntga.AnnTG
+				for _, v := range values {
+					if len(v) < 1 {
+						return fmt.Errorf("tgops: empty α-join value")
+					}
+					a, err := ntga.DecodeAnnTG(v[1:])
+					if err != nil {
+						return err
+					}
+					if v[0] == 0 {
+						ls = append(ls, a)
+					} else {
+						rs = append(rs, a)
+					}
+				}
+				for i := range ls {
+					for j := range rs {
+						merged := ntga.Merge(ls[i], rs[j])
+						if cp == nil || ntga.SatisfiesAnyPattern(&merged, cp) {
+							emit("", merged.Encode())
+						}
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// AggJoinSpec is one grouping-aggregation requirement evaluated by a TG_AgJ
+// cycle: the spec's α condition, the triple patterns whose bindings feed
+// the grouping and aggregation variables, and the aggregation list.
+type AggJoinSpec struct {
+	// ID tags the spec's output rows (the subquery index).
+	ID int
+	// GroupVars are the grouping variables (composite names; empty = ALL).
+	GroupVars []string
+	// Aggs are the aggregations (Var in composite names).
+	Aggs []algebra.AggSpec
+	// TPs are the original pattern's canonical triple patterns per star.
+	TPs map[int][]sparql.TriplePattern
+	// OptTPs are the pattern's OPTIONAL triple patterns per star.
+	OptTPs map[int][]sparql.TriplePattern
+	// Alpha gates which triplegroups contribute (nil accepts all) —
+	// Figure 5's "pf ≠ ∅".
+	Alpha func(*ntga.AnnTG) bool
+	// Having drops groups whose final aggregate values fail the predicate
+	// (nil keeps all).
+	Having func([]string) bool
+	// BindingFilters are FILTER constraints evaluated per solution (used
+	// for variables of unbound-property patterns, where triple-level
+	// pushdown would drop triples other patterns need).
+	BindingFilters []sparql.Filter
+}
+
+// AggJoinJob builds the TG_AgJ cycle (Algorithm 3). With several specs it
+// is the generalised operator of Figure 6(b): all aggregations evaluate in
+// parallel within one cycle, keyed by id#group. With hashAgg the mapper
+// pre-aggregates into a task-wide hash map flushed at Map.clean();
+// otherwise per-solution partial states are merged by a combiner.
+//
+// Output rows are [id, group values..., finals...] when tagged, and
+// [group values..., finals...] otherwise (tagged must be true when more
+// than one spec is given).
+func AggJoinJob(name string, src Source, specs []AggJoinSpec, tagged, hashAgg bool, output string) *mapred.Job {
+	if !tagged && len(specs) != 1 {
+		panic("tgops: untagged AggJoinJob requires exactly one spec")
+	}
+	specByID := map[int]AggJoinSpec{}
+	for _, sp := range specs {
+		specByID[sp.ID] = sp
+	}
+	job := &mapred.Job{
+		Name:   name,
+		Inputs: src.Files,
+		Output: output,
+		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			m := &aggJoinMapper{src: src, specs: specs, tagged: tagged}
+			if hashAgg {
+				m.multiAggMap = map[string]*algebra.MultiAggState{}
+			}
+			return m
+		},
+		NewCombiner: func() mapred.Reducer {
+			return aggJoinMerger(specByID, tagged, false)
+		},
+		NewReducer: func() mapred.Reducer {
+			return aggJoinMerger(specByID, tagged, true)
+		},
+	}
+	return job
+}
+
+type aggJoinMapper struct {
+	src    Source
+	specs  []AggJoinSpec
+	tagged bool
+	// multiAggMap is the mapper-wide pre-aggregation table (Algorithm 3);
+	// nil disables hash aggregation.
+	multiAggMap map[string]*algebra.MultiAggState
+}
+
+func (m *aggJoinMapper) Map(rec []byte, emit mapred.Emit) error {
+	a, ok, err := m.src.annTGOf(rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	for _, sp := range m.specs {
+		if sp.Alpha != nil && !sp.Alpha(&a) {
+			continue
+		}
+		ntga.MatchPattern(&a, sp.TPs, sp.OptTPs, func(b ntga.Binding) {
+			for _, f := range sp.BindingFilters {
+				ok, err := algebra.EvalFilter(f, b[f.Var])
+				if err != nil || !ok {
+					return
+				}
+			}
+			keyParts := make([]string, 0, len(sp.GroupVars)+1)
+			if m.tagged {
+				keyParts = append(keyParts, strconv.Itoa(sp.ID))
+			}
+			for _, g := range sp.GroupVars {
+				if v, ok := b[g]; ok {
+					keyParts = append(keyParts, v)
+				} else {
+					keyParts = append(keyParts, algebra.Null)
+				}
+			}
+			key := strings.Join(keyParts, "\x1f")
+			if m.multiAggMap != nil {
+				st, ok := m.multiAggMap[key]
+				if !ok {
+					st = algebra.NewMultiAggState(sp.Aggs)
+					m.multiAggMap[key] = st
+				}
+				for i, ag := range sp.Aggs {
+					st.States[i].Update(b[ag.Var])
+				}
+				return
+			}
+			st := algebra.NewMultiAggState(sp.Aggs)
+			for i, ag := range sp.Aggs {
+				st.States[i].Update(b[ag.Var])
+			}
+			emit(key, []byte(st.Encode()))
+		})
+	}
+	return nil
+}
+
+// Close flushes the pre-aggregated entries — Algorithm 3's Map.clean().
+func (m *aggJoinMapper) Close(emit mapred.Emit) error {
+	for key, st := range m.multiAggMap {
+		emit(key, []byte(st.Encode()))
+	}
+	return nil
+}
+
+// aggJoinMerger merges partial states per key; as the reducer it emits the
+// final row.
+func aggJoinMerger(specByID map[int]AggJoinSpec, tagged, final bool) mapred.Reducer {
+	return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
+		var sp AggJoinSpec
+		if tagged {
+			idStr, _, _ := strings.Cut(key, "\x1f")
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				return fmt.Errorf("tgops: bad agg-join key %q", key)
+			}
+			var ok bool
+			sp, ok = specByID[id]
+			if !ok {
+				return fmt.Errorf("tgops: unknown agg-join id %d", id)
+			}
+		} else {
+			for _, s := range specByID {
+				sp = s
+			}
+		}
+		acc := algebra.NewMultiAggState(sp.Aggs)
+		for _, v := range values {
+			st, err := algebra.DecodeMultiAggState(string(v))
+			if err != nil {
+				return err
+			}
+			acc.Merge(st)
+		}
+		if !final {
+			emit(key, []byte(acc.Encode()))
+			return nil
+		}
+		finals := acc.Finals()
+		if sp.Having != nil && !sp.Having(finals) {
+			return nil
+		}
+		var row codec.Tuple
+		if key != "" {
+			row = append(row, strings.Split(key, "\x1f")...)
+		}
+		row = append(row, finals...)
+		emit("", row.Encode())
+		return nil
+	})
+}

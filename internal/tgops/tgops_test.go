@@ -1,0 +1,317 @@
+package tgops
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/rdf"
+	"rapidanalytics/internal/sparql"
+)
+
+func newCluster() *mapred.Cluster {
+	cfg := mapred.DefaultConfig()
+	cfg.ExecSplitBytes = 128
+	return mapred.NewCluster(cfg)
+}
+
+func writeTGs(c *mapred.Cluster, name string, tgs ...ntga.TripleGroup) {
+	w := c.FS.Create(name, 1)
+	for i := range tgs {
+		w.Write(tgs[i].Encode())
+	}
+}
+
+func tg(subject string, pos ...[2]string) ntga.TripleGroup {
+	g := ntga.TripleGroup{Subject: "I" + subject}
+	for _, po := range pos {
+		g.Triples = append(g.Triples, ntga.PO{Prop: po[0], Obj: po[1]})
+	}
+	return g
+}
+
+func readAnnTGs(t *testing.T, c *mapred.Cluster, name string) []ntga.AnnTG {
+	t.Helper()
+	f, err := c.FS.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]ntga.AnnTG, 0, f.NumRecords())
+	for _, rec := range f.Records {
+		a, err := ntga.DecodeAnnTG(rec)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Subject-object join between a product star and an offer star.
+func TestAlphaJoinSubjectObject(t *testing.T) {
+	c := newCluster()
+	writeTGs(c, "prods",
+		tg("p1", [2]string{"type", "IPT1"}, [2]string{"pf", "If1"}),
+		tg("p2", [2]string{"type", "IPT1"}),
+		tg("p3", [2]string{"type", "IPT9"}), // filtered by prim
+	)
+	writeTGs(c, "offers",
+		tg("o1", [2]string{"product", "Ip1"}, [2]string{"price", "L10"}),
+		tg("o2", [2]string{"product", "Ip2"}, [2]string{"price", "L20"}),
+		tg("o3", [2]string{"product", "Ip9"}, [2]string{"price", "L30"}), // dangling
+	)
+	left := JoinSide{
+		Src: Source{Files: []string{"prods"}, Scan: &ScanSpec{
+			Star: 0,
+			Prim: []algebra.PropRef{{Prop: "type", Obj: rdf.NewIRI("PT1")}},
+			Opt:  []algebra.PropRef{{Prop: "pf"}},
+		}},
+		Ep: Endpoint{Star: 0, Role: algebra.RoleSubject},
+	}
+	right := JoinSide{
+		Src: Source{Files: []string{"offers"}, Scan: &ScanSpec{
+			Star: 1,
+			Prim: []algebra.PropRef{{Prop: "product"}, {Prop: "price"}},
+		}},
+		Ep: Endpoint{Star: 1, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "product"}}},
+	}
+	job := AlphaJoinJob("j", left, right, nil, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	got := readAnnTGs(t, c, "out")
+	if len(got) != 2 {
+		t.Fatalf("joined = %d, want 2", len(got))
+	}
+	for _, a := range got {
+		if len(a.Stars) != 2 {
+			t.Errorf("joined stars = %v", a.Stars)
+		}
+	}
+}
+
+// Object-object joins emit one key per matching object (Algorithm 2's
+// objList) and join on value equality.
+func TestAlphaJoinObjectObject(t *testing.T) {
+	c := newCluster()
+	writeTGs(c, "bio",
+		tg("b1", [2]string{"gi", "L100"}, [2]string{"gi", "L200"}),
+	)
+	writeTGs(c, "prot",
+		tg("u1", [2]string{"gi", "L200"}),
+		tg("u2", [2]string{"gi", "L300"}),
+	)
+	left := JoinSide{
+		Src: Source{Files: []string{"bio"}, Scan: &ScanSpec{Star: 0, Prim: []algebra.PropRef{{Prop: "gi"}}}},
+		Ep:  Endpoint{Star: 0, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "gi"}}},
+	}
+	right := JoinSide{
+		Src: Source{Files: []string{"prot"}, Scan: &ScanSpec{Star: 1, Prim: []algebra.PropRef{{Prop: "gi"}}}},
+		Ep:  Endpoint{Star: 1, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "gi"}}},
+	}
+	if _, err := c.Run(AlphaJoinJob("j", left, right, nil, "out")); err != nil {
+		t.Fatal(err)
+	}
+	got := readAnnTGs(t, c, "out")
+	if len(got) != 1 {
+		t.Fatalf("joined = %d, want 1 (b1 ⋈ u1 via gi=200)", len(got))
+	}
+}
+
+// Both sides reading the same equivalence-class file must each see it.
+func TestAlphaJoinSharedFile(t *testing.T) {
+	c := newCluster()
+	// One class holds subjects with both p and q.
+	writeTGs(c, "shared",
+		tg("x1", [2]string{"p", "Iy1"}, [2]string{"q", "L5"}),
+		tg("y1", [2]string{"p", "Iz"}, [2]string{"q", "L7"}),
+	)
+	left := JoinSide{
+		Src: Source{Files: []string{"shared"}, Scan: &ScanSpec{Star: 0, Prim: []algebra.PropRef{{Prop: "p"}}}},
+		Ep:  Endpoint{Star: 0, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "p"}}},
+	}
+	right := JoinSide{
+		Src: Source{Files: []string{"shared"}, Scan: &ScanSpec{Star: 1, Prim: []algebra.PropRef{{Prop: "q"}}}},
+		Ep:  Endpoint{Star: 1, Role: algebra.RoleSubject},
+	}
+	job := AlphaJoinJob("j", left, right, nil, "out")
+	if len(job.Inputs) != 1 {
+		t.Fatalf("inputs = %v, want deduplicated", job.Inputs)
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	got := readAnnTGs(t, c, "out")
+	// x1's p object Iy1 joins y1's subject.
+	if len(got) != 1 {
+		t.Fatalf("joined = %d, want 1", len(got))
+	}
+	if comp, ok := got[0].Component(1); !ok || comp.Subject != "Iy1" {
+		t.Errorf("component 1 = %v, %v", comp, ok)
+	}
+}
+
+// Property-level filters drop triples and then whole triplegroups when a
+// primary property loses its last triple.
+func TestScanPropFilters(t *testing.T) {
+	spec := &ScanSpec{
+		Star: 0,
+		Prim: []algebra.PropRef{{Prop: "price"}},
+		Filters: []PropFilter{{
+			Prop:   "price",
+			Filter: sparql.Filter{Kind: sparql.FilterCompare, Var: "p", Op: ">", Value: "15", IsNumeric: true},
+		}},
+	}
+	src := Source{Scan: spec}
+	keep := tg("o1", [2]string{"price", "L10"}, [2]string{"price", "L20"})
+	a, ok, err := src.annTGOf(keep.Encode())
+	if err != nil || !ok {
+		t.Fatalf("annTGOf: %v %v", ok, err)
+	}
+	if len(a.TGs[0].Triples) != 1 || a.TGs[0].Triples[0].Obj != "L20" {
+		t.Errorf("filtered triples = %v", a.TGs[0].Triples)
+	}
+	drop := tg("o2", [2]string{"price", "L5"})
+	if _, ok, err := src.annTGOf(drop.Encode()); err != nil || ok {
+		t.Errorf("triplegroup with no surviving primary triple passed: %v %v", ok, err)
+	}
+}
+
+func aggSpecs(tagged bool) []AggJoinSpec {
+	tps := map[int][]sparql.TriplePattern{0: {
+		{S: sparql.V("s"), P: sparql.C(rdf.NewIRI("price")), O: sparql.V("pr")},
+	}}
+	count := []algebra.AggSpec{{Func: sparql.Count, Var: "pr", As: "cnt"}}
+	sum := []algebra.AggSpec{{Func: sparql.Sum, Var: "pr", As: "sum"}}
+	if !tagged {
+		return []AggJoinSpec{{ID: 0, GroupVars: []string{"s"}, Aggs: count, TPs: tps}}
+	}
+	return []AggJoinSpec{
+		{ID: 0, GroupVars: []string{"s"}, Aggs: count, TPs: tps},
+		{ID: 1, GroupVars: nil, Aggs: sum, TPs: tps},
+	}
+}
+
+func aggInput(c *mapred.Cluster) Source {
+	writeTGs(c, "in",
+		tg("a", [2]string{"price", "L10"}, [2]string{"price", "L20"}),
+		tg("b", [2]string{"price", "L5"}),
+	)
+	return Source{Files: []string{"in"}, Scan: &ScanSpec{Star: 0, Prim: []algebra.PropRef{{Prop: "price"}}}}
+}
+
+func readTuples(t *testing.T, c *mapred.Cluster, name string) []string {
+	t.Helper()
+	f, err := c.FS.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, rec := range f.Records {
+		tu, err := codec.DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, strings.Join(tu, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestAggJoinUntagged(t *testing.T) {
+	for _, hash := range []bool{false, true} {
+		c := newCluster()
+		src := aggInput(c)
+		job := AggJoinJob("agg", src, aggSpecs(false), false, hash, "out")
+		m, err := c.Run(job)
+		if err != nil {
+			t.Fatalf("hash=%v: %v", hash, err)
+		}
+		got := readTuples(t, c, "out")
+		want := []string{"Ia|2", "Ib|1"}
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("hash=%v: rows = %v", hash, got)
+		}
+		if m.MapEmitRecords == 0 {
+			t.Error("no emit accounting")
+		}
+	}
+}
+
+// Hash pre-aggregation emits fewer map records than the combiner path for
+// skewed groups — the Algorithm 3 benefit the cost model charges for.
+func TestAggJoinHashEmitsLess(t *testing.T) {
+	run := func(hash bool) int64 {
+		c := newCluster()
+		// All triples in one group: hash agg should emit once per task.
+		w := c.FS.Create("in", 1)
+		g := tg("only")
+		for i := 0; i < 50; i++ {
+			g.Triples = append(g.Triples, ntga.PO{Prop: "price", Obj: "L1"})
+		}
+		w.Write(g.Encode())
+		src := Source{Files: []string{"in"}, Scan: &ScanSpec{Star: 0, Prim: []algebra.PropRef{{Prop: "price"}}}}
+		m, err := c.Run(AggJoinJob("agg", src, aggSpecs(false), false, hash, "out"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MapEmitRecords
+	}
+	hashEmits, combEmits := run(true), run(false)
+	if hashEmits >= combEmits {
+		t.Errorf("hash agg emitted %d records, combiner path %d; want fewer", hashEmits, combEmits)
+	}
+}
+
+func TestAggJoinTaggedParallel(t *testing.T) {
+	c := newCluster()
+	src := aggInput(c)
+	job := AggJoinJob("agg", src, aggSpecs(true), true, true, "out")
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	got := readTuples(t, c, "out")
+	// id 0: per-subject counts; id 1: one SUM-ALL row (10+20+5=35).
+	want := []string{"0|Ia|2", "0|Ib|1", "1|35"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestAggJoinAlphaGate(t *testing.T) {
+	c := newCluster()
+	src := aggInput(c)
+	specs := aggSpecs(false)
+	specs[0].Alpha = func(a *ntga.AnnTG) bool { return a.TGs[0].Subject != "Ib" }
+	if _, err := c.Run(AggJoinJob("agg", src, specs, false, true, "out")); err != nil {
+		t.Fatal(err)
+	}
+	got := readTuples(t, c, "out")
+	if len(got) != 1 || got[0] != "Ia|2" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestAggJoinUntaggedRequiresSingleSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("untagged AggJoinJob with two specs did not panic")
+		}
+	}()
+	AggJoinJob("agg", Source{}, aggSpecs(true), false, true, "out")
+}
+
+func TestJoinKeysMissingStar(t *testing.T) {
+	a := ntga.NewAnnTG(0, tg("x", [2]string{"p", "Iy"}))
+	if keys := joinKeys(&a, Endpoint{Star: 3, Role: algebra.RoleSubject}); keys != nil {
+		t.Errorf("keys for missing star = %v", keys)
+	}
+	keys := joinKeys(&a, Endpoint{Star: 0, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "p"}}})
+	if len(keys) != 1 || keys[0] != "Iy" {
+		t.Errorf("object keys = %v", keys)
+	}
+}

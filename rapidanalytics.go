@@ -1,0 +1,539 @@
+// Package rapidanalytics is a Go implementation of RAPIDAnalytics, the
+// SPARQL analytical query optimizer of "Optimization of Complex SPARQL
+// Analytical Queries" (EDBT 2016), together with everything it runs on: a
+// simulated MapReduce cluster with an exact cost model, vertically
+// partitioned and triplegroup RDF storage, and the three baseline engines
+// the paper evaluates against (Hive Naive, Hive MQO, RAPID+).
+//
+// The central idea: an analytical query's related groupings range over
+// overlapping graph patterns. RAPIDAnalytics detects the overlap, rewrites
+// the patterns into one composite graph pattern evaluated once (sharing
+// scans and star joins), and computes all grouping-aggregations in a single
+// parallel Agg-Join cycle — e.g. 3 MapReduce cycles instead of Hive's 9 for
+// the paper's MG1.
+//
+// Quick start:
+//
+//	store := rapidanalytics.NewStore(rapidanalytics.DefaultOptions())
+//	store.Add("http://e/p1", "http://e/price", rapidanalytics.Literal("42"))
+//	...
+//	res, stats, err := store.Query(rapidanalytics.RAPIDAnalytics, sparqlText)
+//	fmt.Print(res)                 // result table
+//	fmt.Println(stats.MRCycles)    // how many MapReduce cycles it took
+package rapidanalytics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/core"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/hive"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/rapid"
+	"rapidanalytics/internal/rdf"
+	"rapidanalytics/internal/refimpl"
+	"rapidanalytics/internal/sparql"
+)
+
+// System identifies one of the four evaluated engines, plus the in-memory
+// reference evaluator.
+type System string
+
+// The available systems.
+const (
+	// RAPIDAnalytics is the paper's contribution: composite graph pattern
+	// rewriting with parallel triplegroup Agg-Joins.
+	RAPIDAnalytics System = "rapidanalytics"
+	// RAPIDPlus is the naive NTGA baseline (sequential pattern
+	// evaluation).
+	RAPIDPlus System = "rapid+"
+	// HiveNaive is the relational SPARQL→HiveQL-style baseline.
+	HiveNaive System = "hive-naive"
+	// HiveMQO is the multi-query-optimization rewriting baseline.
+	HiveMQO System = "hive-mqo"
+	// Reference evaluates the query directly in memory (no MapReduce); its
+	// Stats are zero. Used as the correctness oracle.
+	Reference System = "reference"
+)
+
+// Systems lists the MapReduce-backed systems in the paper's presentation
+// order.
+func Systems() []System {
+	return []System{HiveNaive, HiveMQO, RAPIDPlus, RAPIDAnalytics}
+}
+
+// Options configures the simulated cluster a store's queries run on.
+type Options struct {
+	// Nodes is the simulated cluster size (paper: 10, 50 or 60).
+	Nodes int
+	// DataScale extrapolates measured data volumes before cost modelling,
+	// so simulated seconds are comparable to a dataset DataScale times
+	// larger than the loaded one. 1 means no extrapolation.
+	DataScale float64
+	// MapJoinBytes is Hive's broadcast-join budget at paper scale
+	// (default: 25MB, hive.mapjoin.smalltable.filesize).
+	MapJoinBytes int64
+	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
+	RAPIDAnalyticsOptions *EngineFeatures
+}
+
+// EngineFeatures mirrors the RAPIDAnalytics design choices (all enabled in
+// the paper's configuration).
+type EngineFeatures struct {
+	ParallelAggregation bool
+	AlphaFiltering      bool
+	HashAggregation     bool
+	InputPruning        bool
+}
+
+// DefaultOptions returns a 10-node cluster with no data-scale
+// extrapolation.
+func DefaultOptions() Options {
+	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20}
+}
+
+// Term is an RDF term accepted by Store.Add.
+type Term struct {
+	value     string
+	isLiteral bool
+}
+
+// IRI makes an IRI term.
+func IRI(v string) Term { return Term{value: v} }
+
+// Literal makes a literal term.
+func Literal(v string) Term { return Term{value: v, isLiteral: true} }
+
+// Store holds an RDF graph and lazily materialises it into the simulated
+// cluster's storage layouts (vertical partitioning for the Hive engines, a
+// subject-triplegroup store for the NTGA engines) on first query.
+type Store struct {
+	opts  Options
+	graph *rdf.Graph
+
+	mu      sync.Mutex
+	cluster *mapred.Cluster
+	ds      *engine.Dataset
+	loads   int
+}
+
+// NewStore returns an empty store.
+func NewStore(opts Options) *Store {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 10
+	}
+	if opts.DataScale <= 0 {
+		opts.DataScale = 1
+	}
+	if opts.MapJoinBytes <= 0 {
+		opts.MapJoinBytes = 25 << 20
+	}
+	return &Store{opts: opts, graph: &rdf.Graph{}}
+}
+
+// Add appends one triple. The subject and property are IRIs.
+func (s *Store) Add(subject, property string, object Term) {
+	obj := rdf.NewIRI(object.value)
+	if object.isLiteral {
+		obj = rdf.NewLiteral(object.value)
+	}
+	s.graph.Add(rdf.T(rdf.NewIRI(subject), rdf.NewIRI(property), obj))
+	s.ds = nil // invalidate materialised layouts
+}
+
+// AddGraph appends a whole internal graph (used by the generators).
+func (s *Store) addGraph(g *rdf.Graph) {
+	s.graph.Add(g.Triples...)
+	s.ds = nil
+}
+
+// LoadNTriples reads an N-Triples document into the store.
+func (s *Store) LoadNTriples(r io.Reader) error {
+	g, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return err
+	}
+	s.addGraph(g)
+	return nil
+}
+
+// WriteNTriples serialises the store's graph.
+func (s *Store) WriteNTriples(w io.Writer) error {
+	return rdf.WriteNTriples(w, s.graph)
+}
+
+// NumTriples returns the number of loaded triples.
+func (s *Store) NumTriples() int { return s.graph.Len() }
+
+// ensureLoaded materialises the storage layouts. Concurrent queries share
+// one materialisation; mutations (Add/LoadNTriples) must not race with
+// queries.
+func (s *Store) ensureLoaded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ds != nil {
+		return
+	}
+	cfg := mapred.VCL10(s.opts.DataScale)
+	cfg.Nodes = s.opts.Nodes
+	s.cluster = mapred.NewCluster(cfg)
+	s.loads++
+	s.ds = engine.Load(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph)
+}
+
+// Stats summarises one query execution.
+type Stats struct {
+	// System that executed the query.
+	System System
+	// MRCycles is the number of MapReduce cycles in the workflow.
+	MRCycles int
+	// MapOnlyCycles counts cycles without a reduce phase.
+	MapOnlyCycles int
+	// SimulatedSeconds is the cost model's cluster-time estimate.
+	SimulatedSeconds float64
+	// ShuffleBytes and MaterializedBytes are measured volumes.
+	ShuffleBytes      int64
+	MaterializedBytes int64
+	// Jobs traces each MapReduce cycle in execution order.
+	Jobs []JobStats
+}
+
+// JobStats traces one MapReduce cycle.
+type JobStats struct {
+	// Name identifies the cycle in the engine's plan.
+	Name string
+	// MapOnly reports whether the cycle had no reduce phase.
+	MapOnly bool
+	// SimulatedSeconds is the cycle's cost-model estimate.
+	SimulatedSeconds float64
+	// InputRecords, ShuffleBytes and OutputBytes are measured volumes.
+	InputRecords int64
+	ShuffleBytes int64
+	OutputBytes  int64
+	// MapTasks and ReduceTasks are the simulated task counts.
+	MapTasks    int
+	ReduceTasks int
+}
+
+// Trace renders the per-cycle execution trace as an aligned table.
+func (s *Stats) Trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %10s %12s %12s %6s %6s\n",
+		"cycle", "sim-s", "records", "shuffle B", "output B", "maps", "reds")
+	for _, j := range s.Jobs {
+		name := j.Name
+		if j.MapOnly {
+			name += " (map-only)"
+		}
+		fmt.Fprintf(&b, "%-28s %8.0f %10d %12d %12d %6d %6d\n",
+			name, j.SimulatedSeconds, j.InputRecords, j.ShuffleBytes, j.OutputBytes, j.MapTasks, j.ReduceTasks)
+	}
+	return b.String()
+}
+
+// Result is a query result table. Values are display forms: IRIs and
+// literal lexical forms for grouping columns, numbers for aggregates.
+type Result struct {
+	Columns []string
+	rows    [][]string
+	raw     *engine.Result
+}
+
+// Rows returns the result rows.
+func (r *Result) Rows() [][]string { return r.rows }
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.rows) }
+
+// String renders an aligned table.
+func (r *Result) String() string { return r.raw.Pretty() }
+
+func (s *Store) engineFor(sys System) (engine.Engine, error) {
+	switch sys {
+	case RAPIDAnalytics:
+		e := core.New()
+		if f := s.opts.RAPIDAnalyticsOptions; f != nil {
+			e.Opts = core.Options{
+				ParallelAggregation: f.ParallelAggregation,
+				AlphaFiltering:      f.AlphaFiltering,
+				HashAggregation:     f.HashAggregation,
+				InputPruning:        f.InputPruning,
+			}
+		}
+		return e, nil
+	case RAPIDPlus:
+		return rapid.New(), nil
+	case HiveNaive:
+		return &hive.Naive{Conf: hive.Config{MapJoinBytes: s.opts.MapJoinBytes}}, nil
+	case HiveMQO:
+		return &hive.MQO{Conf: hive.Config{MapJoinBytes: s.opts.MapJoinBytes}}, nil
+	default:
+		return nil, fmt.Errorf("rapidanalytics: unknown system %q", sys)
+	}
+}
+
+// Query parses and runs a SPARQL analytical query on the chosen system.
+func (s *Store) Query(sys System, query string) (*Result, *Stats, error) {
+	aq, err := Compile(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.run(sys, aq)
+}
+
+// Compiled is a parsed and validated analytical query, reusable across
+// stores and systems.
+type Compiled struct {
+	aq     *algebra.AnalyticalQuery
+	parsed *sparql.Query
+	src    string
+}
+
+// Compile parses and validates a SPARQL analytical query.
+func Compile(query string) (*Compiled, error) {
+	parsed, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	aq, err := algebra.Build(parsed)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{aq: aq, parsed: parsed, src: query}, nil
+}
+
+// Normalized renders the query in canonical SPARQL form (sorted prologue,
+// compacted IRIs, grouped predicate lists).
+func (c *Compiled) Normalized() string { return sparql.Format(c.parsed) }
+
+// QueryCompiled runs a pre-compiled query.
+func (s *Store) QueryCompiled(sys System, q *Compiled) (*Result, *Stats, error) {
+	return s.run(sys, q)
+}
+
+func (s *Store) run(sys System, q *Compiled) (*Result, *Stats, error) {
+	if sys == Reference {
+		res, err := refimpl.Execute(s.graph, q.aq)
+		if err != nil {
+			return nil, nil, err
+		}
+		return wrapResult(res), &Stats{System: sys}, nil
+	}
+	eng, err := s.engineFor(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.ensureLoaded()
+	res, wm, err := eng.Execute(s.cluster, s.ds, q.aq)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{
+		System:            sys,
+		MRCycles:          wm.Cycles(),
+		MapOnlyCycles:     wm.MapOnlyCycles(),
+		SimulatedSeconds:  wm.SimSeconds(),
+		ShuffleBytes:      wm.ShuffleBytes(),
+		MaterializedBytes: wm.MaterializedBytes(),
+	}
+	for _, j := range wm.Jobs {
+		shuffle := j.MapOutputBytes
+		if j.MapOnly {
+			shuffle = 0
+		}
+		stats.Jobs = append(stats.Jobs, JobStats{
+			Name:             j.Job,
+			MapOnly:          j.MapOnly,
+			SimulatedSeconds: j.SimSeconds,
+			InputRecords:     j.MapInputRecords,
+			ShuffleBytes:     shuffle,
+			OutputBytes:      j.OutputBytes,
+			MapTasks:         j.SimulatedMapTasks,
+			ReduceTasks:      j.SimulatedRedTasks,
+		})
+	}
+	return wrapResult(res), stats, nil
+}
+
+func wrapResult(res *engine.Result) *Result {
+	rows := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = engine.Display(v)
+		}
+		rows[i] = row
+	}
+	return &Result{Columns: res.Columns, rows: rows, raw: res}
+}
+
+// Explain describes how RAPIDAnalytics would evaluate the query: the
+// detected pattern overlap, the composite graph pattern with its primary
+// and secondary properties, the per-pattern α conditions, and the predicted
+// MapReduce cycle counts for every system.
+func Explain(query string) (string, error) {
+	q, err := Compile(query)
+	if err != nil {
+		return "", err
+	}
+	aq := q.aq
+	var b strings.Builder
+	fmt.Fprintf(&b, "analytical query: %d grouping(s)\n", len(aq.Subqueries))
+	for _, sq := range aq.Subqueries {
+		group := "ALL"
+		if !sq.GroupByAll() {
+			group = "?" + strings.Join(sq.GroupBy, ", ?")
+		}
+		fmt.Fprintf(&b, "  GP%d: %s\n       GROUP BY %s, %d aggregate(s)\n", sq.ID+1, abbreviate(sq.Pattern.String()), group, len(sq.Aggs))
+	}
+	if len(aq.Subqueries) >= 2 {
+		cp, err := algebra.BuildComposite(aq.Subqueries)
+		if err != nil {
+			fmt.Fprintf(&b, "patterns do NOT overlap (%v); engines fall back to sequential evaluation\n", err)
+		} else {
+			fmt.Fprintf(&b, "patterns overlap; composite pattern GP' = %s  (secondary properties marked '?')\n", abbreviate(cp.String()))
+			for k := 0; k < cp.NumPatterns; k++ {
+				var conds []string
+				for _, cs := range cp.Stars {
+					for _, ref := range cs.RequiredSecondaryFor(k) {
+						conds = append(conds, shortProp(ref.Key())+" != {}")
+					}
+				}
+				if len(conds) == 0 {
+					conds = []string{"true"}
+				}
+				fmt.Fprintf(&b, "  α(GP%d): %s\n", k+1, strings.Join(conds, " ∧ "))
+			}
+		}
+	}
+	b.WriteString("predicted MapReduce cycles:\n")
+	for _, sys := range Systems() {
+		fmt.Fprintf(&b, "  %-14s %d\n", string(sys), PredictCycles(q, sys))
+	}
+	return b.String(), nil
+}
+
+func shortProp(key string) string {
+	if i := strings.Index(key, "="); i >= 0 {
+		return shortProp(key[:i]) + "=" + shortProp(strings.TrimPrefix(key[i+1:], "I"))
+	}
+	if i := strings.LastIndexAny(key, "/#"); i >= 0 && i+1 < len(key) {
+		return key[i+1:]
+	}
+	return key
+}
+
+// abbreviate shortens every IRI inside a pattern rendering to its local
+// name, keeping the structural punctuation.
+func abbreviate(pattern string) string {
+	var b strings.Builder
+	token := strings.Builder{}
+	flush := func() {
+		if token.Len() > 0 {
+			b.WriteString(shortProp(token.String()))
+			token.Reset()
+		}
+	}
+	for _, r := range pattern {
+		switch r {
+		case '{', '}', ',', ' ', '⋈', '?':
+			flush()
+			b.WriteRune(r)
+		default:
+			token.WriteRune(r)
+		}
+	}
+	flush()
+	return b.String()
+}
+
+// PredictCycles returns the number of MapReduce cycles a system's plan for
+// the query will have (map-join decisions change which cycles are map-only
+// but never how many cycles run).
+func PredictCycles(q *Compiled, sys System) int {
+	aq := q.aq
+	multi := len(aq.Subqueries) > 1
+	finalJoin := 0
+	if multi {
+		finalJoin = 1
+	}
+	if aq.Sorted() {
+		finalJoin++ // the ORDER BY/LIMIT total-order cycle
+	}
+	perPatternHive := func(sq *algebra.Subquery) int {
+		n := 0
+		for _, st := range sq.Pattern.Stars {
+			if len(st.Triples)+len(st.Optionals) >= 2 {
+				n++ // star-join cycle
+			}
+		}
+		return n + len(sq.Pattern.Stars) - 1 + 1 // inter-star joins + grouping
+	}
+	switch sys {
+	case HiveNaive:
+		total := 0
+		for _, sq := range aq.Subqueries {
+			total += perPatternHive(sq)
+		}
+		return total + finalJoin
+	case HiveMQO:
+		cp, err := compositeOf(aq)
+		if err != nil {
+			return PredictCycles(q, HiveNaive)
+		}
+		n := 0
+		for _, cs := range cp.Stars {
+			if len(cs.Props) >= 2 {
+				n++
+			}
+		}
+		n += len(cp.Stars) - 1 // inter-star joins
+		for k := range aq.Subqueries {
+			n++ // aggregation
+			if mqoNeedsDistinct(cp, k) {
+				n++
+			}
+		}
+		return n + finalJoin
+	case RAPIDPlus:
+		total := 0
+		for _, sq := range aq.Subqueries {
+			total += len(sq.Pattern.Stars) - 1 + 1
+		}
+		return total + finalJoin
+	case RAPIDAnalytics:
+		cp, err := compositeOf(aq)
+		if err != nil {
+			total := 0
+			for _, sq := range aq.Subqueries {
+				total += len(sq.Pattern.Stars) - 1 + 1
+			}
+			return total + finalJoin
+		}
+		return len(cp.Stars) - 1 + 1 + finalJoin
+	default:
+		return 0
+	}
+}
+
+func compositeOf(aq *algebra.AnalyticalQuery) (*algebra.CompositePattern, error) {
+	if len(aq.Subqueries) < 2 {
+		return nil, fmt.Errorf("single grouping")
+	}
+	return algebra.BuildComposite(aq.Subqueries)
+}
+
+func mqoNeedsDistinct(cp *algebra.CompositePattern, k int) bool {
+	for _, cs := range cp.Stars {
+		for _, p := range cs.Props {
+			if len(p.Owners) != cp.NumPatterns && !p.Owners[k] {
+				return true
+			}
+		}
+	}
+	return false
+}

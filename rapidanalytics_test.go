@@ -1,0 +1,245 @@
+package rapidanalytics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const apiQuery = `PREFIX e: <http://e/>
+SELECT ?f ?cntF ?cntT {
+  { SELECT ?f (COUNT(?pr2) AS ?cntF)
+    { ?p2 a e:PT1 ; e:label ?l2 ; e:pf ?f .
+      ?off2 e:product ?p2 ; e:price ?pr2 . } GROUP BY ?f }
+  { SELECT (COUNT(?pr) AS ?cntT)
+    { ?p1 a e:PT1 ; e:label ?l1 .
+      ?off1 e:product ?p1 ; e:price ?pr . } }
+}`
+
+func apiStore() *Store {
+	s := NewStore(DefaultOptions())
+	add := func(subj, prop string, obj Term) { s.Add("http://e/"+subj, "http://e/"+prop, obj) }
+	typ := func(subj, t string) {
+		s.Add("http://e/"+subj, "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", IRI("http://e/"+t))
+	}
+	typ("p1", "PT1")
+	add("p1", "label", Literal("one"))
+	add("p1", "pf", IRI("http://e/f1"))
+	add("p1", "pf", IRI("http://e/f2"))
+	typ("p2", "PT1")
+	add("p2", "label", Literal("two"))
+	add("o1", "product", IRI("http://e/p1"))
+	add("o1", "price", Literal("10"))
+	add("o2", "product", IRI("http://e/p2"))
+	add("o2", "price", Literal("20"))
+	return s
+}
+
+func TestStoreQueryAllSystems(t *testing.T) {
+	s := apiStore()
+	ref, _, err := s.Query(Reference, apiQuery)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if ref.Len() != 2 {
+		t.Fatalf("reference rows = %d, want 2 (f1, f2)", ref.Len())
+	}
+	for _, sys := range Systems() {
+		res, stats, err := s.Query(sys, apiQuery)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Len() != ref.Len() {
+			t.Errorf("%s: rows = %d, want %d", sys, res.Len(), ref.Len())
+		}
+		if stats.MRCycles == 0 {
+			t.Errorf("%s: no cycles", sys)
+		}
+		if stats.SimulatedSeconds <= 0 {
+			t.Errorf("%s: no simulated time", sys)
+		}
+	}
+}
+
+func TestQueryCompiledAndReuse(t *testing.T) {
+	q, err := Compile(apiQuery)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s := apiStore()
+	r1, _, err := s.QueryCompiled(RAPIDAnalytics, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := s.QueryCompiled(HiveNaive, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != r2.Len() {
+		t.Errorf("row counts differ: %d vs %d", r1.Len(), r2.Len())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("not sparql"); err == nil {
+		t.Error("Compile accepted garbage")
+	}
+	if _, err := Compile(`PREFIX e: <http://e/> SELECT ?s { ?s e:p ?o . }`); err == nil {
+		t.Error("Compile accepted a non-analytical query (no aggregates)")
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	s := apiStore()
+	if _, _, err := s.Query(System("nope"), apiQuery); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestNTriplesRoundTripThroughStore(t *testing.T) {
+	s := apiStore()
+	var buf bytes.Buffer
+	if err := s.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(DefaultOptions())
+	if err := s2.LoadNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumTriples() != s.NumTriples() {
+		t.Errorf("triples = %d, want %d", s2.NumTriples(), s.NumTriples())
+	}
+	res, _, err := s2.Query(RAPIDAnalytics, apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestExplain(t *testing.T) {
+	out, err := Explain(apiQuery)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	for _, want := range []string{"2 grouping(s)", "patterns overlap", "α(GP1)", "pf != {}", "α(GP2): true", "rapidanalytics", "hive-naive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPredictCyclesMatchesExecution(t *testing.T) {
+	q, err := Compile(apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := apiStore()
+	for _, sys := range Systems() {
+		_, stats, err := s.QueryCompiled(sys, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PredictCycles(q, sys); got != stats.MRCycles {
+			t.Errorf("%s: predicted %d cycles, executed %d", sys, got, stats.MRCycles)
+		}
+	}
+}
+
+func TestGeneratedStores(t *testing.T) {
+	b := NewBSBMStore(50, DefaultOptions())
+	if b.NumTriples() == 0 {
+		t.Fatal("BSBM store empty")
+	}
+	c := NewChemStore(80, DefaultOptions())
+	if c.NumTriples() == 0 {
+		t.Fatal("Chem store empty")
+	}
+	p := NewPubMedStore(60, DefaultOptions())
+	if p.NumTriples() == 0 {
+		t.Fatal("PubMed store empty")
+	}
+	// Generators are deterministic.
+	b2 := NewBSBMStore(50, DefaultOptions())
+	if b2.NumTriples() != b.NumTriples() {
+		t.Errorf("BSBM generation nondeterministic: %d vs %d", b2.NumTriples(), b.NumTriples())
+	}
+	// A quick query over the generated BSBM store.
+	res, _, err := b.Query(RAPIDAnalytics, "PREFIX bsbm: <"+BSBMNamespace+">\n"+
+		`SELECT (COUNT(?pr) AS ?cnt) { ?o bsbm:product ?p ; bsbm:price ?pr . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows()[0][0] == "0" {
+		t.Errorf("BSBM offer count = %v", res.Rows())
+	}
+}
+
+func TestStoreInvalidatedOnAdd(t *testing.T) {
+	s := apiStore()
+	before, _, err := s.Query(RAPIDAnalytics, apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New product with feature f9 and an offer: per-feature rows grow.
+	s.Add("http://e/p9", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", IRI("http://e/PT1"))
+	s.Add("http://e/p9", "http://e/label", Literal("nine"))
+	s.Add("http://e/p9", "http://e/pf", IRI("http://e/f9"))
+	s.Add("http://e/o9", "http://e/product", IRI("http://e/p9"))
+	s.Add("http://e/o9", "http://e/price", Literal("99"))
+	after, _, err := s.Query(RAPIDAnalytics, apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != before.Len()+1 {
+		t.Errorf("rows after add = %d, want %d", after.Len(), before.Len()+1)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	q, err := Compile(apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := q.Normalized()
+	q2, err := Compile(text)
+	if err != nil {
+		t.Fatalf("normalized query does not compile: %v\n%s", err, text)
+	}
+	if q2.Normalized() != text {
+		t.Error("Normalized is not idempotent")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s := apiStore()
+	q, err := Compile(apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		sys := Systems()[i%len(Systems())]
+		wg.Add(1)
+		go func(sys System) {
+			defer wg.Done()
+			res, _, err := s.QueryCompiled(sys, q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Len() != 2 {
+				errs <- fmt.Errorf("%s: rows = %d", sys, res.Len())
+			}
+		}(sys)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

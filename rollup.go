@@ -1,0 +1,96 @@
+package rapidanalytics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RollupSpec describes a ROLLUP-style analytical query — the paper's
+// "natural extension ... to support more complex OLAP queries on RDF data
+// models". One graph pattern is aggregated along a dimension hierarchy:
+// GROUP BY (d1..dn), (d1..dn-1), ..., (), one subquery per level. All
+// levels share the same graph pattern, so RAPIDAnalytics evaluates the
+// whole rollup with ONE composite pattern pass and ONE parallel Agg-Join
+// cycle, regardless of depth.
+type RollupSpec struct {
+	// Prologue holds PREFIX declarations.
+	Prologue string
+	// Pattern is the graph pattern text (triple patterns and filters,
+	// without enclosing braces) binding every dimension and the aggregated
+	// variable.
+	Pattern string
+	// Agg is the aggregate function: COUNT, SUM, AVG, MIN or MAX.
+	Agg string
+	// Var is the aggregated variable name, without '?'.
+	Var string
+	// Distinct selects the DISTINCT form of the aggregate.
+	Distinct bool
+	// Dims are the dimension variable names (without '?'), coarsest first:
+	// the rollup computes (Dims...), (Dims[:n-1]...), ..., ().
+	Dims []string
+}
+
+// BuildRollup renders the spec as a SPARQL analytical query.
+func BuildRollup(spec RollupSpec) (string, error) {
+	if len(spec.Dims) == 0 {
+		return "", fmt.Errorf("rapidanalytics: rollup needs at least one dimension")
+	}
+	if strings.TrimSpace(spec.Pattern) == "" || spec.Var == "" {
+		return "", fmt.Errorf("rapidanalytics: rollup needs a pattern and an aggregated variable")
+	}
+	switch strings.ToUpper(spec.Agg) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+	default:
+		return "", fmt.Errorf("rapidanalytics: unsupported rollup aggregate %q", spec.Agg)
+	}
+	for _, d := range spec.Dims {
+		if d == spec.Var {
+			return "", fmt.Errorf("rapidanalytics: dimension ?%s is also the aggregated variable", d)
+		}
+	}
+	distinct := ""
+	if spec.Distinct {
+		distinct = "DISTINCT "
+	}
+	alias := func(level int) string { return fmt.Sprintf("agg_lvl%d", level) }
+
+	var b strings.Builder
+	if spec.Prologue != "" {
+		b.WriteString(strings.TrimSpace(spec.Prologue))
+		b.WriteString("\n")
+	}
+	b.WriteString("SELECT")
+	for _, d := range spec.Dims {
+		fmt.Fprintf(&b, " ?%s", d)
+	}
+	for lvl := 0; lvl <= len(spec.Dims); lvl++ {
+		fmt.Fprintf(&b, " ?%s", alias(lvl))
+	}
+	b.WriteString(" {\n")
+	for lvl := 0; lvl <= len(spec.Dims); lvl++ {
+		dims := spec.Dims[:len(spec.Dims)-lvl]
+		b.WriteString("  { SELECT")
+		for _, d := range dims {
+			fmt.Fprintf(&b, " ?%s", d)
+		}
+		fmt.Fprintf(&b, " (%s(%s?%s) AS ?%s)\n    {\n%s\n    }",
+			strings.ToUpper(spec.Agg), distinct, spec.Var, alias(lvl), indent(spec.Pattern, "      "))
+		if len(dims) > 0 {
+			b.WriteString(" GROUP BY")
+			for _, d := range dims {
+				fmt.Fprintf(&b, " ?%s", d)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("}")
+	return b.String(), nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + strings.TrimSpace(l)
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,187 @@
+package rapidanalytics
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func rollupStore() *Store {
+	s := NewStore(DefaultOptions())
+	ns := "http://e/"
+	add := func(subj, prop string, obj Term) { s.Add(ns+subj, ns+prop, obj) }
+	sale := func(id, region, city, amount string) {
+		add(id, "region", Literal(region))
+		add(id, "city", Literal(city))
+		add(id, "amount", Literal(amount))
+	}
+	sale("s1", "EU", "Berlin", "10")
+	sale("s2", "EU", "Berlin", "20")
+	sale("s3", "EU", "Paris", "5")
+	sale("s4", "US", "NYC", "40")
+	return s
+}
+
+func rollupSpec() RollupSpec {
+	return RollupSpec{
+		Prologue: "PREFIX e: <http://e/>",
+		Pattern:  "?s e:region ?r ; e:city ?c ; e:amount ?a .",
+		Agg:      "SUM",
+		Var:      "a",
+		Dims:     []string{"r", "c"},
+	}
+}
+
+func TestBuildRollupQuery(t *testing.T) {
+	q, err := BuildRollup(rollupSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(q); err != nil {
+		t.Fatalf("generated query does not compile: %v\n%s", err, q)
+	}
+	// Three levels: (r,c), (r), ().
+	if strings.Count(q, "{ SELECT") != 3 {
+		t.Errorf("levels = %d:\n%s", strings.Count(q, "{ SELECT"), q)
+	}
+}
+
+func TestRollupResults(t *testing.T) {
+	q, err := BuildRollup(rollupSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rollupStore()
+	ref, _, err := s.Query(Reference, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]string{}
+	for _, r := range ref.Rows() {
+		rows[r[0]+"/"+r[1]] = strings.Join(r[2:], ",")
+	}
+	// (region, city, sum(city), sum(region), sum(all))
+	want := map[string]string{
+		"EU/Berlin": "30,35,75",
+		"EU/Paris":  "5,35,75",
+		"US/NYC":    "40,40,75",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for k, w := range want {
+		if rows[k] != w {
+			t.Errorf("row %s = %q, want %q", k, rows[k], w)
+		}
+	}
+	// All engines agree, and RAPIDAnalytics does the whole 3-level rollup
+	// in 2 cycles (single star: parallel Agg-Join + final map-only join).
+	for _, sys := range Systems() {
+		res, stats, err := s.Query(sys, q)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Len() != 3 {
+			t.Errorf("%s rows = %d", sys, res.Len())
+		}
+		if sys == RAPIDAnalytics && stats.MRCycles != 2 {
+			t.Errorf("RAPIDAnalytics rollup cycles = %d, want 2", stats.MRCycles)
+		}
+	}
+}
+
+func TestRollupDistinct(t *testing.T) {
+	spec := rollupSpec()
+	spec.Agg = "count"
+	spec.Distinct = true
+	q, err := BuildRollup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "COUNT(DISTINCT ?a)") {
+		t.Errorf("query missing DISTINCT:\n%s", q)
+	}
+	s := rollupStore()
+	res, _, err := s.Query(RAPIDAnalytics, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d", res.Len())
+	}
+}
+
+func TestBuildRollupErrors(t *testing.T) {
+	cases := []RollupSpec{
+		{},
+		{Pattern: "?s ?p ?o .", Agg: "SUM", Var: "o"},                          // no dims
+		{Pattern: "?s e:p ?o .", Agg: "MEDIAN", Var: "o", Dims: []string{"d"}}, // bad agg
+		{Pattern: "?s e:p ?o .", Agg: "SUM", Var: "d", Dims: []string{"d"}},    // var is dim
+		{Pattern: "", Agg: "SUM", Var: "o", Dims: []string{"d"}},               // empty pattern
+	}
+	for i, spec := range cases {
+		if _, err := BuildRollup(spec); err == nil {
+			t.Errorf("case %d: BuildRollup accepted %+v", i, spec)
+		}
+	}
+}
+
+// Property: for random sales data and any rollup depth, RAPIDAnalytics
+// agrees with the in-memory reference on the full rollup result.
+func TestRollupQuick(t *testing.T) {
+	f := func(seed int64, depth uint8) bool {
+		dims := []string{"region", "city", "store"}[:1+int(depth)%3]
+		spec := RollupSpec{
+			Prologue: "PREFIX e: <http://e/>",
+			Agg:      "SUM",
+			Var:      "a",
+			Dims:     make([]string, len(dims)),
+		}
+		pattern := "?s"
+		for i, d := range dims {
+			spec.Dims[i] = d
+			pattern += " e:" + d + " ?" + d + " ;"
+		}
+		spec.Pattern = pattern + " e:amount ?a ."
+		q, err := BuildRollup(spec)
+		if err != nil {
+			return false
+		}
+		s := NewStore(DefaultOptions())
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			id := "http://e/s" + strconv.Itoa(i)
+			for _, d := range dims {
+				s.Add(id, "http://e/"+d, Literal(d+strconv.Itoa(rng.Intn(3))))
+			}
+			s.Add(id, "http://e/amount", Literal(strconv.Itoa(rng.Intn(100))))
+		}
+		want, _, err := s.Query(Reference, q)
+		if err != nil {
+			return false
+		}
+		got, _, err := s.Query(RAPIDAnalytics, q)
+		if err != nil {
+			return false
+		}
+		if want.Len() != got.Len() {
+			return false
+		}
+		index := map[string]bool{}
+		for _, r := range want.Rows() {
+			index[strings.Join(r, "|")] = true
+		}
+		for _, r := range got.Rows() {
+			if !index[strings.Join(r, "|")] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

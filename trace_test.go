@@ -1,0 +1,25 @@
+package rapidanalytics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsTrace(t *testing.T) {
+	s := apiStore()
+	_, stats, err := s.Query(RAPIDAnalytics, apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Jobs) != stats.MRCycles {
+		t.Errorf("Jobs = %d, cycles = %d", len(stats.Jobs), stats.MRCycles)
+	}
+	tr := stats.Trace()
+	if !strings.Contains(tr, "cycle") || !strings.Contains(tr, "map-only") {
+		t.Errorf("Trace = %q", tr)
+	}
+	lines := strings.Split(strings.TrimSpace(tr), "\n")
+	if len(lines) != stats.MRCycles+1 {
+		t.Errorf("trace lines = %d, want %d", len(lines), stats.MRCycles+1)
+	}
+}
