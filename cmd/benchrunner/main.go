@@ -10,7 +10,8 @@
 //	benchrunner -exp table3     # one experiment
 //	benchrunner -verify         # also cross-check every result vs oracle
 //
-// Experiments: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, all.
+// Experiments: table3, fig8a, fig8b, fig8c, table4, cycles, ablation,
+// prepared (plan-cache speedup, writes BENCH_prepared.json), all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, all")
+		exp    = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, all")
 		verify = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale  = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 	)
@@ -51,6 +52,7 @@ func main() {
 	run("table4", Table4)
 	run("cycles", Cycles)
 	run("ablation", Ablation)
+	run("prepared", Prepared)
 }
 
 var gQueries = []string{"G1", "G2", "G3", "G4"}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rapidanalytics/internal/bench"
+
+	ra "rapidanalytics"
+)
+
+// preparedIters is how many times each query re-runs per mode; planning
+// cost amortizes across repeats on the prepared path only.
+const preparedIters = 5
+
+// PreparedResult is one row of BENCH_prepared.json: the same catalog query
+// executed repeatedly with per-call compilation (unprepared) versus through
+// Store.Prepare and the plan cache (prepared).
+type PreparedResult struct {
+	Query          string  `json:"query"`
+	System         string  `json:"system"`
+	Iters          int     `json:"iters"`
+	UnpreparedNs   int64   `json:"unpreparedNs"`
+	PreparedNs     int64   `json:"preparedNs"`
+	PlanSpeedup    float64 `json:"planSpeedup"`
+	PlanOnlyNs     int64   `json:"planOnlyNs"`
+	CacheHitsAfter int64   `json:"cacheHitsAfter"`
+}
+
+// Prepared benchmarks the plan cache: each BSBM catalog query runs
+// preparedIters times unprepared (Compile + QueryCompiled every call) and
+// preparedIters times prepared (Prepare once warm, Execute repeatedly).
+// Results go to stdout and BENCH_prepared.json.
+func Prepared(h *bench.Harness) (string, error) {
+	store := ra.NewBSBMStore(0, ra.DefaultOptions())
+	sys := ra.RAPIDAnalytics
+	ctx := context.Background()
+
+	var rows []PreparedResult
+	for _, id := range append(append([]string{}, gQueries...), mgBSBM...) {
+		q, ok := bench.Get(id)
+		if !ok {
+			return "", fmt.Errorf("unknown catalog query %s", id)
+		}
+
+		// Unprepared: pay parsing + algebra + plan construction per call.
+		planStart := time.Now()
+		if _, err := ra.Compile(q.SPARQL); err != nil {
+			return "", fmt.Errorf("%s: %w", id, err)
+		}
+		planOnly := time.Since(planStart)
+
+		unpStart := time.Now()
+		for i := 0; i < preparedIters; i++ {
+			c, err := ra.Compile(q.SPARQL)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", id, err)
+			}
+			if _, _, err := store.QueryCompiled(sys, c); err != nil {
+				return "", fmt.Errorf("%s unprepared: %w", id, err)
+			}
+		}
+		unprepared := time.Since(unpStart)
+
+		// Prepared: plan once, then cache hits.
+		pq, err := store.Prepare(sys, q.SPARQL)
+		if err != nil {
+			return "", fmt.Errorf("%s prepare: %w", id, err)
+		}
+		prepStart := time.Now()
+		for i := 0; i < preparedIters; i++ {
+			pq, err = store.Prepare(sys, q.SPARQL)
+			if err != nil {
+				return "", fmt.Errorf("%s prepare: %w", id, err)
+			}
+			if _, _, err := pq.Execute(ctx); err != nil {
+				return "", fmt.Errorf("%s prepared: %w", id, err)
+			}
+		}
+		prepared := time.Since(prepStart)
+
+		speedup := float64(unprepared) / float64(prepared)
+		rows = append(rows, PreparedResult{
+			Query:          id,
+			System:         string(sys),
+			Iters:          preparedIters,
+			UnpreparedNs:   unprepared.Nanoseconds(),
+			PreparedNs:     prepared.Nanoseconds(),
+			PlanSpeedup:    speedup,
+			PlanOnlyNs:     planOnly.Nanoseconds(),
+			CacheHitsAfter: store.PlanCacheStats().Hits,
+		})
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_prepared.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("Prepared vs unprepared (BSBM, " + string(sys) + ", wall time per mode)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %9s\n", "query", "unprepared", "prepared", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %14s %14s %8.2fx\n", r.Query,
+			time.Duration(r.UnpreparedNs), time.Duration(r.PreparedNs), r.PlanSpeedup)
+	}
+	stats := store.PlanCacheStats()
+	fmt.Fprintf(&b, "plan cache: %d hits, %d misses, %d entries (wrote BENCH_prepared.json)\n",
+		stats.Hits, stats.Misses, stats.Entries)
+	return b.String(), nil
+}

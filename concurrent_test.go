@@ -1,0 +1,220 @@
+package rapidanalytics_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ra "rapidanalytics"
+)
+
+// secondQuery is a single-grouping variant over the shop graph, used to mix
+// distinct plans in the stress test.
+const secondQuery = `PREFIX e: <http://example.org/>
+SELECT ?feature (COUNT(?pr) AS ?cnt)
+{ ?p a e:Phone ; e:feature ?feature .
+  ?o e:product ?p ; e:price ?pr . } GROUP BY ?feature ORDER BY ?feature`
+
+func canonRows(res *ra.Result) string {
+	rows := make([]string, res.Len())
+	for i, r := range res.Rows() {
+		rows[i] = strings.Join(r, "|")
+	}
+	return strings.Join(rows, "\n")
+}
+
+// TestConcurrentMixedQueries hammers one store with N goroutines issuing a
+// mix of systems, query texts, and prepared/unprepared paths — the serving
+// workload in miniature. Every result must match the single-threaded
+// answer, and concurrent Add calls of pattern-irrelevant triples must not
+// disturb in-flight queries.
+func TestConcurrentMixedQueries(t *testing.T) {
+	store := buildShop()
+
+	queries := []string{exampleQuery, secondQuery}
+	systems := []ra.System{ra.RAPIDAnalytics, ra.RAPIDPlus, ra.HiveNaive, ra.HiveMQO, ra.Reference}
+
+	// Single-threaded ground truth per (query, system).
+	want := map[string]string{}
+	for qi, q := range queries {
+		for _, sys := range systems {
+			res, _, err := store.Query(sys, q)
+			if err != nil {
+				t.Fatalf("baseline %s q%d: %v", sys, qi, err)
+			}
+			key := fmt.Sprintf("%d/%s", qi, sys)
+			want[key] = canonRows(res)
+			if want[key] == "" {
+				t.Fatalf("baseline %s q%d returned no rows", sys, qi)
+			}
+		}
+	}
+
+	const goroutines = 16
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				sys := systems[(g*iters+i)%len(systems)]
+				key := fmt.Sprintf("%d/%s", qi, sys)
+				var res *ra.Result
+				var err error
+				if i%2 == 0 {
+					res, _, err = store.Query(sys, queries[qi])
+				} else {
+					var pq *ra.PreparedQuery
+					pq, err = store.Prepare(sys, queries[qi])
+					if err == nil {
+						res, _, err = pq.Execute(context.Background())
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d %s: %w", g, i, key, err)
+					return
+				}
+				if got := canonRows(res); got != want[key] {
+					errs <- fmt.Errorf("goroutine %d iter %d %s: rows diverged:\n%s\nwant:\n%s", g, i, key, got, want[key])
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent mutations: triples in a foreign namespace match no query
+	// pattern, so results must stay stable while Add interleaves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			store.Add(fmt.Sprintf("http://other.org/s%d", i), "http://other.org/p", ra.Literal("x"))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if stats := store.PlanCacheStats(); stats.Hits == 0 {
+		t.Errorf("stress run recorded no plan cache hits: %+v", stats)
+	}
+}
+
+func TestPrepareCacheHitAndCanonicalAlias(t *testing.T) {
+	store := buildShop()
+	pq1, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq1.CacheHit() {
+		t.Fatal("first Prepare must miss")
+	}
+	pq2, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pq2.CacheHit() {
+		t.Fatal("repeated Prepare must hit")
+	}
+	// A different spelling (extra whitespace) shares the canonicalized
+	// plan.
+	respaced := strings.ReplaceAll(exampleQuery, "SELECT", "SELECT  ")
+	pq3, err := store.Prepare(ra.RAPIDAnalytics, respaced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq3.Normalized() != pq1.Normalized() {
+		t.Fatal("respaced query must normalize identically")
+	}
+	// Same text under a different system plans separately (cache is keyed
+	// by system).
+	pq4, err := store.Prepare(ra.HiveNaive, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq4.CacheHit() {
+		t.Fatal("different system must not share the rapidanalytics entry")
+	}
+	if pq4.System() != ra.HiveNaive {
+		t.Fatalf("System() = %s", pq4.System())
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.PlanCacheSize = 2
+	store := ra.NewStore(opts)
+	tmpl := `PREFIX e: <http://example.org/>
+SELECT ?s (COUNT(?o%d) AS ?c) { ?s e:p%d ?o%d . } GROUP BY ?s`
+	for i := 0; i < 4; i++ {
+		q := fmt.Sprintf(tmpl, i, i, i)
+		if _, err := store.Prepare(ra.Reference, q); err != nil {
+			t.Fatalf("prepare %d: %v", i, err)
+		}
+	}
+	stats := store.PlanCacheStats()
+	if stats.Evictions == 0 {
+		t.Fatalf("expected evictions with capacity 2: %+v", stats)
+	}
+	if stats.Entries > stats.Capacity {
+		t.Fatalf("entries exceed capacity: %+v", stats)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.PlanCacheSize = -1
+	store := ra.NewStore(opts)
+	if _, err := store.Prepare(ra.Reference, secondQuery); err == nil {
+		// No graph loaded; Prepare still compiles fine.
+		if stats := store.PlanCacheStats(); stats.Hits != 0 || stats.Misses != 0 || stats.Capacity != 0 {
+			t.Fatalf("disabled cache recorded activity: %+v", stats)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	store := buildShop()
+
+	_, err := store.Prepare(ra.RAPIDAnalytics, "SELECT garbage {{{")
+	if !errors.Is(err, ra.ErrParse) {
+		t.Fatalf("syntax error = %v; want ErrParse", err)
+	}
+	_, _, err = store.Query(ra.System("spark"), exampleQuery)
+	if !errors.Is(err, ra.ErrUnknownSystem) {
+		t.Fatalf("bad system = %v; want ErrUnknownSystem", err)
+	}
+	_, err = ra.Compile("ASK { ?s ?p ?o }")
+	if !errors.Is(err, ra.ErrParse) && !errors.Is(err, ra.ErrUnsupported) {
+		t.Fatalf("non-analytical query = %v; want ErrParse or ErrUnsupported", err)
+	}
+
+	pq, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = pq.Execute(cancelled)
+	if !errors.Is(err, ra.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled execute = %v; want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	_, _, err = pq.Execute(expired)
+	if !errors.Is(err, ra.ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired execute = %v; want ErrTimeout wrapping DeadlineExceeded", err)
+	}
+}

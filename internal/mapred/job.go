@@ -8,7 +8,11 @@
 // 10–60-node Hadoop deployments.
 package mapred
 
-import "rapidanalytics/internal/dfs"
+import (
+	"context"
+
+	"rapidanalytics/internal/dfs"
+)
 
 // Emit is the output callback handed to mappers, combiners and reducers.
 type Emit func(key string, value []byte)
@@ -162,9 +166,13 @@ func (w *WorkflowMetrics) MaterializedBytes() int64 {
 }
 
 // Cluster executes jobs against a DFS under a cost-model configuration.
+// A cluster may be bound to a context with WithContext; the zero binding
+// never cancels.
 type Cluster struct {
 	FS     *dfs.FS
 	Config ClusterConfig
+
+	ctx context.Context
 }
 
 // NewCluster returns a cluster over a fresh file system.

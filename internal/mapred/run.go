@@ -27,6 +27,9 @@ type split struct {
 // number of CPUs; determinism is preserved by collecting map output in task
 // order before the sort-merge shuffle.
 func (c *Cluster) Run(job *Job) (*Metrics, error) {
+	if err := c.err(); err != nil {
+		return nil, fmt.Errorf("mapred: job %s aborted: %w", job.Name, err)
+	}
 	m := &Metrics{Job: job.Name, MapOnly: job.MapOnly()}
 	splits, err := c.makeSplits(job, m)
 	if err != nil {
@@ -65,6 +68,9 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	}
 	wg.Wait()
 
+	if err := c.err(); err != nil {
+		return nil, fmt.Errorf("mapred: job %s aborted before shuffle: %w", job.Name, err)
+	}
 	// Collect in task order for determinism.
 	partData := make([][]kv, partitions)
 	for i := range results {
@@ -100,7 +106,12 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		for _, part := range partData {
 			groups := sortAndGroup(part)
 			red := job.NewReducer()
-			for _, g := range groups {
+			for gi, g := range groups {
+				if gi%ctxCheckInterval == 0 {
+					if err := c.err(); err != nil {
+						return nil, fmt.Errorf("mapred: job %s aborted in reduce: %w", job.Name, err)
+					}
+				}
 				m.ReduceGroups++
 				err := red.Reduce(g.key, g.values, func(_ string, value []byte) {
 					out.Write(value)
@@ -118,7 +129,8 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	return m, nil
 }
 
-// RunWorkflow executes jobs sequentially, stopping at the first error.
+// RunWorkflow executes jobs sequentially, stopping at the first error or
+// when the cluster's bound context is cancelled between cycles.
 func (c *Cluster) RunWorkflow(jobs []*Job) (*WorkflowMetrics, error) {
 	wm := &WorkflowMetrics{}
 	for _, j := range jobs {
@@ -203,7 +215,12 @@ func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, parti
 		}
 		parts[p] = append(parts[p], kv{key: key, value: value})
 	}
-	for _, rec := range sp.records {
+	for ri, rec := range sp.records {
+		if ri%ctxCheckInterval == 0 {
+			if err := c.err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		if err := mapper.Map(rec, emit); err != nil {
 			return nil, 0, err
 		}

@@ -1,0 +1,137 @@
+// Package plancache is a concurrency-safe LRU cache for compiled query
+// plans. Real SPARQL workloads are dominated by repeated query templates
+// (Bonifati et al.'s analysis of large public query logs), so amortising the
+// parse → overlap-detection → composite-rewrite pipeline across repetitions
+// of the same query text is the cheapest large win the serving layer gets.
+//
+// The cache is value-agnostic: it maps string keys to opaque entries and
+// keeps exact hit/miss/eviction counters so the serving layer can export
+// them. Callers build keys with Key, which scopes the query text by the
+// executing system.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key builds a cache key scoping a (canonicalized) query text by system.
+// The NUL separator cannot occur in either component, so keys are
+// collision-free.
+func Key(system, query string) string { return system + "\x00" + query }
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the LRU policy (Remove and
+	// overwrites are not evictions).
+	Evictions int64
+	// Entries is the current number of cached plans.
+	Entries int
+	// Capacity is the configured maximum number of entries.
+	Capacity int
+}
+
+type entry struct {
+	key   string
+	value any
+}
+
+// Cache is a fixed-capacity LRU map. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// New returns a cache holding at most capacity entries. Capacities below 1
+// are clamped to 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts or overwrites a value, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, value: value})
+}
+
+// Remove drops a key if present.
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Clear drops every entry (counters are preserved).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

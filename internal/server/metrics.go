@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rapidanalytics/internal/plancache"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query latency
+// histogram, chosen to resolve both cache-hit microqueries and multi-cycle
+// analytical runs.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// Metrics aggregates the serving layer's counters. All methods are safe for
+// concurrent use. Rendered in Prometheus text exposition format by WriteTo.
+type Metrics struct {
+	inFlight atomic.Int64
+
+	mu               sync.Mutex
+	queries          map[string]map[int]int64 // system → HTTP status → count
+	mrCycles         map[string]int64         // system → total MapReduce cycles
+	admissionRejects int64
+	bucketCounts     []int64 // cumulative at render time; raw per-bucket here
+	latencyCount     int64
+	latencySum       float64
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		queries:      map[string]map[int]int64{},
+		mrCycles:     map[string]int64{},
+		bucketCounts: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// QueryStarted marks a query admitted for execution. The return value
+// decrements the in-flight gauge.
+func (m *Metrics) QueryStarted() (done func()) {
+	m.inFlight.Add(1)
+	return func() { m.inFlight.Add(-1) }
+}
+
+// InFlight returns the number of queries currently executing.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// ObserveQuery records one finished request: the executing system, the HTTP
+// status it mapped to, the MapReduce cycles it ran, and its latency.
+func (m *Metrics) ObserveQuery(system string, status int, mrCycles int, d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
+		i++
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.queries[system]
+	if !ok {
+		byStatus = map[int]int64{}
+		m.queries[system] = byStatus
+	}
+	byStatus[status]++
+	m.mrCycles[system] += int64(mrCycles)
+	m.bucketCounts[i]++
+	m.latencyCount++
+	m.latencySum += secs
+}
+
+// AdmissionRejected records one request turned away by the admission
+// controller.
+func (m *Metrics) AdmissionRejected() {
+	m.mu.Lock()
+	m.admissionRejects++
+	m.mu.Unlock()
+}
+
+// TotalServed returns the number of observed queries across systems and
+// statuses.
+func (m *Metrics) TotalServed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latencyCount
+}
+
+// WriteTo renders the metrics (and the store's plan-cache counters) in
+// Prometheus text exposition format. Series are emitted in sorted label
+// order so scrapes are deterministic.
+func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP rapidserver_in_flight_queries Queries currently executing.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_in_flight_queries gauge\n")
+	fmt.Fprintf(w, "rapidserver_in_flight_queries %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP rapidserver_queries_total Queries served, by system and HTTP status.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_queries_total counter\n")
+	for _, sys := range sortedKeys(m.queries) {
+		byStatus := m.queries[sys]
+		statuses := make([]int, 0, len(byStatus))
+		for st := range byStatus {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "rapidserver_queries_total{system=%q,code=\"%d\"} %d\n", sys, st, byStatus[st])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP rapidserver_admission_rejects_total Requests rejected by admission control.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_admission_rejects_total counter\n")
+	fmt.Fprintf(w, "rapidserver_admission_rejects_total %d\n", m.admissionRejects)
+
+	fmt.Fprintf(w, "# HELP rapidserver_mr_cycles_total MapReduce cycles executed, by system.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_mr_cycles_total counter\n")
+	for _, sys := range sortedKeys(m.mrCycles) {
+		fmt.Fprintf(w, "rapidserver_mr_cycles_total{system=%q} %d\n", sys, m.mrCycles[sys])
+	}
+
+	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_hits_total Plan cache probe hits.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_hits_total counter\n")
+	fmt.Fprintf(w, "rapidserver_plan_cache_hits_total %d\n", plan.Hits)
+	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_misses_total Plan cache probe misses.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_misses_total counter\n")
+	fmt.Fprintf(w, "rapidserver_plan_cache_misses_total %d\n", plan.Misses)
+	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_evictions_total Plans evicted by the LRU policy.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "rapidserver_plan_cache_evictions_total %d\n", plan.Evictions)
+	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_entries Plans currently cached.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_entries gauge\n")
+	fmt.Fprintf(w, "rapidserver_plan_cache_entries %d\n", plan.Entries)
+
+	fmt.Fprintf(w, "# HELP rapidserver_query_seconds Query latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_query_seconds histogram\n")
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += m.bucketCounts[i]
+		fmt.Fprintf(w, "rapidserver_query_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.bucketCounts[len(latencyBuckets)]
+	fmt.Fprintf(w, "rapidserver_query_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "rapidserver_query_seconds_sum %g\n", m.latencySum)
+	fmt.Fprintf(w, "rapidserver_query_seconds_count %d\n", m.latencyCount)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

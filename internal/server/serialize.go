@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	ra "rapidanalytics"
+)
+
+// resultBody is the JSON success envelope.
+type resultBody struct {
+	Columns []string    `json:"columns"`
+	Rows    [][]string  `json:"rows"`
+	Stats   resultStats `json:"stats"`
+}
+
+// resultStats summarises the execution for the client.
+type resultStats struct {
+	System           string  `json:"system"`
+	MRCycles         int     `json:"mrCycles"`
+	MapOnlyCycles    int     `json:"mapOnlyCycles"`
+	SimulatedSeconds float64 `json:"simulatedSeconds"`
+	ShuffleBytes     int64   `json:"shuffleBytes"`
+	PlanCacheHit     bool    `json:"planCacheHit"`
+	WallMillis       float64 `json:"wallMillis"`
+}
+
+// writeResult serialises a query result as JSON or TSV.
+func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra.Stats, cacheHit bool, elapsed time.Duration) {
+	if format == "tsv" {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		var b strings.Builder
+		b.WriteString(strings.Join(res.Columns, "\t"))
+		b.WriteByte('\n')
+		for _, row := range res.Rows() {
+			b.WriteString(strings.Join(row, "\t"))
+			b.WriteByte('\n')
+		}
+		_, _ = w.Write([]byte(b.String()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rows := res.Rows()
+	if rows == nil {
+		rows = [][]string{}
+	}
+	_ = json.NewEncoder(w).Encode(resultBody{
+		Columns: res.Columns,
+		Rows:    rows,
+		Stats: resultStats{
+			System:           string(stats.System),
+			MRCycles:         stats.MRCycles,
+			MapOnlyCycles:    stats.MapOnlyCycles,
+			SimulatedSeconds: stats.SimulatedSeconds,
+			ShuffleBytes:     stats.ShuffleBytes,
+			PlanCacheHit:     cacheHit,
+			WallMillis:       float64(elapsed.Microseconds()) / 1000,
+		},
+	})
+}

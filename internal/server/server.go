@@ -1,0 +1,261 @@
+// Package server is the query-serving subsystem: a concurrent HTTP SPARQL
+// endpoint over a rapidanalytics.Store. It exposes
+//
+//	GET/POST /sparql   — execute a query (params: query, system, format)
+//	GET      /healthz  — liveness and store size
+//	GET      /metrics  — Prometheus text metrics
+//
+// Every request runs under a context deadline that is threaded through the
+// store into MapReduce job execution, so a timeout or client disconnect
+// aborts the run between records/cycles instead of burning the cluster. A
+// bounded-concurrency admission controller (semaphore with a queue timeout)
+// sheds load with 503 once MaxConcurrent queries are in flight and the
+// queue wait exceeds QueueTimeout. Prepared plans are served from the
+// store's LRU plan cache, so repeated query templates skip planning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	ra "rapidanalytics"
+)
+
+// Config tunes the serving layer. The zero value gets sensible defaults.
+type Config struct {
+	// DefaultSystem executes queries that name no system parameter
+	// (default: RAPIDAnalytics).
+	DefaultSystem ra.System
+	// MaxConcurrent caps in-flight query executions (default: 2×GOMAXPROCS,
+	// at least 8).
+	MaxConcurrent int
+	// QueueTimeout is how long an arriving request may wait for an
+	// execution slot before being shed with 503 (default: 2s).
+	QueueTimeout time.Duration
+	// QueryTimeout is the per-query execution deadline; expiry returns 504
+	// (default: 60s).
+	QueryTimeout time.Duration
+	// MaxQueryBytes caps the request body (default: 1MB).
+	MaxQueryBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultSystem == "" {
+		c.DefaultSystem = ra.RAPIDAnalytics
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = max(8, 2*runtime.GOMAXPROCS(0))
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.MaxQueryBytes <= 0 {
+		c.MaxQueryBytes = 1 << 20
+	}
+	return c
+}
+
+// Server serves SPARQL queries over HTTP. Create with New; it implements
+// http.Handler.
+type Server struct {
+	store   *ra.Store
+	cfg     Config
+	sem     chan struct{}
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// beforeExecute, when set (tests only), runs after admission and
+	// before query execution — a barrier point proving true concurrency.
+	beforeExecute func()
+}
+
+// New returns a server over the store.
+func New(store *ra.Store, cfg Config) *Server {
+	s := &Server{
+		store:   store,
+		cfg:     cfg.withDefaults(),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's counters (shared, live).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a Store error to an HTTP status via the typed sentinels.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ra.ErrParse),
+		errors.Is(err, ra.ErrUnsupported),
+		errors.Is(err, ra.ErrUnknownSystem):
+		return http.StatusBadRequest
+	case errors.Is(err, ra.ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ra.ErrCanceled):
+		// Client is gone; the status is recorded in metrics only.
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request whose
+// client disconnected before the response.
+const statusClientClosedRequest = 499
+
+// sparqlRequest is one parsed /sparql request.
+type sparqlRequest struct {
+	query  string
+	system ra.System
+	format string // "json" or "tsv"
+}
+
+func (s *Server) parseRequest(r *http.Request) (sparqlRequest, error) {
+	req := sparqlRequest{system: s.cfg.DefaultSystem, format: "json"}
+	switch r.Method {
+	case http.MethodGet:
+		req.query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes)
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return req, fmt.Errorf("reading body: %w", err)
+			}
+			req.query = string(body)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				return req, fmt.Errorf("parsing form: %w", err)
+			}
+			req.query = r.PostForm.Get("query")
+			if req.query == "" {
+				req.query = r.URL.Query().Get("query")
+			}
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if v := r.URL.Query().Get("system"); v != "" {
+		req.system = ra.System(v)
+	} else if v := r.PostForm.Get("system"); v != "" {
+		req.system = ra.System(v)
+	}
+	if v := r.URL.Query().Get("format"); v != "" {
+		req.format = v
+	} else if v := r.PostForm.Get("format"); v != "" {
+		req.format = v
+	} else if strings.Contains(r.Header.Get("Accept"), "text/tab-separated-values") {
+		req.format = "tsv"
+	}
+	if req.format != "json" && req.format != "tsv" {
+		return req, fmt.Errorf("unknown format %q (want json or tsv)", req.format)
+	}
+	if strings.TrimSpace(req.query) == "" {
+		return req, fmt.Errorf("missing query parameter")
+	}
+	return req, nil
+}
+
+func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	req, err := s.parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+
+	// Admission control: wait for an execution slot, but never longer than
+	// the queue timeout (or the client's patience).
+	queueTimer := time.NewTimer(s.cfg.QueueTimeout)
+	defer queueTimer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-queueTimer.C:
+		s.metrics.AdmissionRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server saturated: %d queries in flight", s.cfg.MaxConcurrent)
+		return
+	case <-r.Context().Done():
+		s.metrics.AdmissionRejected()
+		writeError(w, statusClientClosedRequest, "client closed request while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+	done := s.metrics.QueryStarted()
+	defer done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	start := time.Now()
+	pq, err := s.store.Prepare(req.system, req.query)
+	if err != nil {
+		status := statusFor(err)
+		s.metrics.ObserveQuery(string(req.system), status, 0, time.Since(start))
+		writeError(w, status, "%v", err)
+		return
+	}
+	if s.beforeExecute != nil {
+		s.beforeExecute()
+	}
+	res, stats, err := pq.Execute(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		status := statusFor(err)
+		s.metrics.ObserveQuery(string(req.system), status, 0, elapsed)
+		if status != statusClientClosedRequest {
+			writeError(w, status, "%v", err)
+		}
+		return
+	}
+	s.metrics.ObserveQuery(string(req.system), http.StatusOK, stats.MRCycles, elapsed)
+	writeResult(w, req.format, res, stats, pq.CacheHit(), elapsed)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"triples": s.store.NumTriples(),
+		"served":  s.metrics.TotalServed(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, s.store.PlanCacheStats())
+}

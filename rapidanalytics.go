@@ -23,6 +23,7 @@
 package rapidanalytics
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/hive"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/plancache"
 	"rapidanalytics/internal/rapid"
 	"rapidanalytics/internal/rdf"
 	"rapidanalytics/internal/refimpl"
@@ -77,6 +79,9 @@ type Options struct {
 	// MapJoinBytes is Hive's broadcast-join budget at paper scale
 	// (default: 25MB, hive.mapjoin.smalltable.filesize).
 	MapJoinBytes int64
+	// PlanCacheSize bounds the store's LRU plan cache (entries). 0 means
+	// the default of 128; negative disables plan caching entirely.
+	PlanCacheSize int
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
 }
@@ -111,14 +116,33 @@ func Literal(v string) Term { return Term{value: v, isLiteral: true} }
 // Store holds an RDF graph and lazily materialises it into the simulated
 // cluster's storage layouts (vertical partitioning for the Hive engines, a
 // subject-triplegroup store for the NTGA engines) on first query.
+//
+// A Store is safe for concurrent use. Concurrency model: readers/writers on
+// the graph are serialised by an RWMutex — every query holds the read lock
+// for its whole execution, and mutations (Add, LoadNTriples) take the write
+// lock, so a mutation waits for in-flight queries to drain and queries never
+// observe a half-applied batch. This favours the serving workload (many
+// concurrent read-only queries, rare bulk loads) over mutation latency;
+// snapshot semantics were rejected because the reference evaluator and the
+// lazy materialisation both walk the live graph.
 type Store struct {
-	opts  Options
+	opts Options
+
+	// mu guards graph contents against in-flight queries (see above).
+	mu    sync.RWMutex
 	graph *rdf.Graph
 
-	mu      sync.Mutex
+	// loadMu guards the lazily materialised cluster state. It is always
+	// acquired after mu (never the reverse), so the order is deadlock-free.
+	loadMu  sync.Mutex
 	cluster *mapred.Cluster
 	ds      *engine.Dataset
 	loads   int
+
+	// plans caches compiled plans; nil when disabled. Cached plans are
+	// data-independent (parse + overlap detection + composite rewrite), so
+	// mutations never invalidate them.
+	plans *plancache.Cache
 }
 
 // NewStore returns an empty store.
@@ -132,23 +156,44 @@ func NewStore(opts Options) *Store {
 	if opts.MapJoinBytes <= 0 {
 		opts.MapJoinBytes = 25 << 20
 	}
-	return &Store{opts: opts, graph: &rdf.Graph{}}
+	var plans *plancache.Cache
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = 128
+		}
+		plans = plancache.New(size)
+	}
+	return &Store{opts: opts, graph: &rdf.Graph{}, plans: plans}
 }
 
-// Add appends one triple. The subject and property are IRIs.
+// Add appends one triple. The subject and property are IRIs. Add blocks
+// until in-flight queries finish.
 func (s *Store) Add(subject, property string, object Term) {
 	obj := rdf.NewIRI(object.value)
 	if object.isLiteral {
 		obj = rdf.NewLiteral(object.value)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.graph.Add(rdf.T(rdf.NewIRI(subject), rdf.NewIRI(property), obj))
-	s.ds = nil // invalidate materialised layouts
+	s.invalidateLayouts()
 }
 
 // AddGraph appends a whole internal graph (used by the generators).
 func (s *Store) addGraph(g *rdf.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.graph.Add(g.Triples...)
+	s.invalidateLayouts()
+}
+
+// invalidateLayouts drops the materialised storage layouts after a
+// mutation. Callers hold s.mu.
+func (s *Store) invalidateLayouts() {
+	s.loadMu.Lock()
 	s.ds = nil
+	s.loadMu.Unlock()
 }
 
 // LoadNTriples reads an N-Triples document into the store.
@@ -163,26 +208,32 @@ func (s *Store) LoadNTriples(r io.Reader) error {
 
 // WriteNTriples serialises the store's graph.
 func (s *Store) WriteNTriples(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return rdf.WriteNTriples(w, s.graph)
 }
 
 // NumTriples returns the number of loaded triples.
-func (s *Store) NumTriples() int { return s.graph.Len() }
+func (s *Store) NumTriples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Len()
+}
 
-// ensureLoaded materialises the storage layouts. Concurrent queries share
-// one materialisation; mutations (Add/LoadNTriples) must not race with
-// queries.
-func (s *Store) ensureLoaded() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ds != nil {
-		return
+// ensureLoaded materialises the storage layouts (once) and returns the
+// cluster and dataset to execute on. Callers hold s.mu.RLock, so the graph
+// cannot change underneath the materialisation.
+func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset) {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if s.ds == nil {
+		cfg := mapred.VCL10(s.opts.DataScale)
+		cfg.Nodes = s.opts.Nodes
+		s.cluster = mapred.NewCluster(cfg)
+		s.loads++
+		s.ds = engine.Load(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph)
 	}
-	cfg := mapred.VCL10(s.opts.DataScale)
-	cfg.Nodes = s.opts.Nodes
-	s.cluster = mapred.NewCluster(cfg)
-	s.loads++
-	s.ds = engine.Load(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph)
+	return s.cluster, s.ds
 }
 
 // Stats summarises one query execution.
@@ -272,17 +323,108 @@ func (s *Store) engineFor(sys System) (engine.Engine, error) {
 	case HiveMQO:
 		return &hive.MQO{Conf: hive.Config{MapJoinBytes: s.opts.MapJoinBytes}}, nil
 	default:
-		return nil, fmt.Errorf("rapidanalytics: unknown system %q", sys)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSystem, sys)
 	}
 }
 
+// validSystem reports whether sys names an executable system (including the
+// in-memory Reference oracle).
+func validSystem(sys System) bool {
+	switch sys {
+	case RAPIDAnalytics, RAPIDPlus, HiveNaive, HiveMQO, Reference:
+		return true
+	}
+	return false
+}
+
 // Query parses and runs a SPARQL analytical query on the chosen system.
+// Compilation goes through the store's plan cache; repeated query texts skip
+// the parse → overlap-detection → composite-rewrite pipeline.
 func (s *Store) Query(sys System, query string) (*Result, *Stats, error) {
-	aq, err := Compile(query)
+	return s.QueryContext(context.Background(), sys, query)
+}
+
+// QueryContext is Query bound to a context: execution aborts between
+// MapReduce records/groups/cycles once ctx is done, returning an error
+// matching ErrTimeout or ErrCanceled.
+func (s *Store) QueryContext(ctx context.Context, sys System, query string) (*Result, *Stats, error) {
+	pq, err := s.Prepare(sys, query)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.run(sys, aq)
+	return pq.Execute(ctx)
+}
+
+// PreparedQuery is a compiled plan bound to a store and system, ready for
+// repeated (and concurrent) execution. Obtain one with Store.Prepare.
+type PreparedQuery struct {
+	store    *Store
+	sys      System
+	q        *Compiled
+	cacheHit bool
+}
+
+// Prepare parses, validates and plans a query for the chosen system,
+// consulting the store's LRU plan cache first. The cache is keyed by
+// (system, query text) and additionally by (system, canonicalized text), so
+// differently-formatted spellings of one query share a plan. Errors match
+// ErrParse, ErrUnsupported or ErrUnknownSystem.
+func (s *Store) Prepare(sys System, query string) (*PreparedQuery, error) {
+	if !validSystem(sys) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSystem, sys)
+	}
+	if s.plans == nil {
+		c, err := Compile(query)
+		if err != nil {
+			return nil, err
+		}
+		return &PreparedQuery{store: s, sys: sys, q: c}, nil
+	}
+	rawKey := plancache.Key(string(sys), query)
+	if v, ok := s.plans.Get(rawKey); ok {
+		return &PreparedQuery{store: s, sys: sys, q: v.(*Compiled), cacheHit: true}, nil
+	}
+	c, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	canonKey := plancache.Key(string(sys), c.Normalized())
+	if canonKey != rawKey {
+		if v, ok := s.plans.Get(canonKey); ok {
+			// Another spelling of the same query is already planned; alias
+			// this spelling to the shared plan.
+			c = v.(*Compiled)
+			s.plans.Put(rawKey, c)
+			return &PreparedQuery{store: s, sys: sys, q: c, cacheHit: true}, nil
+		}
+		s.plans.Put(rawKey, c)
+	}
+	s.plans.Put(canonKey, c)
+	return &PreparedQuery{store: s, sys: sys, q: c}, nil
+}
+
+// Execute runs the prepared plan. It is safe to call concurrently from many
+// goroutines; each call executes independently under ctx.
+func (p *PreparedQuery) Execute(ctx context.Context) (*Result, *Stats, error) {
+	return p.store.run(ctx, p.sys, p.q)
+}
+
+// System returns the system the plan was prepared for.
+func (p *PreparedQuery) System() System { return p.sys }
+
+// Normalized renders the prepared query in canonical SPARQL form.
+func (p *PreparedQuery) Normalized() string { return p.q.Normalized() }
+
+// CacheHit reports whether Prepare served this plan from the cache.
+func (p *PreparedQuery) CacheHit() bool { return p.cacheHit }
+
+// PlanCacheStats returns a snapshot of the plan cache counters (zero when
+// caching is disabled).
+func (s *Store) PlanCacheStats() plancache.Stats {
+	if s.plans == nil {
+		return plancache.Stats{}
+	}
+	return s.plans.Stats()
 }
 
 // Compiled is a parsed and validated analytical query, reusable across
@@ -293,15 +435,17 @@ type Compiled struct {
 	src    string
 }
 
-// Compile parses and validates a SPARQL analytical query.
+// Compile parses and validates a SPARQL analytical query. Syntax failures
+// match ErrParse; valid SPARQL outside the analytical fragment matches
+// ErrUnsupported.
 func Compile(query string) (*Compiled, error) {
 	parsed, err := sparql.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	aq, err := algebra.Build(parsed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrUnsupported, err)
 	}
 	return &Compiled{aq: aq, parsed: parsed, src: query}, nil
 }
@@ -310,12 +454,19 @@ func Compile(query string) (*Compiled, error) {
 // compacted IRIs, grouped predicate lists).
 func (c *Compiled) Normalized() string { return sparql.Format(c.parsed) }
 
-// QueryCompiled runs a pre-compiled query.
+// QueryCompiled runs a pre-compiled query, bypassing the plan cache.
 func (s *Store) QueryCompiled(sys System, q *Compiled) (*Result, *Stats, error) {
-	return s.run(sys, q)
+	return s.run(context.Background(), sys, q)
 }
 
-func (s *Store) run(sys System, q *Compiled) (*Result, *Stats, error) {
+func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, wrapContextErr(ctx, err)
+	}
+	// Hold the read lock for the whole execution: mutations wait, queries
+	// proceed in parallel (see the Store doc comment).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if sys == Reference {
 		res, err := refimpl.Execute(s.graph, q.aq)
 		if err != nil {
@@ -327,9 +478,12 @@ func (s *Store) run(sys System, q *Compiled) (*Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s.ensureLoaded()
-	res, wm, err := eng.Execute(s.cluster, s.ds, q.aq)
+	cluster, ds := s.ensureLoaded()
+	res, wm, err := eng.Execute(cluster.WithContext(ctx), ds, q.aq)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, wrapContextErr(ctx, err)
+		}
 		return nil, nil, err
 	}
 	stats := &Stats{
