@@ -11,7 +11,8 @@
 //	benchrunner -verify         # also cross-check every result vs oracle
 //
 // Experiments: table3, fig8a, fig8b, fig8c, table4, cycles, ablation,
-// prepared (plan-cache speedup, writes BENCH_prepared.json), all.
+// prepared (plan-cache speedup, writes BENCH_prepared.json), parallel
+// (sequential vs parallel reduce, writes BENCH_parallel.json), all.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, all")
+		exp    = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, all")
 		verify = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale  = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 	)
@@ -53,6 +54,7 @@ func main() {
 	run("cycles", Cycles)
 	run("ablation", Ablation)
 	run("prepared", Prepared)
+	run("parallel", Parallel)
 }
 
 var gQueries = []string{"G1", "G2", "G3", "G4"}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"rapidanalytics/internal/bench"
+)
+
+// parallelIters is how many times each query runs per reduce mode; the
+// report keeps the best wall time of each.
+const parallelIters = 3
+
+// Parallel benchmarks the engine's parallel reduce phase against the forced
+// sequential path on the multi-grouping BSBM queries at the largest
+// generated dataset, checking on the way that both modes return identical
+// rows and identical per-cycle volume metrics. Results go to stdout and
+// BENCH_parallel.json. The harness's SizeMult carries over, so CI can run
+// the same experiment on a tiny dataset.
+func Parallel(h *bench.Harness) (string, error) {
+	rep, err := bench.CompareReduceModes("bsbm-2m", mgBSBM, bench.Engines(), parallelIters, h.Loader.SizeMult)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return bench.RenderParallel(rep) + "(wrote BENCH_parallel.json)\n", nil
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rapidanalytics/internal/bench"
 	"rapidanalytics/internal/engine"
@@ -55,8 +56,7 @@ func main() {
 		runOnFile(query, *data, *system, *all, *verify, *rows, *trace, *format)
 		return
 	}
-	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows)
-	_ = trace
+	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace)
 }
 
 func resolveQuery(queryID, file string) (string, error) {
@@ -122,7 +122,7 @@ func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace
 	}
 }
 
-func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int) {
+func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int, trace bool) {
 	if queryID == "" {
 		fatal(fmt.Errorf("-dataset requires a catalog -query; use -data for ad-hoc queries"))
 	}
@@ -152,6 +152,12 @@ func runOnCatalogDataset(query, queryID, dataset, system string, all, verify boo
 			fmt.Print("  [verified]")
 		}
 		fmt.Println()
+		if trace {
+			fmt.Printf("    phase walls: map=%s shuffle-sort=%s reduce=%s\n",
+				r.MapWall.Round(time.Microsecond),
+				r.ShuffleSortWall.Round(time.Microsecond),
+				r.ReduceWall.Round(time.Microsecond))
+		}
 	}
 	_ = rows
 	_ = query

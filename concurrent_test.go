@@ -218,3 +218,72 @@ func TestTypedErrors(t *testing.T) {
 		t.Fatalf("expired execute = %v; want ErrTimeout wrapping DeadlineExceeded", err)
 	}
 }
+
+// TestConcurrentParallelReduceStableStats runs MapReduce-backed queries from
+// many goroutines at once — each execution's reduce phase itself runs on the
+// engine's parallel worker pool — and asserts that every run reports exactly
+// the baseline's deterministic volume statistics while still recording
+// per-phase wall times.
+func TestConcurrentParallelReduceStableStats(t *testing.T) {
+	store := buildShop()
+	systems := []ra.System{ra.RAPIDAnalytics, ra.HiveNaive}
+
+	type volumes struct {
+		cycles, mapOnly int
+		simSeconds      float64
+		shuffle, mat    int64
+	}
+	baseline := map[ra.System]volumes{}
+	baseRows := map[ra.System]string{}
+	for _, sys := range systems {
+		res, stats, err := store.Query(sys, exampleQuery)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", sys, err)
+		}
+		baseline[sys] = volumes{stats.MRCycles, stats.MapOnlyCycles,
+			stats.SimulatedSeconds, stats.ShuffleBytes, stats.MaterializedBytes}
+		baseRows[sys] = canonRows(res)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sys := systems[g%len(systems)]
+			res, stats, err := store.Query(sys, exampleQuery)
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d %s: %w", g, sys, err)
+				return
+			}
+			got := volumes{stats.MRCycles, stats.MapOnlyCycles,
+				stats.SimulatedSeconds, stats.ShuffleBytes, stats.MaterializedBytes}
+			if got != baseline[sys] {
+				errs <- fmt.Errorf("goroutine %d %s: volume stats diverged under concurrency: %+v != %+v",
+					g, sys, got, baseline[sys])
+				return
+			}
+			if canonRows(res) != baseRows[sys] {
+				errs <- fmt.Errorf("goroutine %d %s: rows diverged under concurrency", g, sys)
+				return
+			}
+			if stats.MapWall <= 0 {
+				errs <- fmt.Errorf("goroutine %d %s: MapWall not recorded: %+v", g, sys, stats)
+				return
+			}
+			for _, j := range stats.Jobs {
+				if !j.MapOnly && j.ReduceTasks > 0 && j.ReduceWall < 0 {
+					errs <- fmt.Errorf("goroutine %d %s: negative ReduceWall in cycle %s", g, sys, j.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -119,6 +119,11 @@ type loadedDataset struct {
 type Loader struct {
 	// SizeMult scales every dataset's primary entity count (default 1).
 	SizeMult float64
+	// ReduceWorkers overrides the engine's shuffle/reduce worker pool for
+	// every loaded cluster: 0 means one worker per CPU, 1 forces the
+	// sequential reduce path. Output and volume metrics are identical for
+	// every setting.
+	ReduceWorkers int
 
 	mu     sync.Mutex
 	loaded map[string]*loadedDataset
@@ -141,7 +146,9 @@ func (l *Loader) Load(id string) (*mapred.Cluster, *engine.Dataset, error) {
 	}
 	g := spec.Generate(l.SizeMult)
 	scale := spec.PaperTriples / float64(g.Len())
-	c := mapred.NewCluster(spec.Cluster(scale))
+	cfg := spec.Cluster(scale)
+	cfg.ExecReduceWorkers = l.ReduceWorkers
+	c := mapred.NewCluster(cfg)
 	ds := engine.Load(c, spec.ID, g)
 	l.loaded[id] = &loadedDataset{spec: spec, cluster: c, ds: ds}
 	return c, ds, nil

@@ -25,6 +25,11 @@ type RunResult struct {
 	SimSeconds float64
 	// Wall is the real in-process execution time.
 	Wall time.Duration
+	// MapWall, ShuffleSortWall and ReduceWall split Wall's engine portion
+	// into the measured MapReduce phase times.
+	MapWall         time.Duration
+	ShuffleSortWall time.Duration
+	ReduceWall      time.Duration
 	// ShuffleBytes and MaterializedBytes are measured volumes (unscaled).
 	ShuffleBytes      int64
 	MaterializedBytes int64
@@ -94,6 +99,7 @@ func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]Run
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s on %s via %s: %w", queryID, datasetID, e.Name(), err)
 		}
+		mapNs, shuffleSortNs, reduceNs := wm.PhaseWalls()
 		rr := RunResult{
 			Query:             queryID,
 			Dataset:           datasetID,
@@ -102,6 +108,9 @@ func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]Run
 			MapOnlyCycles:     wm.MapOnlyCycles(),
 			SimSeconds:        wm.SimSeconds(),
 			Wall:              time.Since(start),
+			MapWall:           time.Duration(mapNs),
+			ShuffleSortWall:   time.Duration(shuffleSortNs),
+			ReduceWall:        time.Duration(reduceNs),
 			ShuffleBytes:      wm.ShuffleBytes(),
 			MaterializedBytes: wm.MaterializedBytes(),
 			Rows:              len(res.Rows),

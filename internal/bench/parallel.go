@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+)
+
+// ReduceModeRun compares one (query, engine) pair between the sequential
+// and the parallel reduce path.
+type ReduceModeRun struct {
+	Query  string `json:"query"`
+	Engine string `json:"engine"`
+	// SeqWallMillis and ParWallMillis are best-of-iters in-process times.
+	SeqWallMillis float64 `json:"seqWallMillis"`
+	ParWallMillis float64 `json:"parWallMillis"`
+	// Speedup is SeqWall / ParWall.
+	Speedup float64 `json:"speedup"`
+	// RowsIdentical reports that both modes returned the same result rows in
+	// the same order; VolumesIdentical that every cycle's volume metrics
+	// (records, bytes, groups, simulated seconds) matched cycle for cycle.
+	RowsIdentical    bool `json:"rowsIdentical"`
+	VolumesIdentical bool `json:"volumesIdentical"`
+}
+
+// ParallelReport is the result of CompareReduceModes, serialised to
+// BENCH_parallel.json by benchrunner -exp parallel.
+type ParallelReport struct {
+	Dataset string `json:"dataset"`
+	// Cores is runtime.NumCPU on the measuring machine; the parallel mode
+	// cannot beat sequential without several of them.
+	Cores int `json:"cores"`
+	// ReduceWorkers is the parallel mode's worker-pool size.
+	ReduceWorkers int             `json:"reduceWorkers"`
+	Iters         int             `json:"iters"`
+	Runs          []ReduceModeRun `json:"runs"`
+	// MeanSpeedup is the geometric mean of the per-run speedups.
+	MeanSpeedup float64 `json:"meanSpeedup"`
+}
+
+// CompareReduceModes runs each query on each engine twice per iteration —
+// once with the reduce phase forced sequential (one worker) and once with
+// the parallel worker pool — and reports best-of-iters wall times plus
+// row- and metric-identity checks. Both modes load independent copies of
+// the same deterministic dataset (scaled by sizeMult, 1 = default), so any
+// divergence is an engine bug.
+func CompareReduceModes(datasetID string, queryIDs []string, engines []engine.Engine, iters int, sizeMult float64) (*ParallelReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	seqLoader := NewLoader()
+	seqLoader.ReduceWorkers = 1
+	parLoader := NewLoader()
+	if sizeMult > 0 {
+		seqLoader.SizeMult = sizeMult
+		parLoader.SizeMult = sizeMult
+	}
+
+	report := &ParallelReport{
+		Dataset:       datasetID,
+		Cores:         runtime.NumCPU(),
+		ReduceWorkers: mapred.DefaultParallelism(),
+		Iters:         iters,
+	}
+	for _, id := range queryIDs {
+		q, ok := Get(id)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %q", id)
+		}
+		parsed, err := sparql.Parse(q.SPARQL)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", id, err)
+		}
+		aq, err := algebra.Build(parsed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", id, err)
+		}
+		for _, e := range engines {
+			run := ReduceModeRun{Query: id, Engine: e.Name()}
+			for it := 0; it < iters; it++ {
+				seqRes, seqWM, seqWall, err := executeOn(seqLoader, datasetID, e, aq)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s via %s (sequential): %w", id, e.Name(), err)
+				}
+				parRes, parWM, parWall, err := executeOn(parLoader, datasetID, e, aq)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s via %s (parallel): %w", id, e.Name(), err)
+				}
+				if it == 0 {
+					run.RowsIdentical = seqRes.Pretty() == parRes.Pretty()
+					run.VolumesIdentical = volumesIdentical(seqWM, parWM)
+					run.SeqWallMillis = seqWall
+					run.ParWallMillis = parWall
+				} else {
+					run.SeqWallMillis = min(run.SeqWallMillis, seqWall)
+					run.ParWallMillis = min(run.ParWallMillis, parWall)
+				}
+			}
+			if run.ParWallMillis > 0 {
+				run.Speedup = run.SeqWallMillis / run.ParWallMillis
+			}
+			report.Runs = append(report.Runs, run)
+		}
+	}
+	report.MeanSpeedup = geoMean(report.Runs)
+	return report, nil
+}
+
+func executeOn(l *Loader, datasetID string, e engine.Engine, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, float64, error) {
+	c, ds, err := l.Load(datasetID)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	start := time.Now()
+	res, wm, err := e.Execute(c, ds, aq)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, wm, float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+func volumesIdentical(a, b *mapred.WorkflowMetrics) bool {
+	if len(a.Jobs) != len(b.Jobs) {
+		return false
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Job != b.Jobs[i].Job || a.Jobs[i].Volumes() != b.Jobs[i].Volumes() {
+			return false
+		}
+	}
+	return true
+}
+
+func geoMean(runs []ReduceModeRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, r := range runs {
+		if r.Speedup <= 0 {
+			return 0
+		}
+		prod *= r.Speedup
+	}
+	return math.Pow(prod, 1/float64(len(runs)))
+}
+
+// RenderParallel renders a ParallelReport as an aligned table.
+func RenderParallel(rep *ParallelReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequential vs parallel reduce on %s (%d cores, %d reduce workers, best of %d)\n",
+		rep.Dataset, rep.Cores, rep.ReduceWorkers, rep.Iters)
+	fmt.Fprintf(&b, "%-6s %-22s %10s %10s %8s %6s %8s\n",
+		"query", "engine", "seq ms", "par ms", "speedup", "rows=", "volumes=")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-6s %-22s %10.2f %10.2f %7.2fx %6v %8v\n",
+			r.Query, r.Engine, r.SeqWallMillis, r.ParWallMillis, r.Speedup,
+			r.RowsIdentical, r.VolumesIdentical)
+	}
+	fmt.Fprintf(&b, "geometric-mean speedup: %.2fx\n", rep.MeanSpeedup)
+	return b.String()
+}

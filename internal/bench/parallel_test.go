@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The tentpole guarantee at the query level: every single-grouping and
+// multi-grouping BSBM catalog query returns identical rows and identical
+// per-cycle volume metrics whether the reduce phase runs sequentially or on
+// the parallel worker pool, on every engine.
+func TestParallelReduceMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog comparison in -short mode")
+	}
+	queries := []string{"G1", "G2", "G3", "G4", "MG1", "MG2", "MG3", "MG4"}
+	rep, err := CompareReduceModes("bsbm-500k", queries, Engines(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(queries) * len(Engines()); len(rep.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), want)
+	}
+	for _, r := range rep.Runs {
+		if !r.RowsIdentical {
+			t.Errorf("%s via %s: parallel reduce changed the result rows", r.Query, r.Engine)
+		}
+		if !r.VolumesIdentical {
+			t.Errorf("%s via %s: parallel reduce changed the volume metrics", r.Query, r.Engine)
+		}
+	}
+}
+
+// The phase walls recorded by the harness must be populated for
+// MapReduce-backed runs.
+func TestHarnessRecordsPhaseWalls(t *testing.T) {
+	h := NewHarness(false)
+	rs, err := h.Run("MG1", "bsbm-500k", Engines()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].MapWall <= 0 || rs[0].ReduceWall <= 0 {
+		t.Errorf("phase walls not recorded: %+v", rs[0])
+	}
+}

@@ -29,6 +29,21 @@ func BenchmarkWordCountThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionOf guards the zero-alloc inline FNV-1a partitioner on
+// the per-emit hot path (it used to allocate a hash.Hash32 per key).
+func BenchmarkPartitionOf(b *testing.B) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("group-key-%d", i)
+	}
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += partitionOf(keys[i%len(keys)], 8)
+	}
+	_ = sink
+}
+
 // BenchmarkShufflePath isolates the sort-merge shuffle.
 func BenchmarkShufflePath(b *testing.B) {
 	in := make([]kv, 5000)

@@ -44,6 +44,12 @@ type ClusterConfig struct {
 	// ExecSplitBytes is the *execution* split size used to bound real
 	// in-process map-task granularity; it does not affect the cost model.
 	ExecSplitBytes int64
+	// ExecReduceWorkers bounds the worker pool running the *execution*
+	// shuffle-sort and reduce phases: 0 means one worker per CPU, 1 forces
+	// sequential reduce. Execution output and volume metrics are identical
+	// for every setting; like ExecSplitBytes it does not affect the cost
+	// model.
+	ExecReduceWorkers int
 }
 
 // DefaultConfig returns the 10-node VCL-like cluster used for BSBM-500K and

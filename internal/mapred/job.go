@@ -112,6 +112,24 @@ type Metrics struct {
 	SimulatedMapTasks int   // from the cost model's block math
 	SimulatedRedTasks int
 	SimSeconds        float64
+
+	// Measured wall-clock time per execution phase, in nanoseconds. These
+	// describe the in-process run on this machine (not the simulated
+	// cluster) and vary run to run; every other field is deterministic.
+	MapWallNs         int64 // map tasks, incl. combiners (and output write for map-only jobs)
+	ShuffleSortWallNs int64 // per-partition concatenation + sort-group
+	ReduceWallNs      int64 // reducers + output materialisation
+}
+
+// Volumes returns a copy of m with the wall-clock phase timings zeroed:
+// the deterministic volume fields that must be identical between
+// sequential and parallel execution of the same job.
+func (m *Metrics) Volumes() Metrics {
+	v := *m
+	v.MapWallNs = 0
+	v.ShuffleSortWallNs = 0
+	v.ReduceWallNs = 0
+	return v
 }
 
 // WorkflowMetrics aggregates a multi-job workflow.
@@ -152,6 +170,17 @@ func (w *WorkflowMetrics) ShuffleBytes() int64 {
 		}
 	}
 	return b
+}
+
+// PhaseWalls returns the workflow's total measured wall-clock time spent in
+// the map, shuffle-sort and reduce phases, in nanoseconds.
+func (w *WorkflowMetrics) PhaseWalls() (mapNs, shuffleSortNs, reduceNs int64) {
+	for _, m := range w.Jobs {
+		mapNs += m.MapWallNs
+		shuffleSortNs += m.ShuffleSortWallNs
+		reduceNs += m.ReduceWallNs
+	}
+	return mapNs, shuffleSortNs, reduceNs
 }
 
 // MaterializedBytes returns the total uncompressed bytes written to the DFS

@@ -1,11 +1,12 @@
 package mapred
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // kv is a key/value pair in flight between map and reduce.
@@ -22,10 +23,66 @@ type split struct {
 	stored  int64
 }
 
+// DefaultPartitions is the reduce partition count used when a job does not
+// set one.
+const DefaultPartitions = 4
+
+// errSiblingAborted marks tasks skipped or interrupted because a sibling
+// task in the same phase already failed. It is an internal sentinel: Run
+// always reports the originating failure, never this error.
+var errSiblingAborted = errors.New("mapred: sibling task failed")
+
+// abortSignal fans a first-failure signal out to sibling tasks: the first
+// trip closes the channel, every task polls it between records.
+type abortSignal struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newAbortSignal() *abortSignal { return &abortSignal{ch: make(chan struct{})} }
+
+func (a *abortSignal) trip() { a.once.Do(func() { close(a.ch) }) }
+
+func (a *abortSignal) aborted() bool {
+	select {
+	case <-a.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// taskResult is one map task's partitioned output.
+type taskResult struct {
+	parts [][]kv
+	emits int64
+	err   error
+}
+
+// partState carries one reduce partition through shuffle-sort and reduce:
+// the sorted key groups, the buffered reducer output, and the partition's
+// share of the volume metrics, merged into Metrics in partition order so
+// parallel execution is indistinguishable from sequential.
+type partState struct {
+	groups []group
+	out    [][]byte
+
+	mapOutRecords int64
+	mapOutBytes   int64
+	reduceGroups  int64
+	outputRecords int64
+	outputBytes   int64
+	err           error
+}
+
 // Run executes one job and returns its metrics (with SimSeconds filled in
-// from the cluster's cost model). Map tasks run in parallel, bounded by the
-// number of CPUs; determinism is preserved by collecting map output in task
-// order before the sort-merge shuffle.
+// from the cluster's cost model). Map tasks run on a bounded worker pool;
+// the shuffle-sort and reduce phases run one bounded worker pool over the
+// reduce partitions. Determinism is preserved end to end: each partition's
+// buffers are concatenated in map-task order, the shuffle sort is stable,
+// and partition outputs are written to the DFS in partition order — so
+// output bytes, record order and all volume metrics are identical whether
+// the phases run on one worker or many.
 func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	if err := c.err(); err != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted: %w", job.Name, err)
@@ -42,91 +99,249 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 
 	partitions := job.Partitions
 	if partitions <= 0 {
-		partitions = 4
+		partitions = DefaultPartitions
 	}
 	if job.MapOnly() {
 		partitions = 1
 	}
 
-	type taskResult struct {
-		parts [][]kv
-		emits int64
-		err   error
+	results, mapWall, err := c.runMapPhase(job, splits, side, partitions)
+	m.MapWallNs = mapWall.Nanoseconds()
+	if cerr := c.err(); cerr != nil {
+		return nil, fmt.Errorf("mapred: job %s aborted before shuffle: %w", job.Name, cerr)
 	}
-	results := make([]taskResult, len(splits))
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i, sp := range splits {
-		wg.Add(1)
-		go func(i int, sp split) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			parts, emits, err := c.runMapTask(job, sp, side, partitions)
-			results[i] = taskResult{parts: parts, emits: emits, err: err}
-		}(i, sp)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-
-	if err := c.err(); err != nil {
-		return nil, fmt.Errorf("mapred: job %s aborted before shuffle: %w", job.Name, err)
-	}
-	// Collect in task order for determinism.
-	partData := make([][]kv, partitions)
 	for i := range results {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("mapred: job %s map task %d: %w", job.Name, i, results[i].err)
-		}
 		m.MapEmitRecords += results[i].emits
-		for p, kvs := range results[i].parts {
-			partData[p] = append(partData[p], kvs...)
-		}
-	}
-	for _, part := range partData {
-		for _, e := range part {
-			m.MapOutputRecords++
-			m.MapOutputBytes += int64(len(e.key) + len(e.value))
-		}
 	}
 
 	ratio := job.OutputCompression
 	if ratio <= 0 || ratio > 1 {
 		ratio = 1
 	}
-	out := c.FS.Create(job.Output, ratio)
+
 	if job.MapOnly() {
-		for _, part := range partData {
-			for _, e := range part {
+		// Map-only output is written directly from the (single-partition)
+		// map buffers in task order, as Hadoop map tasks would; the write is
+		// part of the map phase, there is no shuffle or reduce.
+		wstart := time.Now()
+		out := c.FS.Create(job.Output, ratio)
+		for i := range results {
+			for _, e := range results[i].parts[0] {
+				m.MapOutputRecords++
+				m.MapOutputBytes += int64(len(e.key) + len(e.value))
 				out.Write(e.value)
 				m.OutputRecords++
 				m.OutputBytes += int64(len(e.value))
 			}
 		}
-	} else {
-		for _, part := range partData {
-			groups := sortAndGroup(part)
-			red := job.NewReducer()
-			for gi, g := range groups {
-				if gi%ctxCheckInterval == 0 {
-					if err := c.err(); err != nil {
-						return nil, fmt.Errorf("mapred: job %s aborted in reduce: %w", job.Name, err)
-					}
-				}
-				m.ReduceGroups++
-				err := red.Reduce(g.key, g.values, func(_ string, value []byte) {
-					out.Write(value)
-					m.OutputRecords++
-					m.OutputBytes += int64(len(value))
-				})
-				if err != nil {
-					return nil, fmt.Errorf("mapred: job %s reduce key %q: %w", job.Name, g.key, err)
-				}
+		m.OutputStoredBytes = out.File().StoredBytes()
+		m.MapWallNs += time.Since(wstart).Nanoseconds()
+		c.Config.cost(m)
+		return m, nil
+	}
+
+	states := make([]partState, partitions)
+	workers := c.reduceWorkers(partitions)
+
+	// Shuffle-sort: concatenate each partition's slices in map-task order
+	// and sort-group them, one partition per worker. The cancellation check
+	// runs before each partition's sort, so a cancelled query never enters
+	// an unbounded sort over a hot partition.
+	shuffleStart := time.Now()
+	runPartitions(workers, partitions, func(p int) {
+		st := &states[p]
+		if err := c.err(); err != nil {
+			st.err = err
+			return
+		}
+		n := 0
+		for i := range results {
+			n += len(results[i].parts[p])
+		}
+		buf := make([]kv, 0, n)
+		for i := range results {
+			buf = append(buf, results[i].parts[p]...)
+		}
+		for _, e := range buf {
+			st.mapOutRecords++
+			st.mapOutBytes += int64(len(e.key) + len(e.value))
+		}
+		st.groups = sortAndGroup(buf)
+	})
+	m.ShuffleSortWallNs = time.Since(shuffleStart).Nanoseconds()
+	for p := range states {
+		if states[p].err != nil {
+			return nil, fmt.Errorf("mapred: job %s aborted in shuffle: %w", job.Name, states[p].err)
+		}
+		m.MapOutputRecords += states[p].mapOutRecords
+		m.MapOutputBytes += states[p].mapOutBytes
+	}
+
+	// Reduce: each partition's reducer runs independently, buffering its
+	// output; a failed or cancelled partition trips its siblings.
+	reduceStart := time.Now()
+	abort := newAbortSignal()
+	runPartitions(workers, partitions, func(p int) {
+		st := &states[p]
+		if err := c.reducePartition(job, st, abort); err != nil {
+			st.err = err
+			if !errors.Is(err, errSiblingAborted) {
+				abort.trip()
 			}
 		}
+	})
+	if err := c.err(); err != nil {
+		return nil, fmt.Errorf("mapred: job %s aborted in reduce: %w", job.Name, err)
+	}
+	for p := range states {
+		if err := states[p].err; err != nil && !errors.Is(err, errSiblingAborted) {
+			return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
+		}
+	}
+
+	// Materialise buffered partition outputs in partition order — the byte
+	// stream a single sequential reducer loop would have produced.
+	out := c.FS.Create(job.Output, ratio)
+	for p := range states {
+		st := &states[p]
+		for _, rec := range st.out {
+			out.WriteOwned(rec)
+		}
+		m.ReduceGroups += st.reduceGroups
+		m.OutputRecords += st.outputRecords
+		m.OutputBytes += st.outputBytes
 	}
 	m.OutputStoredBytes = out.File().StoredBytes()
+	m.ReduceWallNs = time.Since(reduceStart).Nanoseconds()
 	c.Config.cost(m)
 	return m, nil
+}
+
+// runMapPhase executes every split on a pool of maxParallel workers pulling
+// from a shared channel, so fan-out stays bounded no matter how many splits
+// the input carves into. The first task failure trips the abort signal;
+// queued tasks are skipped and in-flight siblings stop at their next record
+// check. The returned error is the lowest-indexed task's genuine failure.
+func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte, partitions int) ([]taskResult, time.Duration, error) {
+	start := time.Now()
+	results := make([]taskResult, len(splits))
+	abort := newAbortSignal()
+	workers := maxParallel()
+	if workers > len(splits) {
+		workers = len(splits)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if abort.aborted() {
+					results[i].err = errSiblingAborted
+					continue
+				}
+				parts, emits, err := c.runMapTask(job, splits[i], side, partitions, abort)
+				results[i] = taskResult{parts: parts, emits: emits, err: err}
+				if err != nil {
+					abort.trip()
+				}
+			}
+		}()
+	}
+	for i := range splits {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := range results {
+		if err := results[i].err; err != nil && !errors.Is(err, errSiblingAborted) {
+			return nil, elapsed, fmt.Errorf("mapred: job %s map task %d: %w", job.Name, i, err)
+		}
+	}
+	return results, elapsed, nil
+}
+
+// reducePartition sorts nothing (the groups are prepared by the shuffle
+// phase); it runs the reducer over one partition's groups, buffering output
+// records and volume counts into st.
+func (c *Cluster) reducePartition(job *Job, st *partState, abort *abortSignal) error {
+	if err := c.err(); err != nil {
+		return err
+	}
+	if abort.aborted() {
+		return errSiblingAborted
+	}
+	red := job.NewReducer()
+	for gi, g := range st.groups {
+		if gi%ctxCheckInterval == 0 {
+			if err := c.err(); err != nil {
+				return err
+			}
+			if abort.aborted() {
+				return errSiblingAborted
+			}
+		}
+		st.reduceGroups++
+		err := red.Reduce(g.key, g.values, func(_ string, value []byte) {
+			// Copy: reducers may reuse the emitted slice, and the write to
+			// the DFS happens only after every partition finishes.
+			rec := make([]byte, len(value))
+			copy(rec, value)
+			st.out = append(st.out, rec)
+			st.outputRecords++
+			st.outputBytes += int64(len(value))
+		})
+		if err != nil {
+			return fmt.Errorf("reduce key %q: %w", g.key, err)
+		}
+	}
+	return nil
+}
+
+// runPartitions applies f to every partition index on a pool of workers.
+// With one worker it degenerates to the sequential loop, which parallel
+// execution must be byte-for-byte indistinguishable from.
+func runPartitions(workers, partitions int, f func(p int)) {
+	if workers <= 1 {
+		for p := 0; p < partitions; p++ {
+			f(p)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range next {
+				f(p)
+			}
+		}()
+	}
+	for p := 0; p < partitions; p++ {
+		next <- p
+	}
+	close(next)
+	wg.Wait()
+}
+
+// reduceWorkers sizes the shuffle/reduce worker pool: the configured
+// override, else one worker per CPU, never more than there are partitions.
+func (c *Cluster) reduceWorkers(partitions int) int {
+	n := c.Config.ExecReduceWorkers
+	if n <= 0 {
+		n = maxParallel()
+	}
+	if n > partitions {
+		n = partitions
+	}
+	return n
 }
 
 // RunWorkflow executes jobs sequentially, stopping at the first error or
@@ -150,6 +365,10 @@ func maxParallel() int {
 	}
 	return n
 }
+
+// DefaultParallelism returns the worker-pool size used for map tasks and
+// (unless ExecReduceWorkers overrides it) the shuffle/reduce phases.
+func DefaultParallelism() int { return maxParallel() }
 
 // makeSplits carves each input file into block-sized splits and accounts
 // input volumes.
@@ -202,7 +421,18 @@ func (c *Cluster) loadSideInputs(job *Job, m *Metrics) (map[string][][]byte, err
 // runMapTask runs one mapper over a split, partitions its output, and
 // applies the combiner locally. It returns the partitioned (post-combiner)
 // output and the number of records the mapper emitted before combining.
-func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, partitions int) ([][]kv, int64, error) {
+// check covers both context cancellation and sibling-task failure, and is
+// consulted between records and inside the combiner.
+func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, partitions int, abort *abortSignal) ([][]kv, int64, error) {
+	check := func() error {
+		if err := c.err(); err != nil {
+			return err
+		}
+		if abort.aborted() {
+			return errSiblingAborted
+		}
+		return nil
+	}
 	tc := &TaskContext{InputFile: sp.file, sideData: side}
 	mapper := job.NewMapper(tc)
 	parts := make([][]kv, partitions)
@@ -217,7 +447,7 @@ func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, parti
 	}
 	for ri, rec := range sp.records {
 		if ri%ctxCheckInterval == 0 {
-			if err := c.err(); err != nil {
+			if err := check(); err != nil {
 				return nil, 0, err
 			}
 		}
@@ -232,7 +462,7 @@ func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, parti
 	}
 	if job.NewCombiner != nil && !job.MapOnly() {
 		for p := range parts {
-			combined, err := combine(job.NewCombiner(), parts[p], partitions, p)
+			combined, err := combine(job.NewCombiner(), parts[p], partitions, p, check)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -242,10 +472,21 @@ func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, parti
 	return parts, emits, nil
 }
 
-func combine(comb Reducer, in []kv, partitions, p int) ([]kv, error) {
+// combine runs the combiner over one partition of a map task's output. The
+// check hook runs before the sort and between groups, so cancellation never
+// stalls in a combiner over a hot key.
+func combine(comb Reducer, in []kv, partitions, p int, check func() error) ([]kv, error) {
+	if err := check(); err != nil {
+		return nil, err
+	}
 	groups := sortAndGroup(in)
 	var out []kv
-	for _, g := range groups {
+	for gi, g := range groups {
+		if gi%ctxCheckInterval == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		err := comb.Reduce(g.key, g.values, func(key string, value []byte) {
 			out = append(out, kv{key: key, value: value})
 		})
@@ -286,8 +527,20 @@ func sortAndGroup(in []kv) []group {
 	return groups
 }
 
+// FNV-1a constants (hash/fnv), inlined so the per-emit hot path hashes
+// without allocating a hash.Hash32.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// partitionOf assigns a key to a reduce partition with an inline FNV-1a
+// hash — identical to fnv.New32a over the key bytes, but zero-alloc.
 func partitionOf(key string, partitions int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(partitions))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(partitions))
 }

@@ -22,8 +22,9 @@ type Metrics struct {
 	inFlight atomic.Int64
 
 	mu               sync.Mutex
-	queries          map[string]map[int]int64 // system → HTTP status → count
-	mrCycles         map[string]int64         // system → total MapReduce cycles
+	queries          map[string]map[int]int64      // system → HTTP status → count
+	mrCycles         map[string]int64              // system → total MapReduce cycles
+	phaseSeconds     map[string]map[string]float64 // system → phase → wall seconds
 	admissionRejects int64
 	bucketCounts     []int64 // cumulative at render time; raw per-bucket here
 	latencyCount     int64
@@ -35,6 +36,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		queries:      map[string]map[int]int64{},
 		mrCycles:     map[string]int64{},
+		phaseSeconds: map[string]map[string]float64{},
 		bucketCounts: make([]int64, len(latencyBuckets)+1),
 	}
 }
@@ -69,6 +71,21 @@ func (m *Metrics) ObserveQuery(system string, status int, mrCycles int, d time.D
 	m.bucketCounts[i]++
 	m.latencyCount++
 	m.latencySum += secs
+}
+
+// ObservePhases accumulates a successful query's measured MapReduce phase
+// wall times (map, shuffle-sort, reduce) for the executing system.
+func (m *Metrics) ObservePhases(system string, mapWall, shuffleSortWall, reduceWall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byPhase, ok := m.phaseSeconds[system]
+	if !ok {
+		byPhase = map[string]float64{}
+		m.phaseSeconds[system] = byPhase
+	}
+	byPhase["map"] += mapWall.Seconds()
+	byPhase["shuffle_sort"] += shuffleSortWall.Seconds()
+	byPhase["reduce"] += reduceWall.Seconds()
 }
 
 // AdmissionRejected records one request turned away by the admission
@@ -120,6 +137,15 @@ func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
 	fmt.Fprintf(w, "# TYPE rapidserver_mr_cycles_total counter\n")
 	for _, sys := range sortedKeys(m.mrCycles) {
 		fmt.Fprintf(w, "rapidserver_mr_cycles_total{system=%q} %d\n", sys, m.mrCycles[sys])
+	}
+
+	fmt.Fprintf(w, "# HELP rapidserver_phase_seconds_total MapReduce engine wall time, by system and execution phase.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_phase_seconds_total counter\n")
+	for _, sys := range sortedKeys(m.phaseSeconds) {
+		byPhase := m.phaseSeconds[sys]
+		for _, phase := range sortedKeys(byPhase) {
+			fmt.Fprintf(w, "rapidserver_phase_seconds_total{system=%q,phase=%q} %g\n", sys, phase, byPhase[phase])
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_hits_total Plan cache probe hits.\n")

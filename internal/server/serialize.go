@@ -25,7 +25,14 @@ type resultStats struct {
 	ShuffleBytes     int64   `json:"shuffleBytes"`
 	PlanCacheHit     bool    `json:"planCacheHit"`
 	WallMillis       float64 `json:"wallMillis"`
+	// Per-phase engine wall times for this query (map / shuffle-sort /
+	// reduce), measured in-process.
+	MapWallMillis         float64 `json:"mapWallMillis"`
+	ShuffleSortWallMillis float64 `json:"shuffleSortWallMillis"`
+	ReduceWallMillis      float64 `json:"reduceWallMillis"`
 }
+
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // writeResult serialises a query result as JSON or TSV.
 func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra.Stats, cacheHit bool, elapsed time.Duration) {
@@ -55,8 +62,11 @@ func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra
 			MapOnlyCycles:    stats.MapOnlyCycles,
 			SimulatedSeconds: stats.SimulatedSeconds,
 			ShuffleBytes:     stats.ShuffleBytes,
-			PlanCacheHit:     cacheHit,
-			WallMillis:       float64(elapsed.Microseconds()) / 1000,
+			PlanCacheHit:          cacheHit,
+			WallMillis:            millis(elapsed),
+			MapWallMillis:         millis(stats.MapWall),
+			ShuffleSortWallMillis: millis(stats.ShuffleSortWall),
+			ReduceWallMillis:      millis(stats.ReduceWall),
 		},
 	})
 }

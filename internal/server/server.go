@@ -243,6 +243,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.ObserveQuery(string(req.system), http.StatusOK, stats.MRCycles, elapsed)
+	s.metrics.ObservePhases(string(req.system), stats.MapWall, stats.ShuffleSortWall, stats.ReduceWall)
 	writeResult(w, req.format, res, stats, pq.CacheHit(), elapsed)
 }
 

@@ -345,3 +345,27 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("DELETE status = %d; want 405", resp.StatusCode)
 	}
 }
+
+// A successful MapReduce-backed query must surface per-phase engine wall
+// times both in its JSON stats and as Prometheus counters on /metrics.
+func TestPhaseWallMetricsExported(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := get(t, ts.URL+"/sparql?query="+url.QueryEscape(testQuery))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	rb := decodeResult(t, body)
+	if rb.Stats.MapWallMillis <= 0 {
+		t.Errorf("mapWallMillis = %v; want > 0 for a MapReduce-backed query", rb.Stats.MapWallMillis)
+	}
+	if rb.Stats.ReduceWallMillis <= 0 {
+		t.Errorf("reduceWallMillis = %v; want > 0", rb.Stats.ReduceWallMillis)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, phase := range []string{"map", "shuffle_sort", "reduce"} {
+		series := fmt.Sprintf("rapidserver_phase_seconds_total{system=%q,phase=%q}", "rapidanalytics", phase)
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics missing %s:\n%s", series, metrics)
+		}
+	}
+}

@@ -181,9 +181,10 @@ func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePatter
 		return false
 	}
 	return &mapred.Job{
-		Name:   name,
-		Inputs: inputs,
-		Output: output,
+		Name:       name,
+		Inputs:     inputs,
+		Output:     output,
+		Partitions: mapred.DefaultPartitions,
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			var sides []struct {
 				side JoinSide
@@ -293,9 +294,10 @@ func AggJoinJob(name string, src Source, specs []AggJoinSpec, tagged, hashAgg bo
 		specByID[sp.ID] = sp
 	}
 	job := &mapred.Job{
-		Name:   name,
-		Inputs: src.Files,
-		Output: output,
+		Name:       name,
+		Inputs:     src.Files,
+		Output:     output,
+		Partitions: mapred.DefaultPartitions,
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			m := &aggJoinMapper{src: src, specs: specs, tagged: tagged}
 			if hashAgg {

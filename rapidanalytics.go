@@ -28,6 +28,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/core"
@@ -249,6 +250,12 @@ type Stats struct {
 	// ShuffleBytes and MaterializedBytes are measured volumes.
 	ShuffleBytes      int64
 	MaterializedBytes int64
+	// MapWall, ShuffleSortWall and ReduceWall are the measured wall-clock
+	// times the in-process engine spent in each execution phase. Unlike the
+	// deterministic volume fields, they describe this machine and this run.
+	MapWall         time.Duration
+	ShuffleSortWall time.Duration
+	ReduceWall      time.Duration
 	// Jobs traces each MapReduce cycle in execution order.
 	Jobs []JobStats
 }
@@ -268,20 +275,28 @@ type JobStats struct {
 	// MapTasks and ReduceTasks are the simulated task counts.
 	MapTasks    int
 	ReduceTasks int
+	// MapWall, ShuffleSortWall and ReduceWall are the cycle's measured
+	// in-process phase times on this machine.
+	MapWall         time.Duration
+	ShuffleSortWall time.Duration
+	ReduceWall      time.Duration
 }
 
 // Trace renders the per-cycle execution trace as an aligned table.
 func (s *Stats) Trace() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %8s %10s %12s %12s %6s %6s\n",
-		"cycle", "sim-s", "records", "shuffle B", "output B", "maps", "reds")
+	fmt.Fprintf(&b, "%-28s %8s %10s %12s %12s %6s %6s %8s %8s %8s\n",
+		"cycle", "sim-s", "records", "shuffle B", "output B", "maps", "reds",
+		"map-ms", "sort-ms", "red-ms")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, j := range s.Jobs {
 		name := j.Name
 		if j.MapOnly {
 			name += " (map-only)"
 		}
-		fmt.Fprintf(&b, "%-28s %8.0f %10d %12d %12d %6d %6d\n",
-			name, j.SimulatedSeconds, j.InputRecords, j.ShuffleBytes, j.OutputBytes, j.MapTasks, j.ReduceTasks)
+		fmt.Fprintf(&b, "%-28s %8.0f %10d %12d %12d %6d %6d %8.2f %8.2f %8.2f\n",
+			name, j.SimulatedSeconds, j.InputRecords, j.ShuffleBytes, j.OutputBytes,
+			j.MapTasks, j.ReduceTasks, ms(j.MapWall), ms(j.ShuffleSortWall), ms(j.ReduceWall))
 	}
 	return b.String()
 }
@@ -486,6 +501,7 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 		}
 		return nil, nil, err
 	}
+	mapNs, shuffleSortNs, reduceNs := wm.PhaseWalls()
 	stats := &Stats{
 		System:            sys,
 		MRCycles:          wm.Cycles(),
@@ -493,6 +509,9 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 		SimulatedSeconds:  wm.SimSeconds(),
 		ShuffleBytes:      wm.ShuffleBytes(),
 		MaterializedBytes: wm.MaterializedBytes(),
+		MapWall:           time.Duration(mapNs),
+		ShuffleSortWall:   time.Duration(shuffleSortNs),
+		ReduceWall:        time.Duration(reduceNs),
 	}
 	for _, j := range wm.Jobs {
 		shuffle := j.MapOutputBytes
@@ -508,6 +527,9 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 			OutputBytes:      j.OutputBytes,
 			MapTasks:         j.SimulatedMapTasks,
 			ReduceTasks:      j.SimulatedRedTasks,
+			MapWall:          time.Duration(j.MapWallNs),
+			ShuffleSortWall:  time.Duration(j.ShuffleSortWallNs),
+			ReduceWall:       time.Duration(j.ReduceWallNs),
 		})
 	}
 	return wrapResult(res), stats, nil
