@@ -186,6 +186,26 @@ func BenchmarkAblationParallelAgg(b *testing.B) {
 	}
 }
 
+// BenchmarkMG runs the flagship multi-grouping query MG1 per engine with
+// tracing disabled — the allocation gate for the observability layer: run
+// with -benchmem and compare allocs/op against a pre-instrumentation
+// baseline; the nil-span fast path must add none.
+func BenchmarkMG(b *testing.B) {
+	h := benchHarness()
+	for _, e := range bench.Engines() {
+		e := e
+		b.Run(e.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := h.Run("MG1", "bsbm-500k", []engine.Engine{e})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, rs)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineMG1 provides per-engine micro-benchmarks for the paper's
 // flagship query.
 func BenchmarkEngineMG1(b *testing.B) {

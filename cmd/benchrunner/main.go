@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +27,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, all")
-		verify = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
-		scale  = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, all")
+		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
+		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
+		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -55,6 +57,46 @@ func main() {
 	run("ablation", Ablation)
 	run("prepared", Prepared)
 	run("parallel", Parallel)
+
+	if *traceOut != "" {
+		if err := writeTraceArtifact(h, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTraceArtifact runs MG1 on BSBM-500K with span tracing across all four
+// engines and writes the span trees as a JSON array — the observability
+// artifact the CI smoke job uploads.
+func writeTraceArtifact(h *bench.Harness, path string) error {
+	rs, err := h.RunTraced("MG1", "bsbm-500k", bench.Engines())
+	if err != nil {
+		return err
+	}
+	type tracedRun struct {
+		Query   string          `json:"query"`
+		Dataset string          `json:"dataset"`
+		Engine  string          `json:"engine"`
+		Span    json.RawMessage `json:"span"`
+	}
+	out := make([]tracedRun, 0, len(rs))
+	for _, r := range rs {
+		raw, err := json.Marshal(r.Span)
+		if err != nil {
+			return err
+		}
+		out = append(out, tracedRun{Query: r.Query, Dataset: r.Dataset, Engine: r.Engine, Span: raw})
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d traced MG1 span tree(s) to %s\n", len(out), path)
+	return nil
 }
 
 var gQueries = []string{"G1", "G2", "G3", "G4"}

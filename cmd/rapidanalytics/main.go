@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,19 +27,23 @@ import (
 
 func main() {
 	var (
-		queryID = flag.String("query", "", "catalog query id (G1..G9, MG1..MG18)")
-		file    = flag.String("file", "", "file containing a SPARQL query (alternative to -query)")
-		dataset = flag.String("dataset", "bsbm-500k", "catalog dataset (bsbm-500k, bsbm-2m, chem, pubmed)")
-		data    = flag.String("data", "", "N-Triples file to query instead of a catalog dataset")
-		system  = flag.String("system", "rapidanalytics", "engine: rapidanalytics, rapid+, hive-naive, hive-mqo")
-		all     = flag.Bool("all", false, "run all four engines and compare")
-		verify  = flag.Bool("verify", false, "cross-check results against the in-memory oracle")
-		explain = flag.Bool("explain", false, "print the optimizer's plan explanation and exit")
-		rows    = flag.Int("rows", 10, "result rows to print (0 = all)")
-		trace   = flag.Bool("trace", false, "print the per-cycle execution trace")
-		format  = flag.String("format", "table", "result format: table or csv")
+		queryID  = flag.String("query", "", "catalog query id (G1..G9, MG1..MG18)")
+		file     = flag.String("file", "", "file containing a SPARQL query (alternative to -query)")
+		dataset  = flag.String("dataset", "bsbm-500k", "catalog dataset (bsbm-500k, bsbm-2m, chem, pubmed)")
+		data     = flag.String("data", "", "N-Triples file to query instead of a catalog dataset")
+		system   = flag.String("system", "rapidanalytics", "engine: rapidanalytics, rapid+, hive-naive, hive-mqo")
+		all      = flag.Bool("all", false, "run all four engines and compare")
+		verify   = flag.Bool("verify", false, "cross-check results against the in-memory oracle")
+		explain  = flag.Bool("explain", false, "print the optimizer's plan explanation and exit")
+		rows     = flag.Int("rows", 10, "result rows to print (0 = all)")
+		trace    = flag.String("trace", "", "execution trace: table (per-cycle stats) or spans (hierarchical span tree)")
+		traceOut = flag.String("trace-out", "", "write the captured span trees as JSON to this file")
+		format   = flag.String("format", "table", "result format: table or csv")
 	)
 	flag.Parse()
+	if *trace != "" && *trace != "table" && *trace != "spans" {
+		fatal(fmt.Errorf("-trace must be empty, %q or %q", "table", "spans"))
+	}
 
 	query, err := resolveQuery(*queryID, *file)
 	if err != nil {
@@ -53,10 +59,10 @@ func main() {
 	}
 
 	if *data != "" {
-		runOnFile(query, *data, *system, *all, *verify, *rows, *trace, *format)
+		runOnFile(query, *data, *system, *all, *verify, *rows, *trace, *traceOut, *format)
 		return
 	}
-	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace)
+	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace, *traceOut)
 }
 
 func resolveQuery(queryID, file string) (string, error) {
@@ -78,7 +84,7 @@ func resolveQuery(queryID, file string) (string, error) {
 	}
 }
 
-func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace bool, format string) {
+func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace, traceOut, format string) {
 	f, err := os.Open(dataFile)
 	if err != nil {
 		fatal(err)
@@ -100,8 +106,13 @@ func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace
 			fatal(err)
 		}
 	}
+	ctx := context.Background()
+	if trace == "spans" || traceOut != "" {
+		ctx = ra.WithTracing(ctx)
+	}
+	var spans []*ra.TraceSpan
 	for _, sys := range systems {
-		res, stats, err := store.Query(sys, query)
+		res, stats, err := store.QueryContext(ctx, sys, query)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", sys, err))
 		}
@@ -110,19 +121,26 @@ func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace
 		} else {
 			printRun(string(sys), res, stats, rows)
 		}
-		if trace {
+		switch trace {
+		case "table":
 			fmt.Println(stats.Trace())
+		case "spans":
+			fmt.Println(stats.TraceTree())
+		}
+		if stats.Span != nil {
+			spans = append(spans, stats.Span)
 		}
 		if verify && res.Len() != oracle.Len() {
 			fatal(fmt.Errorf("%s: %d rows, oracle has %d", sys, res.Len(), oracle.Len()))
 		}
 	}
+	writeTraceFile(traceOut, spans)
 	if verify {
 		fmt.Println("verified: all runs match the oracle row count")
 	}
 }
 
-func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int, trace bool) {
+func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int, trace, traceOut string) {
 	if queryID == "" {
 		fatal(fmt.Errorf("-dataset requires a catalog -query; use -data for ad-hoc queries"))
 	}
@@ -140,11 +158,16 @@ func runOnCatalogDataset(query, queryID, dataset, system string, all, verify boo
 		}
 		engines = filtered
 	}
-	rs, err := h.Run(queryID, dataset, engines)
+	run := h.Run
+	if trace == "spans" || traceOut != "" {
+		run = h.RunTraced
+	}
+	rs, err := run(queryID, dataset, engines)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s on %s\n\n", queryID, dataset)
+	var spans []*ra.TraceSpan
 	for _, r := range rs {
 		fmt.Printf("%-16s cycles=%d (map-only %d)  simulated=%.0fs  shuffled=%s  materialized=%s  rows=%d",
 			r.Engine, r.Cycles, r.MapOnlyCycles, r.SimSeconds, human(r.ShuffleBytes), human(r.MaterializedBytes), r.Rows)
@@ -152,15 +175,38 @@ func runOnCatalogDataset(query, queryID, dataset, system string, all, verify boo
 			fmt.Print("  [verified]")
 		}
 		fmt.Println()
-		if trace {
+		if trace == "table" {
 			fmt.Printf("    phase walls: map=%s shuffle-sort=%s reduce=%s\n",
 				r.MapWall.Round(time.Microsecond),
 				r.ShuffleSortWall.Round(time.Microsecond),
 				r.ReduceWall.Round(time.Microsecond))
 		}
+		if trace == "spans" && r.Span != nil {
+			fmt.Println(r.Span.Tree())
+		}
+		if r.Span != nil {
+			spans = append(spans, r.Span)
+		}
 	}
+	writeTraceFile(traceOut, spans)
 	_ = rows
 	_ = query
+}
+
+// writeTraceFile writes the captured span trees as a JSON array, one element
+// per traced run. No-op when path is empty.
+func writeTraceFile(path string, spans []*ra.TraceSpan) {
+	if path == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(spans, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d span tree(s) to %s\n", len(spans), path)
 }
 
 func systemName(display string) string {

@@ -13,6 +13,8 @@
 //	POST /sparql            (form-encoded query= or application/sparql-query body)
 //	GET  /healthz
 //	GET  /metrics           (Prometheus text format)
+//	GET  /debug/queries     (slow-query log with span traces, newest first)
+//	GET  /debug/pprof/      (runtime profiling)
 //
 // SIGINT/SIGTERM drain in-flight queries before exiting (graceful
 // shutdown).
@@ -47,6 +49,8 @@ func main() {
 		queryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-query execution deadline")
 		cacheSize     = flag.Int("plan-cache", 0, "LRU plan cache entries (0 = default 128, negative disables)")
 		nodes         = flag.Int("nodes", 0, "simulated cluster size (0 = default 10)")
+		slowThreshold = flag.Duration("slow-query-threshold", 250*time.Millisecond, "wall time at which a query enters the slow-query log")
+		slowLogSize   = flag.Int("slow-query-log", 128, "slow-query ring buffer capacity")
 	)
 	flag.Parse()
 
@@ -57,10 +61,12 @@ func main() {
 	log.Printf("serving %d triples", store.NumTriples())
 
 	srv := server.New(store, server.Config{
-		DefaultSystem: ra.System(*system),
-		MaxConcurrent: *maxConcurrent,
-		QueueTimeout:  *queueTimeout,
-		QueryTimeout:  *queryTimeout,
+		DefaultSystem:      ra.System(*system),
+		MaxConcurrent:      *maxConcurrent,
+		QueueTimeout:       *queueTimeout,
+		QueryTimeout:       *queryTimeout,
+		SlowQueryThreshold: *slowThreshold,
+		SlowQueryLogSize:   *slowLogSize,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

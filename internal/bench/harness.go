@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"rapidanalytics/internal/core"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/hive"
+	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/rapid"
 	"rapidanalytics/internal/refimpl"
 	"rapidanalytics/internal/sparql"
@@ -37,6 +39,9 @@ type RunResult struct {
 	// Verified reports whether the result matched the oracle (set when the
 	// harness runs with verification).
 	Verified bool
+	// Span is the execution's hierarchical span tree, captured only by
+	// RunTraced; nil otherwise.
+	Span *obs.Snapshot `json:",omitempty"`
 }
 
 // Engines returns the paper's four evaluated systems, in presentation
@@ -69,6 +74,16 @@ func NewHarness(verify bool) *Harness {
 
 // Run executes one catalog query on one dataset across the given engines.
 func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]RunResult, error) {
+	return h.run(queryID, datasetID, engines, false)
+}
+
+// RunTraced is Run with span tracing enabled: each RunResult carries the
+// execution's span tree in Span.
+func (h *Harness) RunTraced(queryID, datasetID string, engines []engine.Engine) ([]RunResult, error) {
+	return h.run(queryID, datasetID, engines, true)
+}
+
+func (h *Harness) run(queryID, datasetID string, engines []engine.Engine, traced bool) ([]RunResult, error) {
 	q, ok := Get(queryID)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown query %q", queryID)
@@ -94,11 +109,18 @@ func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]Run
 	}
 	var out []RunResult
 	for _, e := range engines {
+		ec := c
+		var root *obs.Span
+		if traced {
+			root = obs.New(obs.KindQuery, e.Name())
+			ec = c.WithContext(obs.NewContext(context.Background(), root))
+		}
 		start := time.Now()
-		res, wm, err := e.Execute(c, ds, aq)
+		res, wm, err := e.Execute(ec, ds, aq)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s on %s via %s: %w", queryID, datasetID, e.Name(), err)
 		}
+		root.End()
 		mapNs, shuffleSortNs, reduceNs := wm.PhaseWalls()
 		rr := RunResult{
 			Query:             queryID,
@@ -114,6 +136,7 @@ func (h *Harness) Run(queryID, datasetID string, engines []engine.Engine) ([]Run
 			ShuffleBytes:      wm.ShuffleBytes(),
 			MaterializedBytes: wm.MaterializedBytes(),
 			Rows:              len(res.Rows),
+			Span:              root.Snapshot(),
 		}
 		if h.Verify {
 			if diff := oracle.Diff(res); diff != "" {

@@ -27,6 +27,7 @@ import (
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/rapid"
 	"rapidanalytics/internal/tgops"
 )
@@ -77,7 +78,9 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 	if len(aq.Subqueries) < 2 {
 		return e.executeSequential(run, ds, aq)
 	}
+	ps := obs.StartChild(c.Context(), obs.KindPlanner, "composite-rewrite")
 	cp, err := algebra.BuildComposite(aq.Subqueries)
+	ps.End()
 	if err != nil {
 		// Non-overlapping patterns: no composite rewriting applies.
 		return e.executeSequential(run, ds, aq)
@@ -136,7 +139,9 @@ func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algeb
 	for i, cs := range cp.Stars {
 		scans[i] = compositeStarScan(ds, i, cs, cp, e.Opts.InputPruning)
 	}
+	ps := obs.StartChild(run.C.Context(), obs.KindPlanner, "join-order")
 	order, err := algebra.JoinOrder(len(cp.Stars), cp.Joins)
+	ps.End()
 	if err != nil {
 		return tgops.Source{}, err
 	}

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"rapidanalytics/internal/obs"
 )
 
 // File is a named sequence of records.
@@ -115,12 +117,18 @@ func (fs *FS) TotalStoredBytes(prefix string) int64 {
 	return total
 }
 
-// Writer appends records to a file. It is not safe for concurrent use; each
-// writing task owns its writer.
+// Writer appends records to a file. Writes are internally locked; each
+// writing task still conventionally owns its writer.
 type Writer struct {
-	f  *File
-	mu sync.Mutex
+	f    *File
+	mu   sync.Mutex
+	span *obs.Span
 }
+
+// SetSpan attaches an observability span that accrues one record and the
+// record's logical bytes per write. A nil span (the default) leaves writes
+// untraced at no cost beyond a nil check.
+func (w *Writer) SetSpan(s *obs.Span) { w.span = s }
 
 // Write appends one record. The record is copied.
 func (w *Writer) Write(record []byte) {
@@ -130,6 +138,8 @@ func (w *Writer) Write(record []byte) {
 	w.f.Records = append(w.f.Records, rec)
 	w.f.Bytes += int64(len(rec))
 	w.mu.Unlock()
+	w.span.AddRecords(1)
+	w.span.AddBytes(int64(len(rec)))
 }
 
 // WriteOwned appends one record without copying; the caller must not reuse
@@ -139,6 +149,8 @@ func (w *Writer) WriteOwned(record []byte) {
 	w.f.Records = append(w.f.Records, record)
 	w.f.Bytes += int64(len(record))
 	w.mu.Unlock()
+	w.span.AddRecords(1)
+	w.span.AddBytes(int64(len(record)))
 }
 
 // File returns the underlying file.

@@ -20,10 +20,11 @@ import (
 // i's rows as codec.Tuple records in Subquery.OutputColumns order.
 func FinalJoinJob(aq *algebra.AnalyticalQuery, inputs []string, output string) *mapred.Job {
 	return &mapred.Job{
-		Name:       "final-join",
-		Inputs:     inputs[:1],
-		SideInputs: inputs[1:],
-		Output:     output,
+		Name:        "final-join",
+		Inputs:      inputs[:1],
+		SideInputs:  inputs[1:],
+		Output:      output,
+		MapOperator: "final-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			sides := make([][]codec.Tuple, len(inputs)-1)
 			for i, name := range inputs[1:] {
@@ -41,10 +42,11 @@ func FinalJoinJob(aq *algebra.AnalyticalQuery, inputs []string, output string) *
 func TaggedFinalJoinJob(aq *algebra.AnalyticalQuery, tagged, output string) *mapred.Job {
 	n := len(aq.Subqueries)
 	return &mapred.Job{
-		Name:       "final-join",
-		Inputs:     []string{tagged},
-		SideInputs: []string{tagged},
-		Output:     output,
+		Name:        "final-join",
+		Inputs:      []string{tagged},
+		SideInputs:  []string{tagged},
+		Output:      output,
+		MapOperator: "final-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			sides := make([][]codec.Tuple, n-1)
 			for _, rec := range tc.SideInput(tagged) {

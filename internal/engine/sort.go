@@ -17,10 +17,12 @@ import (
 // input's rows must be codec.Tuples in aq.OutputColumns order.
 func SortJob(aq *algebra.AnalyticalQuery, input, output string) *mapred.Job {
 	return &mapred.Job{
-		Name:       "order-by",
-		Inputs:     []string{input},
-		Output:     output,
-		Partitions: 1,
+		Name:           "order-by",
+		Inputs:         []string{input},
+		Output:         output,
+		Partitions:     1,
+		MapOperator:    "identity",
+		ReduceOperator: "order-by",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
 				emit("", rec)

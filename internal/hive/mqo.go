@@ -7,6 +7,7 @@ import (
 	"rapidanalytics/internal/codec"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/obs"
 )
 
 // MQO is the Hive (MQO) engine: the multi-query-optimization rewriting of
@@ -40,7 +41,9 @@ func (h *MQO) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Analyti
 	if len(aq.Subqueries) < 2 {
 		return (&Naive{Conf: h.Conf}).Execute(c, ds, aq)
 	}
+	ps := obs.StartChild(c.Context(), obs.KindPlanner, "composite-rewrite")
 	cp, err := algebra.BuildComposite(aq.Subqueries)
+	ps.End()
 	if err != nil {
 		return (&Naive{Conf: h.Conf}).Execute(c, ds, aq)
 	}

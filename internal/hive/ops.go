@@ -178,6 +178,8 @@ func starJoinJob(name string, inputs []*starInput, keep map[string]bool, output 
 		Inputs:            files,
 		Output:            output,
 		OutputCompression: compression,
+		MapOperator:       "vp-scan",
+		ReduceOperator:    "star-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			idx := byFile[tc.InputFile]
 			si := inputs[idx]
@@ -281,6 +283,7 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 		SideInputs:        sides,
 		Output:            output,
 		OutputCompression: compression,
+		MapOperator:       "star-map-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			// Hash each side by its subject column.
 			hashes := make([]map[string][]codec.Tuple, len(ordered)-1)
@@ -365,6 +368,8 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 		Inputs:            []string{left.file, right.file},
 		Output:            output,
 		OutputCompression: compression,
+		MapOperator:       "vp-scan",
+		ReduceOperator:    "hash-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			r, tag, keyCol := left, byte(0), leftCol
 			if tc.InputFile == right.file {
@@ -419,6 +424,7 @@ func mapJoinJob(name string, left, right *rel, leftCol, rightCol string, keep ma
 		SideInputs:        []string{right.file},
 		Output:            output,
 		OutputCompression: compression,
+		MapOperator:       "map-join",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			rightKeyPos := right.colIndex(rightCol)
 			h := map[string][]codec.Tuple{}
@@ -502,9 +508,11 @@ func groupAggJob(name string, in *rel, groupCols []string, aggs []algebra.AggSpe
 		aggPos[i] = in.colIndex(a.Var)
 	}
 	job := &mapred.Job{
-		Name:   name,
-		Inputs: []string{in.file},
-		Output: output,
+		Name:           name,
+		Inputs:         []string{in.file},
+		Output:         output,
+		MapOperator:    "partial-agg",
+		ReduceOperator: "group-agg",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
 				raw, err := codec.DecodeTuple(rec)
@@ -584,9 +592,11 @@ func distinctJob(name string, in *rel, keepCols []string, valid func(codec.Tuple
 		pos[i] = in.colIndex(c)
 	}
 	job := &mapred.Job{
-		Name:   name,
-		Inputs: []string{in.file},
-		Output: output,
+		Name:           name,
+		Inputs:         []string{in.file},
+		Output:         output,
+		MapOperator:    "project",
+		ReduceOperator: "distinct",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
 				raw, err := codec.DecodeTuple(rec)

@@ -17,7 +17,8 @@ type ClusterConfig struct {
 	Nodes int
 	// MapSlotsPerNode and ReduceSlotsPerNode mirror Hadoop 0.20 task slots
 	// (dual-core nodes: 2 map + 2 reduce slots).
-	MapSlotsPerNode    int
+	MapSlotsPerNode int
+	// ReduceSlotsPerNode is the per-node reduce slot count.
 	ReduceSlotsPerNode int
 	// BlockSizeBytes is the simulated HDFS block size (paper: 128MB).
 	BlockSizeBytes int64

@@ -86,18 +86,43 @@ type Job struct {
 	// (simulated reduce-task counts come from the cost model instead).
 	// Defaults to 4 when zero.
 	Partitions int
+	// MapOperator labels the logical operator the map phase executes (e.g.
+	// TG_OptGrpFilter, vp-scan) in span traces and server metrics. Empty
+	// defaults to "map".
+	MapOperator string
+	// ReduceOperator labels the reduce phase's logical operator (e.g.
+	// TG_AlphaJoin, group-agg). Empty defaults to "reduce".
+	ReduceOperator string
 }
 
 // MapOnly reports whether the job has no reduce phase.
 func (j *Job) MapOnly() bool { return j.NewReducer == nil }
 
+// mapOperatorName returns the map phase's operator label for spans.
+func (j *Job) mapOperatorName() string {
+	if j.MapOperator != "" {
+		return j.MapOperator
+	}
+	return "map"
+}
+
+// reduceOperatorName returns the reduce phase's operator label for spans.
+func (j *Job) reduceOperatorName() string {
+	if j.ReduceOperator != "" {
+		return j.ReduceOperator
+	}
+	return "reduce"
+}
+
 // Metrics records the measured volumes of one executed job, before cost
 // modelling.
 type Metrics struct {
-	Job     string
+	// Job is the executed job's name.
+	Job string
+	// MapOnly reports whether the job ran without a reduce phase.
 	MapOnly bool
 
-	MapInputRecords  int64
+	MapInputRecords  int64 // records read by mappers
 	MapInputBytes    int64 // uncompressed logical bytes read
 	MapStoredBytes   int64 // stored (compressed) bytes read
 	SideInputBytes   int64 // stored bytes of broadcast side inputs
@@ -105,13 +130,13 @@ type Metrics struct {
 	MapOutputRecords int64 // after combining; what is shuffled
 	MapOutputBytes   int64 // after combining; what is shuffled
 
-	ReduceGroups      int64
-	OutputRecords     int64
-	OutputBytes       int64 // uncompressed logical bytes written
-	OutputStoredBytes int64 // stored bytes written
-	SimulatedMapTasks int   // from the cost model's block math
-	SimulatedRedTasks int
-	SimSeconds        float64
+	ReduceGroups      int64   // distinct reduce keys
+	OutputRecords     int64   // records written to the DFS
+	OutputBytes       int64   // uncompressed logical bytes written
+	OutputStoredBytes int64   // stored bytes written
+	SimulatedMapTasks int     // from the cost model's block math
+	SimulatedRedTasks int     // reduce tasks the cost model schedules
+	SimSeconds        float64 // the cost model's cluster-time estimate
 
 	// Measured wall-clock time per execution phase, in nanoseconds. These
 	// describe the in-process run on this machine (not the simulated
@@ -134,6 +159,7 @@ func (m *Metrics) Volumes() Metrics {
 
 // WorkflowMetrics aggregates a multi-job workflow.
 type WorkflowMetrics struct {
+	// Jobs holds one Metrics per executed job, in execution order.
 	Jobs []*Metrics
 }
 
@@ -198,7 +224,9 @@ func (w *WorkflowMetrics) MaterializedBytes() int64 {
 // A cluster may be bound to a context with WithContext; the zero binding
 // never cancels.
 type Cluster struct {
-	FS     *dfs.FS
+	// FS is the simulated distributed file system jobs read and write.
+	FS *dfs.FS
+	// Config is the cost model's deployment configuration.
 	Config ClusterConfig
 
 	ctx context.Context

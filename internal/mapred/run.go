@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rapidanalytics/internal/obs"
 )
 
 // kv is a key/value pair in flight between map and reduce.
@@ -87,6 +89,11 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	if err := c.err(); err != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted: %w", job.Name, err)
 	}
+	// cycle is nil when the binding context carries no trace span, which
+	// makes every span call below a no-op; sites that format span names or
+	// create per-task children guard on the parent to stay allocation-free.
+	cycle := obs.FromContext(c.Context()).StartChild(obs.KindCycle, job.Name)
+	defer cycle.End()
 	m := &Metrics{Job: job.Name, MapOnly: job.MapOnly()}
 	splits, err := c.makeSplits(job, m)
 	if err != nil {
@@ -105,7 +112,14 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		partitions = 1
 	}
 
-	results, mapWall, err := c.runMapPhase(job, splits, side, partitions)
+	var mapPhase, mapOp *obs.Span
+	if cycle != nil {
+		mapPhase = cycle.StartChild(obs.KindPhase, "map")
+		mapPhase.AddRecords(m.MapInputRecords)
+		mapPhase.AddBytes(m.MapInputBytes)
+		mapOp = mapPhase.StartChild(obs.KindOperator, job.mapOperatorName())
+	}
+	results, mapWall, err := c.runMapPhase(job, splits, side, partitions, mapOp)
 	m.MapWallNs = mapWall.Nanoseconds()
 	if cerr := c.err(); cerr != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted before shuffle: %w", job.Name, cerr)
@@ -116,6 +130,8 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	for i := range results {
 		m.MapEmitRecords += results[i].emits
 	}
+	mapOp.AddRecords(m.MapEmitRecords)
+	mapOp.EndWith(mapWall)
 
 	ratio := job.OutputCompression
 	if ratio <= 0 || ratio > 1 {
@@ -128,6 +144,8 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		// part of the map phase, there is no shuffle or reduce.
 		wstart := time.Now()
 		out := c.FS.Create(job.Output, ratio)
+		ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
+		out.SetSpan(ioSpan)
 		for i := range results {
 			for _, e := range results[i].parts[0] {
 				m.MapOutputRecords++
@@ -137,11 +155,16 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 				m.OutputBytes += int64(len(e.value))
 			}
 		}
+		ioSpan.End()
 		m.OutputStoredBytes = out.File().StoredBytes()
 		m.MapWallNs += time.Since(wstart).Nanoseconds()
+		mapPhase.EndWith(time.Duration(m.MapWallNs))
+		cycle.AddRecords(m.OutputRecords)
+		cycle.AddBytes(m.OutputBytes)
 		c.Config.cost(m)
 		return m, nil
 	}
+	mapPhase.EndWith(time.Duration(m.MapWallNs))
 
 	states := make([]partState, partitions)
 	workers := c.reduceWorkers(partitions)
@@ -150,9 +173,14 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	// and sort-group them, one partition per worker. The cancellation check
 	// runs before each partition's sort, so a cancelled query never enters
 	// an unbounded sort over a hot partition.
+	shufflePhase := cycle.StartChild(obs.KindPhase, "shuffle-sort")
 	shuffleStart := time.Now()
 	runPartitions(workers, partitions, func(p int) {
 		st := &states[p]
+		var pspan *obs.Span
+		if shufflePhase != nil {
+			pspan = shufflePhase.StartChild(obs.KindTask, fmt.Sprintf("part-%d", p))
+		}
 		if err := c.err(); err != nil {
 			st.err = err
 			return
@@ -170,6 +198,11 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 			st.mapOutBytes += int64(len(e.key) + len(e.value))
 		}
 		st.groups = sortAndGroup(buf)
+		if pspan != nil {
+			pspan.AddRecords(st.mapOutRecords)
+			pspan.AddBytes(st.mapOutBytes)
+			pspan.End()
+		}
 	})
 	m.ShuffleSortWallNs = time.Since(shuffleStart).Nanoseconds()
 	for p := range states {
@@ -179,20 +212,38 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		m.MapOutputRecords += states[p].mapOutRecords
 		m.MapOutputBytes += states[p].mapOutBytes
 	}
+	shufflePhase.AddRecords(m.MapOutputRecords)
+	shufflePhase.AddBytes(m.MapOutputBytes)
+	shufflePhase.EndWith(time.Duration(m.ShuffleSortWallNs))
 
 	// Reduce: each partition's reducer runs independently, buffering its
 	// output; a failed or cancelled partition trips its siblings.
+	var reducePhase, reduceOp *obs.Span
+	if cycle != nil {
+		reducePhase = cycle.StartChild(obs.KindPhase, "reduce")
+		reduceOp = reducePhase.StartChild(obs.KindOperator, job.reduceOperatorName())
+	}
 	reduceStart := time.Now()
 	abort := newAbortSignal()
 	runPartitions(workers, partitions, func(p int) {
 		st := &states[p]
+		var pspan *obs.Span
+		if reduceOp != nil {
+			pspan = reduceOp.StartChild(obs.KindTask, fmt.Sprintf("part-%d", p))
+		}
 		if err := c.reducePartition(job, st, abort); err != nil {
 			st.err = err
 			if !errors.Is(err, errSiblingAborted) {
 				abort.trip()
 			}
 		}
+		if pspan != nil {
+			pspan.AddRecords(st.outputRecords)
+			pspan.AddBytes(st.outputBytes)
+			pspan.End()
+		}
 	})
+	reduceOp.End()
 	if err := c.err(); err != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted in reduce: %w", job.Name, err)
 	}
@@ -205,6 +256,8 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	// Materialise buffered partition outputs in partition order — the byte
 	// stream a single sequential reducer loop would have produced.
 	out := c.FS.Create(job.Output, ratio)
+	ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
+	out.SetSpan(ioSpan)
 	for p := range states {
 		st := &states[p]
 		for _, rec := range st.out {
@@ -214,8 +267,15 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		m.OutputRecords += st.outputRecords
 		m.OutputBytes += st.outputBytes
 	}
+	ioSpan.End()
 	m.OutputStoredBytes = out.File().StoredBytes()
 	m.ReduceWallNs = time.Since(reduceStart).Nanoseconds()
+	reduceOp.AddRecords(m.ReduceGroups)
+	reducePhase.AddRecords(m.OutputRecords)
+	reducePhase.AddBytes(m.OutputBytes)
+	reducePhase.EndWith(time.Duration(m.ReduceWallNs))
+	cycle.AddRecords(m.OutputRecords)
+	cycle.AddBytes(m.OutputBytes)
 	c.Config.cost(m)
 	return m, nil
 }
@@ -225,7 +285,9 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 // the input carves into. The first task failure trips the abort signal;
 // queued tasks are skipped and in-flight siblings stop at their next record
 // check. The returned error is the lowest-indexed task's genuine failure.
-func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte, partitions int) ([]taskResult, time.Duration, error) {
+// When mapOp is non-nil each task attaches a child span recording the
+// split's input volume; when nil the loop takes the span-free path.
+func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte, partitions int, mapOp *obs.Span) ([]taskResult, time.Duration, error) {
 	start := time.Now()
 	results := make([]taskResult, len(splits))
 	abort := newAbortSignal()
@@ -244,8 +306,15 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte
 					results[i].err = errSiblingAborted
 					continue
 				}
+				var tspan *obs.Span
+				if mapOp != nil {
+					tspan = mapOp.StartChild(obs.KindTask, fmt.Sprintf("task-%d", i))
+					tspan.AddRecords(int64(len(splits[i].records)))
+					tspan.AddBytes(splits[i].bytes)
+				}
 				parts, emits, err := c.runMapTask(job, splits[i], side, partitions, abort)
 				results[i] = taskResult{parts: parts, emits: emits, err: err}
+				tspan.End()
 				if err != nil {
 					abort.trip()
 				}

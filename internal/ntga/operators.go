@@ -27,8 +27,10 @@ func OptGroupFilter(tg TripleGroup, prim, opt []algebra.PropRef) (TripleGroup, b
 // SplitTG is one output of the n-split operator: the subset of a composite
 // triplegroup matching original pattern Pattern.
 type SplitTG struct {
+	// Pattern is the original pattern's index in the composite.
 	Pattern int
-	TG      TripleGroup
+	// TG is the extracted triplegroup.
+	TG TripleGroup
 }
 
 // NSplit implements the n-split operator χ (Definition 3.4): given a

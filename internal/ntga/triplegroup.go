@@ -20,8 +20,10 @@ import (
 // PO is one property/object pair of a triplegroup. Both are stored in
 // compact key form: the property as its IRI, the object as rdf.Term.Key.
 type PO struct {
+	// Prop is the property IRI.
 	Prop string
-	Obj  string
+	// Obj is the object in rdf.Term.Key form.
+	Obj string
 }
 
 // TripleGroup is a set of triples sharing one subject.

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	if c := s.StartChild(KindPhase, "map"); c != nil {
+		t.Fatalf("nil.StartChild = %v, want nil", c)
+	}
+	s.End()
+	s.EndWith(time.Second)
+	s.AddRecords(5)
+	s.AddBytes(7)
+	if sn := s.Snapshot(); sn != nil {
+		t.Fatalf("nil.Snapshot = %v, want nil", sn)
+	}
+	var sn *Snapshot
+	if got := sn.Tree(); got != "" {
+		t.Fatalf("nil.Tree = %q, want empty", got)
+	}
+	sn.Walk(func(*Snapshot) { t.Fatal("nil.Walk visited a node") })
+}
+
+func TestFromContextAbsent(t *testing.T) {
+	ctx := context.Background()
+	if s := FromContext(ctx); s != nil {
+		t.Fatalf("FromContext on bare ctx = %v, want nil", s)
+	}
+	if s := StartChild(ctx, KindPhase, "map"); s != nil {
+		t.Fatalf("StartChild on bare ctx = %v, want nil", s)
+	}
+	if Enabled(ctx) {
+		t.Fatal("Enabled on bare ctx = true")
+	}
+	if !Enabled(Enable(ctx)) {
+		t.Fatal("Enabled(Enable(ctx)) = false")
+	}
+}
+
+// TestDisabledPathAllocationFree pins the no-op cost: with no span in the
+// context, the per-task instrumentation pattern (lookup + guarded child +
+// counters) must not allocate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		parent := FromContext(ctx)
+		if parent != nil {
+			c := parent.StartChild(KindTask, fmt.Sprintf("task-%d", 3))
+			c.AddRecords(1)
+			c.End()
+		}
+		parent.AddRecords(1)
+		parent.AddBytes(10)
+		parent.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSiblingAssembly mirrors the parallel reduce phase: many
+// workers attach sibling spans and bump counters on a shared parent. Run
+// under -race this is the concurrency test the issue asks for.
+func TestConcurrentSiblingAssembly(t *testing.T) {
+	root := New(KindPhase, "reduce")
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := root.StartChild(KindTask, fmt.Sprintf("part-%d-%d", w, i))
+				c.AddRecords(2)
+				c.AddBytes(3)
+				root.AddRecords(1)
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	sn := root.Snapshot()
+	if len(sn.Children) != workers*perWorker {
+		t.Fatalf("got %d children, want %d", len(sn.Children), workers*perWorker)
+	}
+	if sn.Records != workers*perWorker {
+		t.Fatalf("parent records = %d, want %d", sn.Records, workers*perWorker)
+	}
+	var recs, bytes int64
+	for _, c := range sn.Children {
+		recs += c.Records
+		bytes += c.Bytes
+	}
+	if recs != 2*workers*perWorker || bytes != 3*workers*perWorker {
+		t.Fatalf("child sums records=%d bytes=%d, want %d/%d",
+			recs, bytes, 2*workers*perWorker, 3*workers*perWorker)
+	}
+}
+
+func TestEndFirstWins(t *testing.T) {
+	s := New(KindCycle, "c")
+	s.EndWith(5 * time.Millisecond)
+	s.EndWith(9 * time.Millisecond)
+	s.End()
+	if got := s.Snapshot().Wall(); got != 5*time.Millisecond {
+		t.Fatalf("wall = %v, want 5ms", got)
+	}
+}
+
+func TestSnapshotTreeAndFind(t *testing.T) {
+	root := New(KindQuery, "rapidanalytics")
+	cyc := root.StartChild(KindCycle, "composite-join0")
+	mp := cyc.StartChild(KindPhase, "map")
+	mp.AddRecords(600)
+	mp.AddBytes(45000)
+	mp.EndWith(2100 * time.Microsecond)
+	red := cyc.StartChild(KindPhase, "reduce")
+	red.EndWith(1500 * time.Microsecond)
+	cyc.EndWith(4200 * time.Microsecond)
+	root.EndWith(12410 * time.Microsecond)
+
+	sn := root.Snapshot()
+	if got := sn.Find(KindPhase, "map"); got == nil || got.Records != 600 {
+		t.Fatalf("Find(map) = %+v, want records=600", got)
+	}
+	if got := sn.Find(KindPhase, "missing"); got != nil {
+		t.Fatalf("Find(missing) = %+v, want nil", got)
+	}
+	var visited []string
+	sn.Walk(func(n *Snapshot) { visited = append(visited, n.Name) })
+	want := []string{"rapidanalytics", "composite-join0", "map", "reduce"}
+	if len(visited) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("Walk visited %v, want %v", visited, want)
+		}
+	}
+
+	tree := sn.Tree()
+	wantTree := "" +
+		"query rapidanalytics      wall=12.41ms\n" +
+		"└─ cycle composite-join0  wall=4.20ms\n" +
+		"   ├─ phase map           wall=2.10ms  records=600  bytes=45000\n" +
+		"   └─ phase reduce        wall=1.50ms\n"
+	if tree != wantTree {
+		t.Fatalf("Tree mismatch:\ngot:\n%s\nwant:\n%s", tree, wantTree)
+	}
+
+	// Every label column must be padded to the same visual width regardless
+	// of depth, name length, or multibyte box-drawing prefixes.
+	var wallCols []int
+	for _, line := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+		wallCols = append(wallCols, utf8.RuneCountInString(line[:strings.Index(line, "wall=")]))
+	}
+	for _, c := range wallCols {
+		if c != wallCols[0] {
+			t.Fatalf("wall= columns misaligned: %v\n%s", wallCols, tree)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	root := New(KindQuery, "q")
+	root.StartChild(KindCycle, "c1").EndWith(time.Millisecond)
+	root.EndWith(2 * time.Millisecond)
+	raw, err := root.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "q" || len(back.Children) != 1 || back.Children[0].Name != "c1" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.WallNs != int64(2*time.Millisecond) {
+		t.Fatalf("wallNs = %d", back.WallNs)
+	}
+}

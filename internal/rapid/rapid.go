@@ -16,6 +16,7 @@ import (
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/sparql"
 	"rapidanalytics/internal/tgops"
 )
@@ -82,7 +83,9 @@ func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPatte
 	for i, st := range gp.Stars {
 		scans[i] = starScan(ds, i, st, gp.Filters, prune)
 	}
+	ps := obs.StartChild(run.C.Context(), obs.KindPlanner, "join-order")
 	order, err := algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	ps.End()
 	if err != nil {
 		return tgops.Source{}, err
 	}

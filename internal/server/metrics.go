@@ -16,15 +16,29 @@ import (
 // analytical runs.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
 
+// operatorBuckets are the upper bounds (seconds) of the per-operator wall
+// histogram. Operators run well below whole-query latency, so the buckets
+// start finer.
+var operatorBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2}
+
+// operatorStats is one {system, operator} histogram series plus its record
+// counter.
+type operatorStats struct {
+	bucketCounts []int64 // raw per-bucket; rendered cumulatively
+	count        int64
+	sum          float64
+	records      int64
+}
+
 // Metrics aggregates the serving layer's counters. All methods are safe for
 // concurrent use. Rendered in Prometheus text exposition format by WriteTo.
 type Metrics struct {
 	inFlight atomic.Int64
 
 	mu               sync.Mutex
-	queries          map[string]map[int]int64      // system → HTTP status → count
-	mrCycles         map[string]int64              // system → total MapReduce cycles
-	phaseSeconds     map[string]map[string]float64 // system → phase → wall seconds
+	queries          map[string]map[int]int64             // system → HTTP status → count
+	mrCycles         map[string]int64                     // system → total MapReduce cycles
+	operators        map[string]map[string]*operatorStats // system → operator → stats
 	admissionRejects int64
 	bucketCounts     []int64 // cumulative at render time; raw per-bucket here
 	latencyCount     int64
@@ -36,7 +50,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		queries:      map[string]map[int]int64{},
 		mrCycles:     map[string]int64{},
-		phaseSeconds: map[string]map[string]float64{},
+		operators:    map[string]map[string]*operatorStats{},
 		bucketCounts: make([]int64, len(latencyBuckets)+1),
 	}
 }
@@ -73,19 +87,31 @@ func (m *Metrics) ObserveQuery(system string, status int, mrCycles int, d time.D
 	m.latencySum += secs
 }
 
-// ObservePhases accumulates a successful query's measured MapReduce phase
-// wall times (map, shuffle-sort, reduce) for the executing system.
-func (m *Metrics) ObservePhases(system string, mapWall, shuffleSortWall, reduceWall time.Duration) {
+// ObserveOperator records one operator execution from a query's span tree:
+// its wall time lands in the {system, operator} histogram and its record
+// count in the matching counter.
+func (m *Metrics) ObserveOperator(system, operator string, d time.Duration, records int64) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(operatorBuckets) && secs > operatorBuckets[i] {
+		i++
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	byPhase, ok := m.phaseSeconds[system]
+	byOp, ok := m.operators[system]
 	if !ok {
-		byPhase = map[string]float64{}
-		m.phaseSeconds[system] = byPhase
+		byOp = map[string]*operatorStats{}
+		m.operators[system] = byOp
 	}
-	byPhase["map"] += mapWall.Seconds()
-	byPhase["shuffle_sort"] += shuffleSortWall.Seconds()
-	byPhase["reduce"] += reduceWall.Seconds()
+	st, ok := byOp[operator]
+	if !ok {
+		st = &operatorStats{bucketCounts: make([]int64, len(operatorBuckets)+1)}
+		byOp[operator] = st
+	}
+	st.bucketCounts[i]++
+	st.count++
+	st.sum += secs
+	st.records += records
 }
 
 // AdmissionRejected records one request turned away by the admission
@@ -139,12 +165,30 @@ func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
 		fmt.Fprintf(w, "rapidserver_mr_cycles_total{system=%q} %d\n", sys, m.mrCycles[sys])
 	}
 
-	fmt.Fprintf(w, "# HELP rapidserver_phase_seconds_total MapReduce engine wall time, by system and execution phase.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_phase_seconds_total counter\n")
-	for _, sys := range sortedKeys(m.phaseSeconds) {
-		byPhase := m.phaseSeconds[sys]
-		for _, phase := range sortedKeys(byPhase) {
-			fmt.Fprintf(w, "rapidserver_phase_seconds_total{system=%q,phase=%q} %g\n", sys, phase, byPhase[phase])
+	fmt.Fprintf(w, "# HELP rapidserver_operator_seconds Operator wall time from query span trees, by system and operator.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_operator_seconds histogram\n")
+	for _, sys := range sortedKeys(m.operators) {
+		byOp := m.operators[sys]
+		for _, op := range sortedKeys(byOp) {
+			st := byOp[op]
+			var cum int64
+			for i, le := range operatorBuckets {
+				cum += st.bucketCounts[i]
+				fmt.Fprintf(w, "rapidserver_operator_seconds_bucket{system=%q,operator=%q,le=\"%g\"} %d\n", sys, op, le, cum)
+			}
+			cum += st.bucketCounts[len(operatorBuckets)]
+			fmt.Fprintf(w, "rapidserver_operator_seconds_bucket{system=%q,operator=%q,le=\"+Inf\"} %d\n", sys, op, cum)
+			fmt.Fprintf(w, "rapidserver_operator_seconds_sum{system=%q,operator=%q} %g\n", sys, op, st.sum)
+			fmt.Fprintf(w, "rapidserver_operator_seconds_count{system=%q,operator=%q} %d\n", sys, op, st.count)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP rapidserver_operator_records_total Records processed per operator, by system and operator.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_operator_records_total counter\n")
+	for _, sys := range sortedKeys(m.operators) {
+		byOp := m.operators[sys]
+		for _, op := range sortedKeys(byOp) {
+			fmt.Fprintf(w, "rapidserver_operator_records_total{system=%q,operator=%q} %d\n", sys, op, byOp[op].records)
 		}
 	}
 

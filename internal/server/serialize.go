@@ -23,8 +23,11 @@ type resultStats struct {
 	MapOnlyCycles    int     `json:"mapOnlyCycles"`
 	SimulatedSeconds float64 `json:"simulatedSeconds"`
 	ShuffleBytes     int64   `json:"shuffleBytes"`
-	PlanCacheHit     bool    `json:"planCacheHit"`
-	WallMillis       float64 `json:"wallMillis"`
+	// MaterializedBytes is the volume written to the simulated DFS across
+	// all cycles.
+	MaterializedBytes int64   `json:"materializedBytes"`
+	PlanCacheHit      bool    `json:"planCacheHit"`
+	WallMillis        float64 `json:"wallMillis"`
 	// Per-phase engine wall times for this query (map / shuffle-sort /
 	// reduce), measured in-process.
 	MapWallMillis         float64 `json:"mapWallMillis"`
@@ -57,11 +60,12 @@ func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra
 		Columns: res.Columns,
 		Rows:    rows,
 		Stats: resultStats{
-			System:           string(stats.System),
-			MRCycles:         stats.MRCycles,
-			MapOnlyCycles:    stats.MapOnlyCycles,
-			SimulatedSeconds: stats.SimulatedSeconds,
-			ShuffleBytes:     stats.ShuffleBytes,
+			System:                string(stats.System),
+			MRCycles:              stats.MRCycles,
+			MapOnlyCycles:         stats.MapOnlyCycles,
+			SimulatedSeconds:      stats.SimulatedSeconds,
+			ShuffleBytes:          stats.ShuffleBytes,
+			MaterializedBytes:     stats.MaterializedBytes,
 			PlanCacheHit:          cacheHit,
 			WallMillis:            millis(elapsed),
 			MapWallMillis:         millis(stats.MapWall),

@@ -1,9 +1,11 @@
 // Package server is the query-serving subsystem: a concurrent HTTP SPARQL
 // endpoint over a rapidanalytics.Store. It exposes
 //
-//	GET/POST /sparql   — execute a query (params: query, system, format)
-//	GET      /healthz  — liveness and store size
-//	GET      /metrics  — Prometheus text metrics
+//	GET/POST /sparql         — execute a query (params: query, system, format)
+//	GET      /healthz        — liveness and store size
+//	GET      /metrics        — Prometheus text metrics
+//	GET      /debug/queries  — slow-query log (JSON, newest first)
+//	GET      /debug/pprof/*  — runtime profiling endpoints
 //
 // Every request runs under a context deadline that is threaded through the
 // store into MapReduce job execution, so a timeout or client disconnect
@@ -12,6 +14,12 @@
 // sheds load with 503 once MaxConcurrent queries are in flight and the
 // queue wait exceeds QueueTimeout. Prepared plans are served from the
 // store's LRU plan cache, so repeated query templates skip planning.
+//
+// Each query executes with span tracing enabled: the resulting span tree
+// feeds the per-operator Prometheus histograms
+// (rapidserver_operator_seconds, rapidserver_operator_records_total) and is
+// attached to slow-query log entries, so a slow request can be explained
+// operator by operator after the fact.
 package server
 
 import (
@@ -21,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
+
+	"rapidanalytics/internal/obs"
 
 	ra "rapidanalytics"
 )
@@ -44,6 +55,13 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxQueryBytes caps the request body (default: 1MB).
 	MaxQueryBytes int64
+	// SlowQueryThreshold is the request wall time at or above which a query
+	// is recorded in the slow-query log served at /debug/queries
+	// (default: 250ms).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize is the slow-query ring buffer's capacity; when full,
+	// the oldest entry is evicted (default: 128).
+	SlowQueryLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +80,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryBytes <= 0 {
 		c.MaxQueryBytes = 1 << 20
 	}
+	if c.SlowQueryThreshold <= 0 {
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	}
+	if c.SlowQueryLogSize <= 0 {
+		c.SlowQueryLogSize = 128
+	}
 	return c
 }
 
@@ -72,6 +96,7 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	metrics *Metrics
+	slow    *slowLog
 	mux     *http.ServeMux
 
 	// beforeExecute, when set (tests only), runs after admission and
@@ -88,9 +113,16 @@ func New(store *ra.Store, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.slow = newSlowLog(s.cfg.SlowQueryLogSize)
 	s.mux.HandleFunc("/sparql", s.handleSparql)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -220,6 +252,9 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
+	// Every request traces: the span tree feeds the operator metrics and
+	// explains slow-query log entries.
+	ctx = ra.WithTracing(ctx)
 
 	start := time.Now()
 	pq, err := s.store.Prepare(req.system, req.query)
@@ -237,14 +272,59 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status := statusFor(err)
 		s.metrics.ObserveQuery(string(req.system), status, 0, elapsed)
+		s.recordSlow(req, status, elapsed, nil)
 		if status != statusClientClosedRequest {
 			writeError(w, status, "%v", err)
 		}
 		return
 	}
 	s.metrics.ObserveQuery(string(req.system), http.StatusOK, stats.MRCycles, elapsed)
-	s.metrics.ObservePhases(string(req.system), stats.MapWall, stats.ShuffleSortWall, stats.ReduceWall)
+	s.observeOperators(string(req.system), stats.Span)
+	s.recordSlow(req, http.StatusOK, elapsed, stats)
 	writeResult(w, req.format, res, stats, pq.CacheHit(), elapsed)
+}
+
+// observeOperators folds a query's operator spans into the per-operator
+// histogram and record counters.
+func (s *Server) observeOperators(system string, span *ra.TraceSpan) {
+	if span == nil {
+		return
+	}
+	span.Walk(func(n *ra.TraceSpan) {
+		if n.Kind == obs.KindOperator {
+			s.metrics.ObserveOperator(system, n.Name, time.Duration(n.WallNs), n.Records)
+		}
+	})
+}
+
+// recordSlow appends the request to the slow-query log when its wall time
+// met the threshold. stats is nil when the query failed.
+func (s *Server) recordSlow(req sparqlRequest, status int, elapsed time.Duration, stats *ra.Stats) {
+	if elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	entry := SlowQuery{
+		Time:       time.Now(),
+		System:     string(req.system),
+		Query:      req.query,
+		Status:     status,
+		WallMillis: millis(elapsed),
+	}
+	if stats != nil {
+		entry.MRCycles = stats.MRCycles
+		entry.Trace = stats.Span
+	}
+	s.slow.Record(entry)
+}
+
+// handleDebugQueries serves the slow-query log as JSON, newest entry first.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"thresholdMillis": millis(s.cfg.SlowQueryThreshold),
+		"capacity":        s.cfg.SlowQueryLogSize,
+		"queries":         s.slow.Entries(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -347,8 +347,9 @@ func TestMethodNotAllowed(t *testing.T) {
 }
 
 // A successful MapReduce-backed query must surface per-phase engine wall
-// times both in its JSON stats and as Prometheus counters on /metrics.
-func TestPhaseWallMetricsExported(t *testing.T) {
+// times in its JSON stats and per-operator histograms on /metrics, fed from
+// the query's span tree.
+func TestOperatorMetricsExported(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	status, body := get(t, ts.URL+"/sparql?query="+url.QueryEscape(testQuery))
 	if status != http.StatusOK {
@@ -361,11 +362,108 @@ func TestPhaseWallMetricsExported(t *testing.T) {
 	if rb.Stats.ReduceWallMillis <= 0 {
 		t.Errorf("reduceWallMillis = %v; want > 0", rb.Stats.ReduceWallMillis)
 	}
+	if rb.Stats.MaterializedBytes <= 0 {
+		t.Errorf("materializedBytes = %v; want > 0", rb.Stats.MaterializedBytes)
+	}
 	_, metrics := get(t, ts.URL+"/metrics")
-	for _, phase := range []string{"map", "shuffle_sort", "reduce"} {
-		series := fmt.Sprintf("rapidserver_phase_seconds_total{system=%q,phase=%q}", "rapidanalytics", phase)
-		if !strings.Contains(metrics, series) {
-			t.Errorf("metrics missing %s:\n%s", series, metrics)
+	// RAPIDAnalytics evaluates testQuery through the NTGA operators; each
+	// must appear as a {system, operator} histogram plus a record counter.
+	for _, op := range []string{"TG_OptGrpFilter", "TG_AlphaJoin", "TG_AgJ.map", "TG_AgJ.reduce", "final-join"} {
+		count := fmt.Sprintf("rapidserver_operator_seconds_count{system=%q,operator=%q}", "rapidanalytics", op)
+		if !strings.Contains(metrics, count) {
+			t.Errorf("metrics missing %s:\n%s", count, metrics)
+		}
+		records := fmt.Sprintf("rapidserver_operator_records_total{system=%q,operator=%q}", "rapidanalytics", op)
+		if !strings.Contains(metrics, records) {
+			t.Errorf("metrics missing %s:\n%s", records, metrics)
+		}
+	}
+	if !strings.Contains(metrics, `rapidserver_operator_seconds_bucket{system="rapidanalytics",operator="TG_AlphaJoin",le="+Inf"} 1`) {
+		t.Errorf("metrics missing TG_AlphaJoin +Inf bucket:\n%s", metrics)
+	}
+}
+
+// A query at or above SlowQueryThreshold must land in /debug/queries with
+// its span tree attached; fast queries must not.
+func TestSlowQueryLogCapture(t *testing.T) {
+	// Threshold 1ns: every query is slow.
+	_, ts := newTestServer(t, Config{SlowQueryThreshold: time.Nanosecond})
+	status, body := get(t, ts.URL+"/sparql?query="+url.QueryEscape(testQuery))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	status, body = get(t, ts.URL+"/debug/queries")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d", status)
+	}
+	var dbg struct {
+		ThresholdMillis float64     `json:"thresholdMillis"`
+		Capacity        int         `json:"capacity"`
+		Queries         []SlowQuery `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if dbg.Capacity != 128 {
+		t.Errorf("capacity = %d; want default 128", dbg.Capacity)
+	}
+	if len(dbg.Queries) != 1 {
+		t.Fatalf("slow-query entries = %d; want 1", len(dbg.Queries))
+	}
+	q := dbg.Queries[0]
+	if q.System != string(ra.RAPIDAnalytics) || q.Status != http.StatusOK || q.Query != testQuery {
+		t.Errorf("entry = %+v", q)
+	}
+	if q.MRCycles == 0 || q.WallMillis <= 0 {
+		t.Errorf("entry missing execution stats: %+v", q)
+	}
+	if q.Trace == nil {
+		t.Fatal("slow query entry has no span tree")
+	}
+	if q.Trace.Find("operator", "TG_AlphaJoin") == nil {
+		t.Errorf("trace missing TG_AlphaJoin operator:\n%s", q.Trace.Tree())
+	}
+
+	// Default threshold (250ms): the tiny query is fast and stays out.
+	_, ts2 := newTestServer(t, Config{})
+	if status, _ := get(t, ts2.URL+"/sparql?query="+url.QueryEscape(testQuery)); status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	_, body = get(t, ts2.URL+"/debug/queries")
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Queries) != 0 {
+		t.Errorf("fast query recorded as slow: %+v", dbg.Queries)
+	}
+}
+
+// TestSlowQueryLogEvictionOrder fills the ring past capacity and checks the
+// oldest entries are evicted and the rest come back newest first.
+func TestSlowQueryLogEvictionOrder(t *testing.T) {
+	l := newSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(SlowQuery{Query: fmt.Sprintf("q%d", i)})
+	}
+	got := l.Entries()
+	want := []string{"q4", "q3", "q2"} // q0, q1 evicted; newest first
+	if len(got) != len(want) {
+		t.Fatalf("entries = %d; want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Query != w {
+			t.Errorf("entry %d = %s; want %s", i, got[i].Query, w)
+		}
+	}
+}
+
+// TestPprofEndpointsWired checks the profiling handlers respond on the
+// server's own mux.
+func TestPprofEndpointsWired(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if status, body := get(t, ts.URL+path); status != http.StatusOK {
+			t.Errorf("%s status = %d, body %.80s", path, status, body)
 		}
 	}
 }

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	ra "rapidanalytics"
+)
+
+// SlowQuery is one entry of the slow-query log: a request whose total wall
+// time met or exceeded Config.SlowQueryThreshold.
+type SlowQuery struct {
+	// Time is when the request finished.
+	Time time.Time `json:"time"`
+	// System is the engine that executed the query.
+	System string `json:"system"`
+	// Query is the SPARQL text as received.
+	Query string `json:"query"`
+	// Status is the HTTP status the request mapped to.
+	Status int `json:"status"`
+	// WallMillis is the end-to-end request wall time.
+	WallMillis float64 `json:"wallMillis"`
+	// MRCycles is the number of MapReduce cycles the query ran (0 on
+	// failure before execution).
+	MRCycles int `json:"mrCycles"`
+	// Trace is the query's hierarchical span tree, when one was captured.
+	Trace *ra.TraceSpan `json:"trace,omitempty"`
+}
+
+// slowLog is a fixed-capacity ring buffer of SlowQuery entries. When full,
+// recording a new entry evicts the oldest. Safe for concurrent use.
+type slowLog struct {
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int // index the next entry is written to
+	n    int // entries recorded, capped at len(buf)
+}
+
+func newSlowLog(capacity int) *slowLog {
+	return &slowLog{buf: make([]SlowQuery, capacity)}
+}
+
+// Record appends an entry, evicting the oldest when the ring is full.
+func (l *slowLog) Record(q SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = q
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// Entries returns the recorded entries, newest first.
+func (l *slowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

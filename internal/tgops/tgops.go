@@ -181,10 +181,12 @@ func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePatter
 		return false
 	}
 	return &mapred.Job{
-		Name:       name,
-		Inputs:     inputs,
-		Output:     output,
-		Partitions: mapred.DefaultPartitions,
+		Name:           name,
+		Inputs:         inputs,
+		Output:         output,
+		Partitions:     mapred.DefaultPartitions,
+		MapOperator:    "TG_OptGrpFilter",
+		ReduceOperator: "TG_AlphaJoin",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			var sides []struct {
 				side JoinSide
@@ -294,10 +296,12 @@ func AggJoinJob(name string, src Source, specs []AggJoinSpec, tagged, hashAgg bo
 		specByID[sp.ID] = sp
 	}
 	job := &mapred.Job{
-		Name:       name,
-		Inputs:     src.Files,
-		Output:     output,
-		Partitions: mapred.DefaultPartitions,
+		Name:           name,
+		Inputs:         src.Files,
+		Output:         output,
+		Partitions:     mapred.DefaultPartitions,
+		MapOperator:    "TG_AgJ.map",
+		ReduceOperator: "TG_AgJ.reduce",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			m := &aggJoinMapper{src: src, specs: specs, tagged: tagged}
 			if hashAgg {

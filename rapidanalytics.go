@@ -35,6 +35,7 @@ import (
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/hive"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/plancache"
 	"rapidanalytics/internal/rapid"
 	"rapidanalytics/internal/rdf"
@@ -258,6 +259,20 @@ type Stats struct {
 	ReduceWall      time.Duration
 	// Jobs traces each MapReduce cycle in execution order.
 	Jobs []JobStats
+	// Span is the execution's hierarchical span tree (query → planner →
+	// cycle → phase → operator → task), captured only when the query ran
+	// under a WithTracing context; nil otherwise.
+	Span *TraceSpan
+}
+
+// TraceSpan is one node of a captured span tree. See Stats.Span.
+type TraceSpan = obs.Snapshot
+
+// WithTracing marks the context so query executions under it capture a
+// hierarchical span tree into Stats.Span. Tracing adds per-task span
+// bookkeeping; untraced executions pay nothing.
+func WithTracing(ctx context.Context) context.Context {
+	return obs.Enable(ctx)
 }
 
 // JobStats traces one MapReduce cycle.
@@ -282,23 +297,46 @@ type JobStats struct {
 	ReduceWall      time.Duration
 }
 
-// Trace renders the per-cycle execution trace as an aligned table.
+// Trace renders the per-cycle execution trace as an aligned table. The
+// cycle column widens to the longest label, so long MQO plan names (e.g.
+// gp3-distinct with a map-only suffix) keep the numeric columns aligned.
 func (s *Stats) Trace() string {
+	names := make([]string, len(s.Jobs))
+	width := len("cycle")
+	for i, j := range s.Jobs {
+		names[i] = j.Name
+		if j.MapOnly {
+			names[i] += " (map-only)"
+		}
+		if len(names[i]) > width {
+			width = len(names[i])
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %8s %10s %12s %12s %6s %6s %8s %8s %8s\n",
-		"cycle", "sim-s", "records", "shuffle B", "output B", "maps", "reds",
+	fmt.Fprintf(&b, "%-*s %8s %10s %12s %12s %6s %6s %8s %8s %8s\n",
+		width, "cycle", "sim-s", "records", "shuffle B", "output B", "maps", "reds",
 		"map-ms", "sort-ms", "red-ms")
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	for _, j := range s.Jobs {
-		name := j.Name
-		if j.MapOnly {
-			name += " (map-only)"
-		}
-		fmt.Fprintf(&b, "%-28s %8.0f %10d %12d %12d %6d %6d %8.2f %8.2f %8.2f\n",
-			name, j.SimulatedSeconds, j.InputRecords, j.ShuffleBytes, j.OutputBytes,
+	for i, j := range s.Jobs {
+		fmt.Fprintf(&b, "%-*s %8.0f %10d %12d %12d %6d %6d %8.2f %8.2f %8.2f\n",
+			width, names[i], j.SimulatedSeconds, j.InputRecords, j.ShuffleBytes, j.OutputBytes,
 			j.MapTasks, j.ReduceTasks, ms(j.MapWall), ms(j.ShuffleSortWall), ms(j.ReduceWall))
 	}
 	return b.String()
+}
+
+// TraceTree renders the captured span tree as an indented tree with wall,
+// record and byte columns. Empty when the query did not run under a
+// WithTracing context.
+func (s *Stats) TraceTree() string { return s.Span.Tree() }
+
+// TraceJSON serialises the captured span tree as indented JSON, or nil when
+// no trace was captured.
+func (s *Stats) TraceJSON() ([]byte, error) {
+	if s.Span == nil {
+		return nil, nil
+	}
+	return s.Span.JSON()
 }
 
 // Result is a query result table. Values are display forms: IRIs and
@@ -493,6 +531,13 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 	if err != nil {
 		return nil, nil, err
 	}
+	// A WithTracing context gets a root span; engines and the MR cluster
+	// attach planner/cycle spans to it through the same context.
+	var root *obs.Span
+	if obs.Enabled(ctx) {
+		root = obs.New(obs.KindQuery, string(sys))
+		ctx = obs.NewContext(ctx, root)
+	}
 	cluster, ds := s.ensureLoaded()
 	res, wm, err := eng.Execute(cluster.WithContext(ctx), ds, q.aq)
 	if err != nil {
@@ -501,6 +546,7 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 		}
 		return nil, nil, err
 	}
+	root.End()
 	mapNs, shuffleSortNs, reduceNs := wm.PhaseWalls()
 	stats := &Stats{
 		System:            sys,
@@ -532,6 +578,7 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 			ReduceWall:       time.Duration(j.ReduceWallNs),
 		})
 	}
+	stats.Span = root.Snapshot()
 	return wrapResult(res), stats, nil
 }
 
