@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rapidanalytics/internal/bench"
+)
+
+// dictIters is how many times each query runs per plane; the report keeps
+// the best wall time of each.
+const dictIters = 3
+
+// Dict benchmarks the dictionary-encoded data plane against the lexical
+// plane over the full multi-grouping catalog on its paper deployments,
+// checking on the way that both planes return byte-identical result rows.
+// Results go to stdout and BENCH_dict.json; non-identical rows are an
+// error, so CI fails when the planes diverge. The harness's SizeMult
+// carries over, so CI can run the same experiment on a tiny dataset.
+func Dict(h *bench.Harness) (string, error) {
+	rep, err := bench.CompareDictModes(bench.MGCatalog(), bench.Engines(), dictIters, h.Loader.SizeMult)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_dict.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if !rep.AllRowsIdentical {
+		return "", fmt.Errorf("dictionary and lexical planes returned different result rows (see BENCH_dict.json)")
+	}
+	return bench.RenderDict(rep) + "(wrote BENCH_dict.json)\n", nil
+}

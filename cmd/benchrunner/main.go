@@ -12,7 +12,9 @@
 //
 // Experiments: table3, fig8a, fig8b, fig8c, table4, cycles, ablation,
 // prepared (plan-cache speedup, writes BENCH_prepared.json), parallel
-// (sequential vs parallel reduce, writes BENCH_parallel.json), all.
+// (sequential vs parallel reduce, writes BENCH_parallel.json), dict
+// (lexical vs dictionary-encoded data plane over the full MG catalog,
+// writes BENCH_dict.json), all.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, all")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, all")
 		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
@@ -57,6 +59,7 @@ func main() {
 	run("ablation", Ablation)
 	run("prepared", Prepared)
 	run("parallel", Parallel)
+	run("dict", Dict)
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(h, *traceOut); err != nil {

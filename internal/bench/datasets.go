@@ -124,6 +124,10 @@ type Loader struct {
 	// sequential reduce path. Output and volume metrics are identical for
 	// every setting.
 	ReduceWorkers int
+	// Lexical loads datasets without dictionary encoding (the original
+	// lexical data plane). Result rows are identical either way; volumes
+	// differ.
+	Lexical bool
 
 	mu     sync.Mutex
 	loaded map[string]*loadedDataset
@@ -149,7 +153,7 @@ func (l *Loader) Load(id string) (*mapred.Cluster, *engine.Dataset, error) {
 	cfg := spec.Cluster(scale)
 	cfg.ExecReduceWorkers = l.ReduceWorkers
 	c := mapred.NewCluster(cfg)
-	ds := engine.Load(c, spec.ID, g)
+	ds := engine.LoadWith(c, spec.ID, g, engine.LoadOptions{DictionaryEncoding: !l.Lexical})
 	l.loaded[id] = &loadedDataset{spec: spec, cluster: c, ds: ds}
 	return c, ds, nil
 }

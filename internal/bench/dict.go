@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+)
+
+// DictCatalogEntry pairs a dataset deployment with the catalog queries the
+// dictionary experiment evaluates on it.
+type DictCatalogEntry struct {
+	Dataset string
+	Queries []string
+}
+
+// MGCatalog returns the full multi-grouping catalog on its paper
+// deployments: MG1–MG4 on BSBM-500K, MG6–MG10 on Chem2Bio2RDF, MG11–MG18 on
+// PubMed.
+func MGCatalog() []DictCatalogEntry {
+	return []DictCatalogEntry{
+		{Dataset: "bsbm-500k", Queries: []string{"MG1", "MG2", "MG3", "MG4"}},
+		{Dataset: "chem", Queries: []string{"MG6", "MG7", "MG8", "MG9", "MG10"}},
+		{Dataset: "pubmed", Queries: []string{"MG11", "MG12", "MG13", "MG14", "MG15", "MG16", "MG17", "MG18"}},
+	}
+}
+
+// DictCycle is one MR cycle's shuffle volume in both planes. Cycles pair up
+// by execution order; both planes run the same physical plan shape, so the
+// job names match.
+type DictCycle struct {
+	Job              string `json:"job"`
+	LexShuffleBytes  int64  `json:"lexShuffleBytes"`
+	DictShuffleBytes int64  `json:"dictShuffleBytes"`
+	// DeltaBytes is lexical minus dictionary shuffle bytes for the cycle.
+	DeltaBytes int64 `json:"deltaBytes"`
+}
+
+// DictRun compares one (query, dataset, engine) triple between the lexical
+// and the dictionary-encoded data plane.
+type DictRun struct {
+	Query   string `json:"query"`
+	Dataset string `json:"dataset"`
+	Engine  string `json:"engine"`
+	// RowsIdentical reports that both planes returned exactly the same
+	// result rows (the dictionary plane must be invisible in results).
+	RowsIdentical bool `json:"rowsIdentical"`
+	// Shuffle volumes are summed over all non-map-only cycles.
+	LexShuffleBytes     int64   `json:"lexShuffleBytes"`
+	DictShuffleBytes    int64   `json:"dictShuffleBytes"`
+	ShuffleReductionPct float64 `json:"shuffleReductionPct"`
+	// Wall times are best-of-iters in-process milliseconds; sim seconds are
+	// the deterministic cost-model estimates.
+	LexWallMillis  float64 `json:"lexWallMillis"`
+	DictWallMillis float64 `json:"dictWallMillis"`
+	WallSpeedup    float64 `json:"wallSpeedup"`
+	LexSimSeconds  float64 `json:"lexSimSeconds"`
+	DictSimSeconds float64 `json:"dictSimSeconds"`
+	SimSpeedup     float64 `json:"simSpeedup"`
+	// Cycles carries the per-cycle shuffle-byte deltas (from the per-job
+	// volume metrics the shuffle spans also record).
+	Cycles []DictCycle `json:"cycles"`
+}
+
+// DictReport is the result of CompareDictModes, serialised to
+// BENCH_dict.json by benchrunner -exp dict.
+type DictReport struct {
+	Iters int       `json:"iters"`
+	Runs  []DictRun `json:"runs"`
+	// Totals aggregate shuffled bytes over every run.
+	TotalLexShuffleBytes  int64   `json:"totalLexShuffleBytes"`
+	TotalDictShuffleBytes int64   `json:"totalDictShuffleBytes"`
+	ShuffleReductionPct   float64 `json:"shuffleReductionPct"`
+	// Geometric means over the per-run ratios.
+	MeanWallSpeedup float64 `json:"meanWallSpeedup"`
+	MeanSimSpeedup  float64 `json:"meanSimSpeedup"`
+	// AllRowsIdentical is the conjunction of every run's RowsIdentical —
+	// the experiment's correctness gate.
+	AllRowsIdentical bool `json:"allRowsIdentical"`
+}
+
+// CompareDictModes runs each catalog query on each engine twice per
+// iteration — once over a lexical-plane load of the dataset and once over a
+// dictionary-encoded load — and reports result-row identity, total and
+// per-cycle shuffle-byte reductions, and wall/simulated-time speedups. Both
+// loaders generate the same deterministic graphs (scaled by sizeMult), so
+// any row divergence is a plane bug.
+func CompareDictModes(catalog []DictCatalogEntry, engines []engine.Engine, iters int, sizeMult float64) (*DictReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	lexLoader := NewLoader()
+	lexLoader.Lexical = true
+	dictLoader := NewLoader()
+	if sizeMult > 0 {
+		lexLoader.SizeMult = sizeMult
+		dictLoader.SizeMult = sizeMult
+	}
+
+	report := &DictReport{Iters: iters, AllRowsIdentical: true}
+	for _, entry := range catalog {
+		for _, id := range entry.Queries {
+			q, ok := Get(id)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown query %q", id)
+			}
+			parsed, err := sparql.Parse(q.SPARQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", id, err)
+			}
+			aq, err := algebra.Build(parsed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", id, err)
+			}
+			for _, e := range engines {
+				run := DictRun{Query: id, Dataset: entry.Dataset, Engine: e.Name()}
+				for it := 0; it < iters; it++ {
+					lexRes, lexWM, lexWall, err := dictExec(lexLoader, entry.Dataset, e, aq)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s via %s (lexical): %w", id, entry.Dataset, e.Name(), err)
+					}
+					dictRes, dictWM, dictWall, err := dictExec(dictLoader, entry.Dataset, e, aq)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s via %s (dictionary): %w", id, entry.Dataset, e.Name(), err)
+					}
+					if it == 0 {
+						// Compare as row sets: reducers see group keys in
+						// plane order, so unordered results can legitimately
+						// arrive in different row order (ORDER BY queries
+						// sort after the decode boundary, identically).
+						run.RowsIdentical = lexRes.Equal(dictRes)
+						run.LexShuffleBytes = lexWM.ShuffleBytes()
+						run.DictShuffleBytes = dictWM.ShuffleBytes()
+						run.LexSimSeconds = lexWM.SimSeconds()
+						run.DictSimSeconds = dictWM.SimSeconds()
+						run.Cycles = dictCycles(lexWM, dictWM)
+						run.LexWallMillis = lexWall
+						run.DictWallMillis = dictWall
+					} else {
+						run.LexWallMillis = min(run.LexWallMillis, lexWall)
+						run.DictWallMillis = min(run.DictWallMillis, dictWall)
+					}
+				}
+				if run.LexShuffleBytes > 0 {
+					run.ShuffleReductionPct = 100 * (1 - float64(run.DictShuffleBytes)/float64(run.LexShuffleBytes))
+				}
+				if run.DictWallMillis > 0 {
+					run.WallSpeedup = run.LexWallMillis / run.DictWallMillis
+				}
+				if run.DictSimSeconds > 0 {
+					run.SimSpeedup = run.LexSimSeconds / run.DictSimSeconds
+				}
+				report.AllRowsIdentical = report.AllRowsIdentical && run.RowsIdentical
+				report.TotalLexShuffleBytes += run.LexShuffleBytes
+				report.TotalDictShuffleBytes += run.DictShuffleBytes
+				report.Runs = append(report.Runs, run)
+			}
+		}
+	}
+	if report.TotalLexShuffleBytes > 0 {
+		report.ShuffleReductionPct = 100 * (1 - float64(report.TotalDictShuffleBytes)/float64(report.TotalLexShuffleBytes))
+	}
+	report.MeanWallSpeedup = geoMeanOf(report.Runs, func(r DictRun) float64 { return r.WallSpeedup })
+	report.MeanSimSpeedup = geoMeanOf(report.Runs, func(r DictRun) float64 { return r.SimSpeedup })
+	return report, nil
+}
+
+func dictExec(l *Loader, datasetID string, e engine.Engine, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, float64, error) {
+	c, ds, err := l.Load(datasetID)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	start := time.Now()
+	res, wm, err := e.Execute(c, ds, aq)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, wm, float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// dictCycles pairs the two planes' non-map-only cycles by execution order.
+// Plan shapes can differ across planes only in map-join choices, which never
+// shuffle; unpaired trailing cycles are reported with a zero counterpart.
+func dictCycles(lex, dict *mapred.WorkflowMetrics) []DictCycle {
+	shuffling := func(w *mapred.WorkflowMetrics) []*mapred.Metrics {
+		var out []*mapred.Metrics
+		for _, m := range w.Jobs {
+			if !m.MapOnly {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	ls, ds := shuffling(lex), shuffling(dict)
+	n := max(len(ls), len(ds))
+	out := make([]DictCycle, 0, n)
+	for i := 0; i < n; i++ {
+		var c DictCycle
+		if i < len(ls) {
+			c.Job = ls[i].Job
+			c.LexShuffleBytes = ls[i].MapOutputBytes
+		}
+		if i < len(ds) {
+			c.Job = ds[i].Job
+			c.DictShuffleBytes = ds[i].MapOutputBytes
+		}
+		c.DeltaBytes = c.LexShuffleBytes - c.DictShuffleBytes
+		out = append(out, c)
+	}
+	return out
+}
+
+func geoMeanOf(runs []DictRun, f func(DictRun) float64) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, r := range runs {
+		v := f(r)
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(runs)))
+}
+
+// RenderDict renders a DictReport as an aligned table.
+func RenderDict(rep *DictReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lexical vs dictionary-encoded data plane (best of %d)\n", rep.Iters)
+	fmt.Fprintf(&b, "%-6s %-10s %-22s %12s %12s %8s %8s %8s %6s\n",
+		"query", "dataset", "engine", "lex shuffle", "dict shuffle", "reduce%", "wall x", "sim x", "rows=")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-6s %-10s %-22s %12d %12d %7.1f%% %7.2fx %7.2fx %6v\n",
+			r.Query, r.Dataset, r.Engine, r.LexShuffleBytes, r.DictShuffleBytes,
+			r.ShuffleReductionPct, r.WallSpeedup, r.SimSpeedup, r.RowsIdentical)
+	}
+	fmt.Fprintf(&b, "total shuffle: %d -> %d bytes (%.1f%% reduction); geo-mean wall %.2fx, sim %.2fx; rows identical: %v\n",
+		rep.TotalLexShuffleBytes, rep.TotalDictShuffleBytes, rep.ShuffleReductionPct,
+		rep.MeanWallSpeedup, rep.MeanSimSpeedup, rep.AllRowsIdentical)
+	return b.String()
+}

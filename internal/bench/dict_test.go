@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The tentpole guarantee at the query level: every multi-grouping catalog
+// query returns the same result rows on every engine whether the dataset is
+// loaded lexically or dictionary-encoded, and the dictionary plane shuffles
+// strictly fewer bytes on every run.
+func TestDictPlaneMatchesLexical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog comparison in -short mode")
+	}
+	rep, err := CompareDictModes(MGCatalog(), Engines(), 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := 0
+	for _, e := range MGCatalog() {
+		queries += len(e.Queries)
+	}
+	if want := queries * len(Engines()); len(rep.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), want)
+	}
+	for _, r := range rep.Runs {
+		if !r.RowsIdentical {
+			t.Errorf("%s on %s via %s: dictionary plane changed the result rows", r.Query, r.Dataset, r.Engine)
+		}
+		if r.DictShuffleBytes >= r.LexShuffleBytes {
+			t.Errorf("%s on %s via %s: dict shuffled %d bytes, lexical %d — no reduction",
+				r.Query, r.Dataset, r.Engine, r.DictShuffleBytes, r.LexShuffleBytes)
+		}
+	}
+	if !rep.AllRowsIdentical {
+		t.Error("AllRowsIdentical is false")
+	}
+	if rep.ShuffleReductionPct < 25 {
+		t.Errorf("total shuffle reduction %.1f%%, want >= 25%%", rep.ShuffleReductionPct)
+	}
+}

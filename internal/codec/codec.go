@@ -45,17 +45,44 @@ func ReadUvarint(buf []byte) (uint64, []byte, error) {
 	return v, buf[k:], nil
 }
 
-// Tuple is a row of lexical column values. Engines store RDF terms in
-// Term.Key form and NULLs as algebra.Null.
+// Tuple is a row of column values. In the lexical plane engines store RDF
+// terms in Term.Key form and NULLs as algebra.Null; in the dictionary plane
+// each field is a term's uvarint ID-string (see rdf.Dict) and NULL is the
+// ID-string of ID 0, which is the same byte as algebra.Null.
 type Tuple []string
 
-// Encode serialises the tuple.
-func (t Tuple) Encode() []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(t)))
+// EncodedLen returns the exact size of the tuple's Encode output.
+func (t Tuple) EncodedLen() int {
+	n := uvarintLen(uint64(len(t)))
+	for _, f := range t {
+		n += uvarintLen(uint64(len(f))) + len(f)
+	}
+	return n
+}
+
+// AppendEncode appends the tuple's encoding to buf and returns the extended
+// slice, avoiding the intermediate allocation of Encode in hot emit paths.
+func (t Tuple) AppendEncode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
 	for _, f := range t {
 		buf = AppendString(buf, f)
 	}
 	return buf
+}
+
+// Encode serialises the tuple.
+func (t Tuple) Encode() []byte {
+	return t.AppendEncode(make([]byte, 0, t.EncodedLen()))
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // DecodeTuple parses a tuple written by Encode.
@@ -63,6 +90,11 @@ func DecodeTuple(buf []byte) (Tuple, error) {
 	n, buf, err := ReadUvarint(buf)
 	if err != nil {
 		return nil, err
+	}
+	// Every field takes at least one length-prefix byte, so an arity beyond
+	// the remaining buffer is malformed — reject it before allocating.
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("codec: tuple arity %d exceeds %d remaining bytes", n, len(buf))
 	}
 	t := make(Tuple, n)
 	for i := range t {
@@ -82,4 +114,78 @@ func (t Tuple) Concat(other Tuple) Tuple {
 	out := make(Tuple, 0, len(t)+len(other))
 	out = append(out, t...)
 	return append(out, other...)
+}
+
+// Interner resolves term IDs to their canonical interned ID-strings, so
+// decoded tuples share one string per distinct term instead of allocating a
+// copy per field. *rdf.Dict implements it.
+type Interner interface {
+	// IDString returns the interned uvarint ID-string for a term ID.
+	IDString(id uint64) (string, bool)
+}
+
+// EncodedIDsLen returns the exact size of the tuple's EncodeIDs output.
+// Every field must be an ID-string.
+func (t Tuple) EncodedIDsLen() int {
+	n := uvarintLen(uint64(len(t)))
+	for _, f := range t {
+		n += len(f)
+	}
+	return n
+}
+
+// AppendEncodeIDs appends the ID-plane encoding of the tuple to buf: a
+// uvarint arity followed by the fields' raw bytes. ID-strings are
+// self-delimiting uvarints, so no per-field length prefix is needed — this
+// is what makes the dictionary plane's rows and shuffle keys compact.
+func (t Tuple) AppendEncodeIDs(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t)))
+	for _, f := range t {
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// EncodeIDs serialises an ID-plane tuple (see AppendEncodeIDs).
+func (t Tuple) EncodeIDs() []byte {
+	return t.AppendEncodeIDs(make([]byte, 0, t.EncodedIDsLen()))
+}
+
+// DecodeIDTuple parses a tuple written by EncodeIDs, resolving each field
+// to its interned ID-string through in.
+func DecodeIDTuple(buf []byte, in Interner) (Tuple, error) {
+	n, buf, err := ReadUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	// Every field takes at least one byte, so an arity beyond the remaining
+	// buffer is malformed — reject it before allocating.
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("codec: id tuple arity %d exceeds %d remaining bytes", n, len(buf))
+	}
+	t := make(Tuple, n)
+	for i := range t {
+		t[i], buf, err = ReadIDValue(buf, in)
+		if err != nil {
+			return nil, fmt.Errorf("codec: id tuple field %d: %w", i, err)
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("codec: %d trailing bytes after id tuple", len(buf))
+	}
+	return t, nil
+}
+
+// ReadIDValue reads one uvarint term ID from buf and returns its interned
+// ID-string and the remaining buffer.
+func ReadIDValue(buf []byte, in Interner) (string, []byte, error) {
+	id, rest, err := ReadUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	s, ok := in.IDString(id)
+	if !ok {
+		return "", nil, fmt.Errorf("codec: unknown term id %d", id)
+	}
+	return s, rest, nil
 }

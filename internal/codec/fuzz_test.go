@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"testing"
+)
+
+// fuzzInterner resolves every ID to its own uvarint encoding, like rdf.Dict
+// does for known IDs — so any well-formed ID stream decodes.
+type fuzzInterner struct{}
+
+func (fuzzInterner) IDString(id uint64) (string, bool) {
+	return string(AppendUvarint(nil, id)), true
+}
+
+// Decoders accept non-minimal uvarints (binary.Uvarint does), so the fuzz
+// properties are value-level: whatever decodes must survive a canonical
+// re-encode/re-decode round trip unchanged.
+
+func FuzzReadString(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendString(nil, ""))
+	f.Add(AppendString(nil, "Ihttp://example.org/p"))
+	f.Add(AppendString(AppendString(nil, "a"), "b"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, rest, err := ReadString(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) < len(s)+1 {
+			t.Fatalf("ReadString consumed %d bytes for a %d-byte string", len(data)-len(rest), len(s))
+		}
+		s2, rest2, err := ReadString(AppendString(nil, s))
+		if err != nil || s2 != s || len(rest2) != 0 {
+			t.Fatalf("re-encode of %q: got %q, rest %d, err %v", s, s2, len(rest2), err)
+		}
+	})
+}
+
+func FuzzReadUvarint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendUvarint(nil, 0))
+	f.Add(AppendUvarint(nil, 127))
+	f.Add(AppendUvarint(nil, 1<<40))
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := ReadUvarint(data)
+		if err != nil {
+			return
+		}
+		if len(rest) >= len(data) {
+			t.Fatalf("ReadUvarint consumed no bytes")
+		}
+		v2, rest2, err := ReadUvarint(AppendUvarint(nil, v))
+		if err != nil || v2 != v || len(rest2) != 0 {
+			t.Fatalf("re-encode of %d: got %d, rest %d, err %v", v, v2, len(rest2), err)
+		}
+	})
+}
+
+func FuzzDecodeTuple(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Tuple{}.Encode())
+	f.Add(Tuple{"Ihttp://example.org/s", "L42", "\x00"}.Encode())
+	f.Add(Tuple{"a"}.Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, err := DecodeTuple(data)
+		if err != nil {
+			return
+		}
+		tup2, err := DecodeTuple(tup.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", tup, err)
+		}
+		assertTuplesEqual(t, tup, tup2)
+	})
+}
+
+func FuzzDecodeIDTuple(f *testing.F) {
+	in := fuzzInterner{}
+	f.Add([]byte{})
+	f.Add(Tuple{}.EncodeIDs())
+	f.Add(Tuple{string(AppendUvarint(nil, 1)), "\x00", string(AppendUvarint(nil, 300))}.EncodeIDs())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x02, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, err := DecodeIDTuple(data, in)
+		if err != nil {
+			return
+		}
+		tup2, err := DecodeIDTuple(tup.EncodeIDs(), in)
+		if err != nil {
+			t.Fatalf("re-decode of %x: %v", tup.EncodeIDs(), err)
+		}
+		assertTuplesEqual(t, tup, tup2)
+	})
+}
+
+func assertTuplesEqual(t *testing.T, a, b Tuple) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("tuple arity changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple field %d changed: %x vs %x", i, a[i], b[i])
+		}
+	}
+}

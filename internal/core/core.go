@@ -54,11 +54,18 @@ type Options struct {
 	// that can match each star's primary properties (the paper's
 	// pre-processing benefit); disabled, every class is scanned.
 	InputPruning bool
+	// DictionaryEncoding runs the whole data plane on compact integer term
+	// IDs (rdf.Dict) instead of lexical term keys, decoding back to
+	// lexical form only at the aggregation boundary. The plane is physical:
+	// it is consumed at dataset-load time (engine.LoadWith / the bench
+	// loaders honour it), and at query time every engine follows the plane
+	// the dataset was materialised in (Dataset.Dict).
+	DictionaryEncoding bool
 }
 
 // DefaultOptions is the configuration evaluated in the paper.
 func DefaultOptions() Options {
-	return Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: true, InputPruning: true}
+	return Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: true, InputPruning: true, DictionaryEncoding: true}
 }
 
 // Engine is the RAPIDAnalytics engine.
@@ -96,7 +103,7 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 		for k, sq := range aq.Subqueries {
 			out := run.Path(fmt.Sprintf("aggjoin%d", k))
 			job := tgops.AggJoinJob(fmt.Sprintf("aggjoin%d", k), matched,
-				[]tgops.AggJoinSpec{e.aggSpec(cp, sq, k)}, false, e.Opts.HashAggregation, out)
+				[]tgops.AggJoinSpec{e.aggSpec(ds, cp, sq, k)}, false, e.Opts.HashAggregation, out)
 			if err := run.Exec(job); err != nil {
 				return nil, run.WM, err
 			}
@@ -108,7 +115,7 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 	// parallel within a single cycle.
 	specs := make([]tgops.AggJoinSpec, len(aq.Subqueries))
 	for k, sq := range aq.Subqueries {
-		specs[k] = e.aggSpec(cp, sq, k)
+		specs[k] = e.aggSpec(ds, cp, sq, k)
 	}
 	tagged := run.Path("aggjoin-parallel")
 	job := tgops.AggJoinJob("aggjoin-parallel", matched, specs, true, e.Opts.HashAggregation, tagged)
@@ -149,7 +156,7 @@ func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algeb
 	if !e.Opts.AlphaFiltering {
 		alphaCP = nil
 	}
-	return rapid.JoinChain(run, scans, order, "composite", alphaCP)
+	return rapid.JoinChain(run, scans, order, "composite", ntga.ResolveAlpha(alphaCP, ds.Dict))
 }
 
 // compositeStarScan builds the scan for one composite star: primary
@@ -173,18 +180,19 @@ func compositeStarScan(ds *engine.Dataset, star int, cs *algebra.CompositeStar, 
 	if !prune {
 		files = ds.TG.AllFiles()
 	}
-	return tgops.Source{Files: files, Scan: spec}
+	return tgops.Source{Files: files, Scan: spec, Dict: ds.Dict}
 }
 
 // aggSpec builds original pattern k's TG_AgJ requirement over the
 // composite: grouping/aggregation variables mapped to composite names,
 // bindings enumerated from the pattern's canonical triples, and the α
 // condition of Figure 5 gating which triplegroups contribute.
-func (e *Engine) aggSpec(cp *algebra.CompositePattern, sq *algebra.Subquery, k int) tgops.AggJoinSpec {
+func (e *Engine) aggSpec(ds *engine.Dataset, cp *algebra.CompositePattern, sq *algebra.Subquery, k int) tgops.AggJoinSpec {
 	groupVars := make([]string, len(sq.GroupBy))
 	for i, g := range sq.GroupBy {
 		groupVars[i] = cp.VarMaps[k][g]
 	}
+	alpha := ntga.ResolveAlpha(cp, ds.Dict)
 	aggs := make([]algebra.AggSpec, len(sq.Aggs))
 	for i, a := range sq.Aggs {
 		aggs[i] = algebra.AggSpec{Func: a.Func, Var: cp.VarMaps[k][a.Var], As: a.As, Distinct: a.Distinct}
@@ -197,7 +205,7 @@ func (e *Engine) aggSpec(cp *algebra.CompositePattern, sq *algebra.Subquery, k i
 		// Composite patterns never carry OPTIONALs (stars with OPTIONALs do
 		// not overlap); sequential fallback handles them.
 		Alpha: func(a *ntga.AnnTG) bool {
-			return ntga.SatisfiesPattern(a, cp, k)
+			return alpha.Satisfies(a, k)
 		},
 		Having: rapid.GroupedHaving(sq),
 	}

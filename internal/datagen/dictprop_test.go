@@ -1,0 +1,69 @@
+package datagen
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/rdf"
+)
+
+// Property: over every generated graph, the dictionary is a bijection on the
+// term keys actually present — AddString is idempotent, Lex inverts it — and
+// building it twice in triple order assigns identical IDs (determinism is
+// what makes dictionary-plane runs reproducible).
+func TestDictRoundTripOverGeneratedGraphs(t *testing.T) {
+	graphs := map[string]*rdf.Graph{
+		"bsbm":     GenerateBSBM(BSBMSmall()),
+		"chem2bio": GenerateChem(ChemDefault()),
+		"pubmed":   GeneratePubMed(PubMedDefault()),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			build := func() *rdf.Dict {
+				d := rdf.NewDict()
+				for _, tr := range g.Triples {
+					d.AddString(tr.Subject.Key())
+					d.AddString(tr.Property.Key())
+					d.AddString(tr.Object.Key())
+				}
+				return d
+			}
+			d := build()
+			seen := map[string]bool{}
+			for _, tr := range g.Triples {
+				for _, key := range []string{tr.Subject.Key(), tr.Property.Key(), tr.Object.Key()} {
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					idStr := d.AddString(key)
+					if lex, ok := d.Lex(idStr); !ok || lex != key {
+						t.Fatalf("Lex(AddString(%q)) = %q, %v", key, lex, ok)
+					}
+					id, ok := d.Lookup(key)
+					if !ok {
+						t.Fatalf("Lookup(%q) missing after AddString", key)
+					}
+					if s, ok := d.IDString(id); !ok || s != idStr {
+						t.Fatalf("IDString(%d) = %q, %v; want %q", id, s, ok, idStr)
+					}
+					if back, ok := d.Key(id); !ok || back != key {
+						t.Fatalf("Key(%d) = %q, %v; want %q", id, back, ok, key)
+					}
+				}
+			}
+			if d.Len() != len(seen) {
+				t.Fatalf("dict has %d entries, graph has %d distinct term keys", d.Len(), len(seen))
+			}
+			// Determinism: a second build over the same triple stream assigns
+			// the same ID to every key.
+			d2 := build()
+			for key := range seen {
+				id1, _ := d.Lookup(key)
+				id2, ok := d2.Lookup(key)
+				if !ok || id1 != id2 {
+					t.Fatalf("rebuild assigned %q id %d, first build %d (ok=%v)", key, id2, id1, ok)
+				}
+			}
+		})
+	}
+}

@@ -25,16 +25,43 @@ type Dataset struct {
 	Graph *rdf.Graph
 	VP    *store.VPStore
 	TG    *store.TGStore
+	// Dict is the term dictionary when the dataset was loaded with
+	// dictionary encoding: stored tables and triplegroups are in the
+	// compact ID plane and engines decode back to lexical form only at the
+	// final aggregation boundary. Nil means the lexical plane.
+	Dict *rdf.Dict
 }
 
+// LoadOptions configures dataset materialisation.
+type LoadOptions struct {
+	// DictionaryEncoding stores both physical layouts in the dictionary
+	// plane (integer term IDs end-to-end; see rdf.Dict). Off reproduces
+	// the original lexical layouts.
+	DictionaryEncoding bool
+}
+
+// DefaultLoadOptions enables dictionary encoding.
+func DefaultLoadOptions() LoadOptions { return LoadOptions{DictionaryEncoding: true} }
+
 // Load materialises the graph into the cluster's file system under the
-// dataset name.
+// dataset name with the default options (dictionary encoding on).
 func Load(c *mapred.Cluster, name string, g *rdf.Graph) *Dataset {
+	return LoadWith(c, name, g, DefaultLoadOptions())
+}
+
+// LoadWith materialises the graph into the cluster's file system under the
+// dataset name.
+func LoadWith(c *mapred.Cluster, name string, g *rdf.Graph, opts LoadOptions) *Dataset {
+	var d *rdf.Dict
+	if opts.DictionaryEncoding {
+		d = rdf.NewDict()
+	}
 	return &Dataset{
 		Name:  name,
 		Graph: g,
-		VP:    store.BuildVP(c.FS, g, name+"/vp"),
-		TG:    store.BuildTG(c.FS, g, name+"/tg"),
+		VP:    store.BuildVP(c.FS, g, name+"/vp", d),
+		TG:    store.BuildTG(c.FS, g, name+"/tg", d),
+		Dict:  d,
 	}
 }
 

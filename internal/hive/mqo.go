@@ -100,13 +100,13 @@ func (h *MQO) evalComposite(run *runner, ds *engine.Dataset, cp *algebra.Composi
 			if !ok {
 				file = run.emptyFile(true)
 			}
-			r := &rel{file: file}
+			r := &rel{file: file, dict: ds.Dict}
 			switch {
 			case isType:
 				r.cols = []string{cs.SubjectVar}
 			case !p.TP.O.IsVar:
 				r.cols = []string{cs.SubjectVar, cols[i][j]}
-				r.consts = map[int]string{1: p.TP.O.Term.Key()}
+				r.consts = map[int]string{1: planeConst(ds.Dict, p.TP.O.Term.Key())}
 			default:
 				r.cols = []string{cs.SubjectVar, cols[i][j]}
 				for _, f := range cp.Filters {

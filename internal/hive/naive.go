@@ -101,11 +101,11 @@ func starScanInputs(run *runner, ds *engine.Dataset, st *algebra.StarPattern, fi
 		if tp.P.IsVar {
 			// Unbound property: scan the full triples table, exposing the
 			// property as a column ([32]'s fallback shape).
-			r := &rel{file: ds.VP.TriplesTable, cols: []string{st.SubjectVar, tp.P.Var, ""}}
+			r := &rel{file: ds.VP.TriplesTable, cols: []string{st.SubjectVar, tp.P.Var, ""}, dict: ds.Dict}
 			if tp.O.IsVar {
 				r.cols[2] = tp.O.Var
 			} else {
-				r.consts = map[int]string{2: tp.O.Term.Key()}
+				r.consts = map[int]string{2: planeConst(ds.Dict, tp.O.Term.Key())}
 			}
 			for _, f := range filters {
 				if f.Var == tp.P.Var || (tp.O.IsVar && f.Var == tp.O.Var) {
@@ -120,13 +120,13 @@ func starScanInputs(run *runner, ds *engine.Dataset, st *algebra.StarPattern, fi
 		if !ok {
 			file = run.emptyFile(isType || !tp.O.IsVar)
 		}
-		r := &rel{file: file}
+		r := &rel{file: file, dict: ds.Dict}
 		switch {
 		case isType:
 			r.cols = []string{st.SubjectVar}
 		case !tp.O.IsVar:
 			r.cols = []string{st.SubjectVar, ""}
-			r.consts = map[int]string{1: tp.O.Term.Key()}
+			r.consts = map[int]string{1: planeConst(ds.Dict, tp.O.Term.Key())}
 		default:
 			r.cols = []string{st.SubjectVar, tp.O.Var}
 			for _, f := range filters {
@@ -145,13 +145,13 @@ func starScanInputs(run *runner, ds *engine.Dataset, st *algebra.StarPattern, fi
 		if !ok {
 			file = run.emptyFile(isType || !tp.O.IsVar)
 		}
-		r := &rel{file: file}
+		r := &rel{file: file, dict: ds.Dict}
 		switch {
 		case isType:
 			r.cols = []string{st.SubjectVar}
 		case !tp.O.IsVar:
 			r.cols = []string{st.SubjectVar, ""}
-			r.consts = map[int]string{1: tp.O.Term.Key()}
+			r.consts = map[int]string{1: planeConst(ds.Dict, tp.O.Term.Key())}
 		default:
 			r.cols = []string{st.SubjectVar, tp.O.Var}
 		}

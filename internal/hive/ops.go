@@ -19,6 +19,7 @@ import (
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/codec"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/rdf"
 	"rapidanalytics/internal/sparql"
 )
 
@@ -50,6 +51,66 @@ type rel struct {
 	consts map[int]string
 	// filters are pushed-down FILTER constraints, keyed by column name.
 	filters []sparql.Filter
+	// dict is non-nil when the relation's tuples are in the dictionary
+	// plane (compact ID-tuples whose fields are rdf.Dict ID-strings). The
+	// planner resolves constant checks into the same plane, so scans compare
+	// raw field bytes either way; filters decode through the dictionary
+	// before evaluation. Nil is the lexical plane.
+	dict *rdf.Dict
+}
+
+// decode parses one raw record of the relation's file in its plane.
+func (r *rel) decode(rec []byte) (codec.Tuple, error) {
+	if r.dict != nil {
+		return codec.DecodeIDTuple(rec, r.dict)
+	}
+	return codec.DecodeTuple(rec)
+}
+
+// lexOf translates a plane value to its lexical Term.Key form for filter
+// evaluation. Lexical-plane values pass through.
+func (r *rel) lexOf(v string) string {
+	if r.dict == nil {
+		return v
+	}
+	if lex, ok := r.dict.Lex(v); ok {
+		if lex == "" {
+			return algebra.Null
+		}
+		return lex
+	}
+	return v
+}
+
+// planeEncode serialises a row in the plane selected by d.
+func planeEncode(d *rdf.Dict, row codec.Tuple) []byte {
+	if d != nil {
+		return row.EncodeIDs()
+	}
+	return row.Encode()
+}
+
+// planeEncodeTagged serialises a row with a leading tag byte in a single
+// allocation — the hot emit path of the reduce-side joins.
+func planeEncodeTagged(d *rdf.Dict, tag byte, row codec.Tuple) []byte {
+	if d != nil {
+		buf := make([]byte, 1, 1+row.EncodedIDsLen())
+		buf[0] = tag
+		return row.AppendEncodeIDs(buf)
+	}
+	buf := make([]byte, 1, 1+row.EncodedLen())
+	buf[0] = tag
+	return row.AppendEncode(buf)
+}
+
+// planeConst translates a lexical term key into the dataset's plane, for
+// pushed-down constant-object checks. Keys absent from the dictionary map to
+// an ID-string that matches no data value.
+func planeConst(d *rdf.Dict, key string) string {
+	if d == nil {
+		return key
+	}
+	return d.KeyString(key)
 }
 
 // outCols returns the named columns a scan of the relation produces.
@@ -80,7 +141,7 @@ func (r *rel) scan(raw codec.Tuple) (codec.Tuple, bool) {
 		}
 		for _, f := range r.filters {
 			if f.Var == c {
-				ok, err := algebra.EvalFilter(f, raw[i])
+				ok, err := algebra.EvalFilter(f, r.lexOf(raw[i]))
 				if err != nil || !ok {
 					return nil, false
 				}
@@ -105,10 +166,10 @@ func (r *rel) colIndex(name string) int {
 	return -1
 }
 
-// materialized returns a rel describing a job output with the given
-// columns.
-func materialized(file string, cols []string) *rel {
-	return &rel{file: file, cols: cols}
+// materialized returns a rel describing a job output with the given columns,
+// in the plane selected by d.
+func materialized(file string, cols []string, d *rdf.Dict) *rel {
+	return &rel{file: file, cols: cols, dict: d}
 }
 
 // storedSize returns a file's stored size extrapolated to paper scale, the
@@ -122,7 +183,14 @@ func (c Config) storedSize(cl *mapred.Cluster, file string) int64 {
 	if scale < 1 {
 		scale = 1
 	}
-	return int64(float64(f.StoredBytes()) * scale)
+	sz := int64(float64(f.StoredBytes()) * scale)
+	// A non-empty table occupies at least one stored byte; compact ID-tuples
+	// compress small enough to round to zero otherwise, which would let a
+	// non-empty broadcast side fit a zero map-join budget.
+	if sz == 0 && len(f.Records) > 0 {
+		sz = 1
+	}
+	return sz
 }
 
 // starInput couples a rel with its role in a (composite) star join.
@@ -165,6 +233,7 @@ func starJoinCols(inputs []*starInput, keep map[string]bool) []string {
 // subject columns. Inputs must reference distinct files.
 func starJoinJob(name string, inputs []*starInput, keep map[string]bool, output string, compression float64) (*mapred.Job, *rel) {
 	outCols := starJoinCols(inputs, keep)
+	d := inputs[0].rel.dict
 	byFile := map[string]int{}
 	for i, si := range inputs {
 		byFile[si.rel.file] = i
@@ -186,7 +255,7 @@ func starJoinJob(name string, inputs []*starInput, keep map[string]bool, output 
 			keyPos := si.rel.colIndex(si.keyCol)
 			tag := byte(idx)
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := si.rel.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -194,23 +263,22 @@ func starJoinJob(name string, inputs []*starInput, keep map[string]bool, output 
 				if !ok {
 					return nil
 				}
-				val := append([]byte{tag}, row.Encode()...)
-				emit(row[keyPos], val)
+				emit(row[keyPos], planeEncodeTagged(d, tag, row))
 				return nil
 			})
 		},
 		NewReducer: func() mapred.Reducer {
 			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
-				return reduceStar(key, values, inputs, keep, emit)
+				return reduceStar(key, values, inputs, keep, d, emit)
 			})
 		},
 	}
-	return job, materialized(output, outCols)
+	return job, materialized(output, outCols, d)
 }
 
 // reduceStar joins one subject's rows across all inputs, honouring
 // optional (left-outer) inputs.
-func reduceStar(key string, values [][]byte, inputs []*starInput, keep map[string]bool, emit mapred.Emit) error {
+func reduceStar(key string, values [][]byte, inputs []*starInput, keep map[string]bool, d *rdf.Dict, emit mapred.Emit) error {
 	perInput := make([][]codec.Tuple, len(inputs))
 	for _, v := range values {
 		if len(v) < 1 {
@@ -220,7 +288,7 @@ func reduceStar(key string, values [][]byte, inputs []*starInput, keep map[strin
 		if tag >= len(inputs) {
 			return fmt.Errorf("hive: bad star-join tag %d", tag)
 		}
-		t, err := codec.DecodeTuple(v[1:])
+		t, err := inputs[tag].rel.decode(v[1:])
 		if err != nil {
 			return err
 		}
@@ -258,7 +326,7 @@ func reduceStar(key string, values [][]byte, inputs []*starInput, keep map[strin
 		rows = next
 	}
 	for _, r := range rows {
-		emit("", r.Encode())
+		emit("", planeEncode(d, r))
 	}
 	return nil
 }
@@ -273,6 +341,7 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 		}
 	}
 	outCols := starJoinCols(ordered, keep)
+	d := ordered[0].rel.dict
 	var sides []string
 	for _, si := range ordered[1:] {
 		sides = append(sides, si.rel.file)
@@ -291,7 +360,7 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 				h := map[string][]codec.Tuple{}
 				keyPos := si.rel.colIndex(si.keyCol)
 				for _, rec := range tc.SideInput(si.rel.file) {
-					raw, err := codec.DecodeTuple(rec)
+					raw, err := si.rel.decode(rec)
 					if err != nil {
 						continue
 					}
@@ -306,7 +375,7 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 			drv := ordered[0]
 			drvKey := drv.rel.colIndex(drv.keyCol)
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := drv.rel.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -349,13 +418,13 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 					rows = next
 				}
 				for _, r := range rows {
-					emit("", r.Encode())
+					emit("", planeEncode(d, r))
 				}
 				return nil
 			})
 		},
 	}
-	return job, materialized(output, outCols)
+	return job, materialized(output, outCols, d)
 }
 
 // joinJob builds a binary equi-join of two relations on named columns,
@@ -363,6 +432,7 @@ func starMapJoinJob(name string, inputs []*starInput, driving int, keep map[stri
 // under the left name).
 func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string, compression float64) (*mapred.Job, *rel) {
 	outCols := joinOutCols(left, right, leftCol, rightCol, keep)
+	d := left.dict
 	job := &mapred.Job{
 		Name:              name,
 		Inputs:            []string{left.file, right.file},
@@ -377,7 +447,7 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 			}
 			keyPos := r.colIndex(keyCol)
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := r.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -385,7 +455,7 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 				if !ok {
 					return nil
 				}
-				emit(row[keyPos], append([]byte{tag}, row.Encode()...))
+				emit(row[keyPos], planeEncodeTagged(d, tag, row))
 				return nil
 			})
 		},
@@ -393,7 +463,7 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
 				var ls, rs []codec.Tuple
 				for _, v := range values {
-					t, err := codec.DecodeTuple(v[1:])
+					t, err := left.decode(v[1:])
 					if err != nil {
 						return err
 					}
@@ -405,19 +475,20 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 				}
 				for _, l := range ls {
 					for _, rr := range rs {
-						emit("", mergeJoinRow(left, right, leftCol, rightCol, keep, l, rr).Encode())
+						emit("", planeEncode(d, mergeJoinRow(left, right, leftCol, rightCol, keep, l, rr)))
 					}
 				}
 				return nil
 			})
 		},
 	}
-	return job, materialized(output, outCols)
+	return job, materialized(output, outCols, d)
 }
 
 // mapJoinJob builds the map-only variant of joinJob, broadcasting right.
 func mapJoinJob(name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string, compression float64) (*mapred.Job, *rel) {
 	outCols := joinOutCols(left, right, leftCol, rightCol, keep)
+	d := left.dict
 	job := &mapred.Job{
 		Name:              name,
 		Inputs:            []string{left.file},
@@ -429,7 +500,7 @@ func mapJoinJob(name string, left, right *rel, leftCol, rightCol string, keep ma
 			rightKeyPos := right.colIndex(rightCol)
 			h := map[string][]codec.Tuple{}
 			for _, rec := range tc.SideInput(right.file) {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := right.decode(rec)
 				if err != nil {
 					continue
 				}
@@ -441,7 +512,7 @@ func mapJoinJob(name string, left, right *rel, leftCol, rightCol string, keep ma
 			}
 			leftKeyPos := left.colIndex(leftCol)
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := left.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -450,13 +521,13 @@ func mapJoinJob(name string, left, right *rel, leftCol, rightCol string, keep ma
 					return nil
 				}
 				for _, m := range h[row[leftKeyPos]] {
-					emit("", mergeJoinRow(left, right, leftCol, rightCol, keep, row, m).Encode())
+					emit("", planeEncode(d, mergeJoinRow(left, right, leftCol, rightCol, keep, row, m)))
 				}
 				return nil
 			})
 		},
 	}
-	return job, materialized(output, outCols)
+	return job, materialized(output, outCols, d)
 }
 
 func joinOutCols(left, right *rel, leftCol, rightCol string, keep map[string]bool) []string {
@@ -499,6 +570,7 @@ func mergeJoinRow(left, right *rel, leftCol, rightCol string, keep map[string]bo
 // nil).
 func groupAggJob(name string, in *rel, groupCols []string, aggs []algebra.AggSpec, valid func(codec.Tuple) bool, having func([]string) bool, output string) (*mapred.Job, *rel) {
 	outCols := append(append([]string{}, groupCols...), aggAliases(aggs)...)
+	d := in.dict
 	groupPos := make([]int, len(groupCols))
 	for i, c := range groupCols {
 		groupPos[i] = in.colIndex(c)
@@ -514,8 +586,9 @@ func groupAggJob(name string, in *rel, groupCols []string, aggs []algebra.AggSpe
 		MapOperator:    "partial-agg",
 		ReduceOperator: "group-agg",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
+			var keyBuf []byte
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := in.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -526,39 +599,75 @@ func groupAggJob(name string, in *rel, groupCols []string, aggs []algebra.AggSpe
 				if valid != nil && !valid(row) {
 					return nil
 				}
-				keyParts := make([]string, len(groupPos))
+				keyBuf = keyBuf[:0]
 				for i, p := range groupPos {
-					keyParts[i] = row[p]
+					if d == nil && i > 0 {
+						keyBuf = append(keyBuf, 0x1f)
+					}
+					keyBuf = append(keyBuf, row[p]...)
 				}
 				st := algebra.NewMultiAggState(aggs)
 				for i, p := range aggPos {
-					st.States[i].Update(row[p])
+					st.States[i].UpdateTerm(d, row[p])
 				}
-				emit(strings.Join(keyParts, "\x1f"), []byte(st.Encode()))
+				emit(string(keyBuf), st.AppendEncode(nil))
 				return nil
 			})
 		},
-		NewCombiner: func() mapred.Reducer { return aggMerger(aggs, false, nil, nil) },
-		NewReducer:  func() mapred.Reducer { return aggMerger(aggs, true, groupCols, having) },
+		NewCombiner: func() mapred.Reducer { return aggMerger(aggs, false, nil, nil, nil) },
+		NewReducer:  func() mapred.Reducer { return aggMerger(aggs, true, groupCols, having, d) },
 	}
-	return job, materialized(output, outCols)
+	// The reducer decodes group keys back to lexical form: aggregate outputs
+	// are the plane boundary, so the output rel is lexical in both planes.
+	return job, materialized(output, outCols, nil)
+}
+
+// splitGroupKey recovers the group values from a grouping key. Lexical keys
+// are "\x1f"-joined; dictionary-plane keys are separator-free concatenations
+// of self-delimiting uvarint ID-strings, decoded back to lexical Term.Key
+// form here — the plane's decode boundary.
+func splitGroupKey(d *rdf.Dict, key string) ([]string, error) {
+	if d == nil {
+		return strings.Split(key, "\x1f"), nil
+	}
+	var out []string
+	buf := []byte(key)
+	for len(buf) > 0 {
+		id, rest, err := codec.ReadUvarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("hive: group key: %w", err)
+		}
+		buf = rest
+		if id == 0 {
+			out = append(out, algebra.Null)
+			continue
+		}
+		k, ok := d.Key(id)
+		if !ok {
+			return nil, fmt.Errorf("hive: group key holds unknown term id %d", id)
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // aggMerger merges encoded MultiAggStates per key. As a combiner it
 // re-emits the merged state; as a reducer it emits the final row, dropping
-// groups that fail the HAVING predicate.
-func aggMerger(aggs []algebra.AggSpec, final bool, groupCols []string, having func([]string) bool) mapred.Reducer {
+// groups that fail the HAVING predicate. With a non-nil dictionary the
+// reducer decodes the grouping key back to lexical form, so final rows are
+// byte-identical across planes.
+func aggMerger(aggs []algebra.AggSpec, final bool, groupCols []string, having func([]string) bool, d *rdf.Dict) mapred.Reducer {
 	return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
 		acc := algebra.NewMultiAggState(aggs)
 		for _, v := range values {
-			st, err := algebra.DecodeMultiAggState(string(v))
+			st, err := algebra.DecodeMultiAggStateBytes(v)
 			if err != nil {
 				return err
 			}
 			acc.Merge(st)
 		}
 		if !final {
-			emit(key, []byte(acc.Encode()))
+			emit(key, acc.AppendEncode(nil))
 			return nil
 		}
 		finals := acc.Finals()
@@ -567,7 +676,11 @@ func aggMerger(aggs []algebra.AggSpec, final bool, groupCols []string, having fu
 		}
 		var row codec.Tuple
 		if len(groupCols) > 0 {
-			row = append(row, strings.Split(key, "\x1f")...)
+			groups, err := splitGroupKey(d, key)
+			if err != nil {
+				return err
+			}
+			row = append(row, groups...)
 		}
 		row = append(row, finals...)
 		emit("", row.Encode())
@@ -599,7 +712,7 @@ func distinctJob(name string, in *rel, keepCols []string, valid func(codec.Tuple
 		ReduceOperator: "distinct",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
-				raw, err := codec.DecodeTuple(rec)
+				raw, err := in.decode(rec)
 				if err != nil {
 					return err
 				}
@@ -614,7 +727,7 @@ func distinctJob(name string, in *rel, keepCols []string, valid func(codec.Tuple
 				for i, p := range pos {
 					proj[i] = row[p]
 				}
-				enc := proj.Encode()
+				enc := planeEncode(in.dict, proj)
 				emit(string(enc), enc)
 				return nil
 			})
@@ -622,7 +735,7 @@ func distinctJob(name string, in *rel, keepCols []string, valid func(codec.Tuple
 		NewCombiner: func() mapred.Reducer { return firstValueReducer() },
 		NewReducer:  func() mapred.Reducer { return firstValueReducer() },
 	}
-	return job, materialized(output, keepCols)
+	return job, materialized(output, keepCols, in.dict)
 }
 
 // keptPositions returns the scan-output positions of an input's non-key

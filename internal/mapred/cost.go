@@ -33,8 +33,15 @@ type ClusterConfig struct {
 	DiskMBps float64
 	// NetMBps is per-node shuffle bandwidth.
 	NetMBps float64
-	// CPUSecPerMRecord is processing cost per million records.
+	// CPUSecPerMRecord is the fixed processing cost per million records
+	// (object churn, per-record dispatch), independent of record width.
 	CPUSecPerMRecord float64
+	// CPUSecPerMB is the byte-proportional processing cost per logical MB
+	// flowing through a task: serialisation, comparison and copying in the
+	// sort pipeline all scale with record width. Narrow records — e.g.
+	// dictionary-encoded ID tuples — are therefore cheaper per record than
+	// wide lexical ones, matching real Hadoop behaviour.
+	CPUSecPerMB float64
 	// DecompressSecPerMB is extra CPU per uncompressed MB for compressed
 	// inputs (the ORC effect).
 	DecompressSecPerMB float64
@@ -66,7 +73,10 @@ func DefaultConfig() ClusterConfig {
 		TaskStartupSec:     2,
 		DiskMBps:           50,
 		NetMBps:            25,
-		CPUSecPerMRecord:   6,
+		// Calibrated so a ~55-byte lexical record costs the same ~6s per
+		// million records as the previous record-count-only model.
+		CPUSecPerMRecord:   1,
+		CPUSecPerMB:        0.09,
 		DecompressSecPerMB: 0.02,
 		ReplicationFactor:  2,
 		ExecSplitBytes:     4 << 20,
@@ -122,12 +132,16 @@ func (cfg ClusterConfig) cost(m *Metrics) {
 	perTaskRecords := records / mapTasks
 	// Every record a mapper emits is serialised and sorted into the
 	// map-side buffer before any combiner runs — the work in-mapper hash
-	// aggregation (Algorithm 3) avoids by emitting once per group.
+	// aggregation (Algorithm 3) avoids by emitting once per group. The
+	// byte-proportional component uses the post-combine output bytes as the
+	// emit-width proxy (pre-combine emit bytes are not metered).
 	perTaskEmits := float64(m.MapEmitRecords) * scale / mapTasks
+	perTaskEmitBytes := float64(m.MapOutputBytes) * scale / mapTasks
 	taskTime := cfg.TaskStartupSec +
 		mb(perTaskStored)/cfg.DiskMBps +
 		perTaskRecords/1e6*cfg.CPUSecPerMRecord +
-		perTaskEmits/1e6*cfg.CPUSecPerMRecord
+		perTaskEmits/1e6*cfg.CPUSecPerMRecord +
+		(mb(perTaskLogical)+mb(perTaskEmitBytes))*cfg.CPUSecPerMB
 	if storedIn < logicalIn {
 		taskTime += mb(perTaskLogical) * cfg.DecompressSecPerMB
 	}
@@ -167,6 +181,7 @@ func (cfg ClusterConfig) cost(m *Metrics) {
 		redTime := cfg.TaskStartupSec +
 			mb(perRed)/cfg.DiskMBps*1.5 +
 			float64(m.MapOutputRecords)*scale/redTasks/1e6*cfg.CPUSecPerMRecord +
+			mb(perRed)*cfg.CPUSecPerMB +
 			mb(outStored*cfg.ReplicationFactor/redTasks)/cfg.DiskMBps
 		total += redTime
 	}

@@ -1,8 +1,6 @@
 package ntga
 
 import (
-	"sort"
-
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/sparql"
 )
@@ -11,17 +9,10 @@ import (
 // (Definition 3.3): it projects a subject triplegroup onto the star's
 // primary and optional properties and accepts it iff every primary property
 // is matched. The returned triplegroup contains the matching primary
-// triples plus any matching optional triples.
+// triples plus any matching optional triples. This is the lexical-plane
+// form; OptGroupFilterRefs is the plane-space core.
 func OptGroupFilter(tg TripleGroup, prim, opt []algebra.PropRef) (TripleGroup, bool) {
-	for _, ref := range prim {
-		if !tg.HasRef(ref) {
-			return TripleGroup{}, false
-		}
-	}
-	refs := make([]algebra.PropRef, 0, len(prim)+len(opt))
-	refs = append(refs, prim...)
-	refs = append(refs, opt...)
-	return tg.Project(refs), true
+	return OptGroupFilterRefs(tg, ResolveRefs(prim, nil), ResolveRefs(opt, nil))
 }
 
 // SplitTG is one output of the n-split operator: the subset of a composite
@@ -39,24 +30,11 @@ type SplitTG struct {
 // original pattern whose secondary properties are all present. A pattern
 // with an empty secondary set always yields a split (Figure 4(c)).
 func NSplit(tg TripleGroup, prim []algebra.PropRef, secs [][]algebra.PropRef) []SplitTG {
-	var out []SplitTG
-	for k, sec := range secs {
-		ok := true
-		for _, ref := range sec {
-			if !tg.HasRef(ref) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		refs := make([]algebra.PropRef, 0, len(prim)+len(sec))
-		refs = append(refs, prim...)
-		refs = append(refs, sec...)
-		out = append(out, SplitTG{Pattern: k, TG: tg.Project(refs)})
+	rsecs := make([][]Ref, len(secs))
+	for i, sec := range secs {
+		rsecs[i] = ResolveRefs(sec, nil)
 	}
-	return out
+	return NSplitRefs(tg, ResolveRefs(prim, nil), rsecs)
 }
 
 // SatisfiesPattern reports whether an annotated triplegroup can contribute
@@ -65,15 +43,10 @@ func NSplit(tg TripleGroup, prim []algebra.PropRef, secs [][]algebra.PropRef) []
 // Definitions 3.5/3.6 (e.g. Figure 5's "pf ≠ ∅"). Components for stars the
 // triplegroup has not yet joined are not constrained, so the check is
 // usable both during intermediate α-Joins and at aggregation time.
+// Engines resolve the table once with ResolveAlpha instead of calling this
+// per record.
 func SatisfiesPattern(a *AnnTG, cp *algebra.CompositePattern, k int) bool {
-	for i, star := range a.Stars {
-		for _, ref := range cp.Stars[star].RequiredSecondaryFor(k) {
-			if !a.TGs[i].HasRef(ref) {
-				return false
-			}
-		}
-	}
-	return true
+	return ResolveAlpha(cp, nil).Satisfies(a, k)
 }
 
 // SatisfiesAnyPattern implements the α-Join admission test (Definition
@@ -81,15 +54,12 @@ func SatisfiesPattern(a *AnnTG, cp *algebra.CompositePattern, k int) bool {
 // α condition, otherwise the combination matches no original pattern and is
 // not materialised (Table 2).
 func SatisfiesAnyPattern(a *AnnTG, cp *algebra.CompositePattern) bool {
-	for k := 0; k < cp.NumPatterns; k++ {
-		if SatisfiesPattern(a, cp, k) {
-			return true
-		}
-	}
-	return false
+	return ResolveAlpha(cp, nil).SatisfiesAny(a)
 }
 
-// Binding is one solution mapping composite variable names to value keys.
+// Binding is one solution mapping composite variable names to plane-space
+// value keys (lexical Term.Key form, or ID-strings in the dictionary
+// plane).
 type Binding map[string]string
 
 // MatchPattern enumerates the solutions of a set of canonical triple
@@ -104,120 +74,10 @@ type Binding map[string]string
 // (patterns for stars absent from the triplegroup cause zero solutions);
 // optTPs[i] holds OPTIONAL patterns, which bind when a matching triple
 // exists and leave their variables unbound otherwise. fn must not retain
-// the binding.
+// the binding. This is the lexical-plane form; MatchResolved is the
+// plane-space core the engines use.
 func MatchPattern(a *AnnTG, starTPs, optTPs map[int][]sparql.TriplePattern, fn func(Binding)) {
-	// Flatten to a work list of (star, tp) with the component resolved.
-	type work struct {
-		tg       *TripleGroup
-		tp       sparql.TriplePattern
-		optional bool
-	}
-	var items []work
-	stars := make([]int, 0, len(starTPs))
-	for star := range starTPs {
-		stars = append(stars, star)
-	}
-	sort.Ints(stars)
-	for _, star := range stars {
-		tg, ok := a.Component(star)
-		if !ok {
-			return
-		}
-		comp := tg
-		for _, tp := range starTPs[star] {
-			items = append(items, work{tg: &comp, tp: tp})
-		}
-		for _, tp := range optTPs[star] {
-			items = append(items, work{tg: &comp, tp: tp, optional: true})
-		}
-	}
-	// Required patterns first, so optional non-matches cannot mask required
-	// bindings.
-	sort.SliceStable(items, func(i, j int) bool { return !items[i].optional && items[j].optional })
-	binding := Binding{}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(items) {
-			fn(binding)
-			return
-		}
-		it := items[i]
-		// Bind the subject variable to the component's subject.
-		sv := it.tp.S.Var
-		prevS, hadS := binding[sv]
-		if hadS && prevS != it.tg.Subject {
-			return
-		}
-		if !hadS {
-			binding[sv] = it.tg.Subject
-		}
-		restoreS := func() {
-			if !hadS {
-				delete(binding, sv)
-			}
-		}
-		// Match the object against the component's triples. An unbound
-		// property (?p) matches any triple and binds the property variable.
-		matchedAny := false
-		for _, po := range it.tg.Triples {
-			var restoreP func()
-			if it.tp.P.IsVar {
-				pv := it.tp.P.Var
-				bound := "I" + po.Prop
-				if prev, had := binding[pv]; had {
-					if prev != bound {
-						continue
-					}
-					restoreP = func() {}
-				} else {
-					binding[pv] = bound
-					restoreP = func() { delete(binding, pv) }
-				}
-			} else if po.Prop != it.tp.P.Term.Value {
-				continue
-			}
-			if it.optional {
-				if !it.tp.O.IsVar && po.Obj != it.tp.O.Term.Key() {
-					continue
-				}
-				matchedAny = true
-			}
-			matchObject(it.tp, po, binding, rec, i)
-			if restoreP != nil {
-				restoreP()
-			}
-		}
-		if it.optional && !matchedAny {
-			// Left-outer: proceed with the optional variables unbound.
-			rec(i + 1)
-		}
-		restoreS()
-	}
-	rec(0)
-}
-
-// matchObject matches one triple's object against the pattern's object
-// position and recurses.
-func matchObject(tp sparql.TriplePattern, po PO, binding Binding, rec func(int), i int) {
-	if !tp.O.IsVar {
-		if po.Obj != tp.O.Term.Key() {
-			return
-		}
-		rec(i + 1)
-		return
-	}
-	ov := tp.O.Var
-	prevO, hadO := binding[ov]
-	if hadO {
-		if prevO != po.Obj {
-			return
-		}
-		rec(i + 1)
-		return
-	}
-	binding[ov] = po.Obj
-	rec(i + 1)
-	delete(binding, ov)
+	MatchResolved(a, ResolveTPMap(starTPs, nil), ResolveTPMap(optTPs, nil), false, fn)
 }
 
 // PatternTriples groups original pattern k's canonical triple patterns by

@@ -101,15 +101,21 @@ func (tg *TripleGroup) String() string {
 	return tg.Subject + "{" + strings.Join(parts, ", ") + "}"
 }
 
-// Encode serialises the triplegroup.
-func (tg *TripleGroup) Encode() []byte {
-	buf := codec.AppendString(nil, tg.Subject)
+// AppendEncode appends the triplegroup's encoding to buf and returns the
+// extended slice — the allocation-free form of Encode for hot emit paths.
+func (tg *TripleGroup) AppendEncode(buf []byte) []byte {
+	buf = codec.AppendString(buf, tg.Subject)
 	buf = codec.AppendUvarint(buf, uint64(len(tg.Triples)))
 	for _, t := range tg.Triples {
 		buf = codec.AppendString(buf, t.Prop)
 		buf = codec.AppendString(buf, t.Obj)
 	}
 	return buf
+}
+
+// Encode serialises the triplegroup.
+func (tg *TripleGroup) Encode() []byte {
+	return tg.AppendEncode(nil)
 }
 
 // DecodeTripleGroup parses a triplegroup written by Encode, returning the
@@ -218,14 +224,21 @@ func Merge(a, b AnnTG) AnnTG {
 	return out
 }
 
-// Encode serialises the annotated triplegroup.
-func (a *AnnTG) Encode() []byte {
-	buf := codec.AppendUvarint(nil, uint64(len(a.Stars)))
+// AppendEncode appends the annotated triplegroup's encoding to buf and
+// returns the extended slice — the allocation-free form of Encode for hot
+// emit paths.
+func (a *AnnTG) AppendEncode(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(a.Stars)))
 	for i, s := range a.Stars {
 		buf = codec.AppendUvarint(buf, uint64(s))
-		buf = append(buf, a.TGs[i].Encode()...)
+		buf = a.TGs[i].AppendEncode(buf)
 	}
 	return buf
+}
+
+// Encode serialises the annotated triplegroup.
+func (a *AnnTG) Encode() []byte {
+	return a.AppendEncode(nil)
 }
 
 // DecodeAnnTG parses an annotated triplegroup written by Encode.

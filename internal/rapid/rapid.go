@@ -16,6 +16,7 @@ import (
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/ntga"
 	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/sparql"
 	"rapidanalytics/internal/tgops"
@@ -77,7 +78,8 @@ func evalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, 
 // pattern and returns the source of matched (annotated) triplegroups. A
 // single-star pattern needs no join cycle: the filtered scan feeds the next
 // operator directly. cp, when non-nil, enables α filtering during joins
-// (used by RAPIDAnalytics; nil here).
+// (used by RAPIDAnalytics; nil here); the α table is resolved into the
+// dataset's data plane.
 func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPattern, tag string, cp *algebra.CompositePattern, prune bool) (tgops.Source, error) {
 	scans := make([]tgops.Source, len(gp.Stars))
 	for i, st := range gp.Stars {
@@ -89,14 +91,14 @@ func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPatte
 	if err != nil {
 		return tgops.Source{}, err
 	}
-	return JoinChain(run, scans, order, tag, cp)
+	return JoinChain(run, scans, order, tag, ntga.ResolveAlpha(cp, ds.Dict))
 }
 
 // JoinChain executes the ordered TG (α-)join cycles; the accumulated side
 // starts from star 0 (the JoinOrder contract). Exported for the
 // RAPIDAnalytics planner, which drives the same physical joins over a
 // composite pattern.
-func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, cp *algebra.CompositePattern) (tgops.Source, error) {
+func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, alpha *ntga.AlphaTable) (tgops.Source, error) {
 	acc := scans[0]
 	for i, edge := range order {
 		leftEp := tgops.Endpoint{Star: edge.Left, Role: edge.LeftRole, Props: edge.LeftProps}
@@ -106,11 +108,11 @@ func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, t
 			fmt.Sprintf("%s-join%d", tag, i),
 			tgops.JoinSide{Src: acc, Ep: leftEp},
 			tgops.JoinSide{Src: scans[edge.Right], Ep: rightEp},
-			cp, out)
+			alpha, out)
 		if err := run.Exec(job); err != nil {
 			return tgops.Source{}, err
 		}
-		acc = tgops.Source{Files: []string{out}}
+		acc = tgops.Source{Files: []string{out}, Dict: acc.Dict}
 	}
 	return acc, nil
 }
@@ -135,7 +137,7 @@ func starScan(ds *engine.Dataset, star int, st *algebra.StarPattern, filters []s
 	if !prune {
 		files = ds.TG.AllFiles()
 	}
-	return tgops.Source{Files: files, Scan: spec}
+	return tgops.Source{Files: files, Scan: spec, Dict: ds.Dict}
 }
 
 // propFilters maps FILTER constraints onto the bound properties whose

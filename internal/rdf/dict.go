@@ -1,0 +1,180 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"strconv"
+	"sync"
+)
+
+// NullID is the reserved term ID for the relational NULL. Its ID-string is
+// uvarint(0) = "\x00", which is byte-identical to algebra.Null, so NULL
+// detection and left-outer NULL-extension work unchanged in the ID plane.
+const NullID uint64 = 0
+
+// nullIDString is uvarint(NullID): the single zero byte, == algebra.Null.
+const nullIDString = "\x00"
+
+// MissingIDString is the ID-string returned for terms absent from the
+// dictionary (query constants that never occur in the data). A lone uvarint
+// continuation byte is never a valid encoding, so it can never equal any
+// real term's ID-string — comparisons against it simply never match.
+const MissingIDString = "\x80"
+
+// dictEntry is one dictionary slot: the lexical key, its interned
+// ID-string, and a lazily parsed numeric value for the aggregation fast
+// path.
+type dictEntry struct {
+	key   string // rdf.Term.Key form
+	idStr string // uvarint(id) bytes, interned once
+	num   float64
+	isNum bool
+}
+
+// Dict is an append-only, concurrency-safe dictionary mapping RDF terms (in
+// Term.Key form) to dense integer IDs and back. IDs start at 1; ID 0 is
+// reserved for NULL. The "ID-string" of a term is the raw uvarint encoding
+// of its ID stored in a Go string — self-delimiting, so multi-part keys can
+// concatenate ID-strings without separators, and the NULL ID-string is
+// exactly algebra.Null.
+//
+// The dictionary is built once at dataset-load time (in term-of-first-use
+// order over the triple stream, so IDs are deterministic for a given graph)
+// and attached to engine.Dataset; query-time use is read-mostly.
+type Dict struct {
+	mu      sync.RWMutex
+	ids     map[string]uint64
+	entries []dictEntry // entries[id-1] for id ≥ 1
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint64)}
+}
+
+// Add returns the ID for the term key, assigning the next dense ID if the
+// key is new. Safe for concurrent use.
+func (d *Dict) Add(key string) uint64 {
+	d.mu.RLock()
+	id, ok := d.ids[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id = uint64(len(d.entries)) + 1
+	e := dictEntry{key: key, idStr: string(binary.AppendUvarint(nil, id))}
+	// Cache the parsed numeric value for literal terms so SUM/AVG never
+	// re-parse the lexical form per row.
+	if len(key) > 0 && key[0] == 'L' {
+		if f, err := strconv.ParseFloat(key[1:], 64); err == nil {
+			e.num, e.isNum = f, true
+		}
+	}
+	d.ids[key] = id
+	d.entries = append(d.entries, e)
+	return id
+}
+
+// AddString returns the interned ID-string for the term key, assigning the
+// next dense ID if the key is new — the form the store builders use.
+func (d *Dict) AddString(key string) string {
+	id := d.Add(key)
+	d.mu.RLock()
+	s := d.entries[id-1].idStr
+	d.mu.RUnlock()
+	return s
+}
+
+// Lookup returns the ID for a term key, or false if the key was never
+// added.
+func (d *Dict) Lookup(key string) (uint64, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[key]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// Key returns the lexical Term.Key form for an ID. ID 0 (NULL) and unknown
+// IDs return false.
+func (d *Dict) Key(id uint64) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == 0 || id > uint64(len(d.entries)) {
+		return "", false
+	}
+	return d.entries[id-1].key, true
+}
+
+// IDString returns the interned uvarint ID-string for an ID. NULL (ID 0)
+// yields "\x00"; unknown IDs return false.
+func (d *Dict) IDString(id uint64) (string, bool) {
+	if id == 0 {
+		return nullIDString, true
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id > uint64(len(d.entries)) {
+		return "", false
+	}
+	return d.entries[id-1].idStr, true
+}
+
+// KeyString translates a lexical term key into its interned ID-string. Keys
+// absent from the dictionary (query constants that never occur in the
+// data) map to MissingIDString, which matches no data value.
+func (d *Dict) KeyString(key string) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id, ok := d.ids[key]; ok {
+		return d.entries[id-1].idStr
+	}
+	return MissingIDString
+}
+
+// Lex decodes an ID-string back to the lexical Term.Key form. The NULL
+// ID-string decodes to "" with ok=true (callers emit algebra.Null
+// themselves when needed); malformed or unknown ID-strings return false.
+func (d *Dict) Lex(idStr string) (string, bool) {
+	id, n := binary.Uvarint([]byte(idStr))
+	if n != len(idStr) || n <= 0 {
+		return "", false
+	}
+	if id == 0 {
+		return "", true
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id > uint64(len(d.entries)) {
+		return "", false
+	}
+	return d.entries[id-1].key, true
+}
+
+// NumericIDString returns the cached numeric value of the literal an
+// ID-string denotes — the SUM/AVG fast path. Returns false for NULL,
+// non-numeric terms and malformed ID-strings.
+func (d *Dict) NumericIDString(idStr string) (float64, bool) {
+	id, n := binary.Uvarint([]byte(idStr))
+	if n != len(idStr) || n <= 0 || id == 0 {
+		return 0, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id > uint64(len(d.entries)) {
+		return 0, false
+	}
+	e := &d.entries[id-1]
+	return e.num, e.isNum
+}
+
+// Len returns the number of distinct terms in the dictionary (excluding the
+// reserved NULL ID).
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}

@@ -1,0 +1,54 @@
+package rdf
+
+import "testing"
+
+func FuzzTermFromKey(f *testing.F) {
+	f.Add("")
+	f.Add("Ihttp://example.org/s")
+	f.Add("L42.5")
+	f.Add("Bnode1")
+	f.Add("L")
+	f.Add("\x00\x1f\x1e")
+	f.Fuzz(func(t *testing.T, k string) {
+		term := TermFromKey(k)
+		if k == "" {
+			if term != (Term{}) {
+				t.Fatalf("TermFromKey(%q) = %+v, want zero term", k, term)
+			}
+			return
+		}
+		// Key() tags the value with the kind byte; for any tagged key the
+		// round trip must be the identity (untagged keys normalise to 'I').
+		got := term.Key()
+		want := k
+		switch k[0] {
+		case 'L', 'B', 'I':
+		default:
+			want = "I" + k[1:]
+		}
+		if got != want {
+			t.Fatalf("TermFromKey(%q).Key() = %q, want %q", k, got, want)
+		}
+	})
+}
+
+// FuzzDictRoundTrip checks the dictionary invariants for arbitrary term
+// keys: AddString is idempotent, Lex inverts it, and the ID-string resolves
+// back to the same ID.
+func FuzzDictRoundTrip(f *testing.F) {
+	f.Add("Ihttp://example.org/s")
+	f.Add("L3.14")
+	f.Add("Bb0")
+	f.Add("")
+	f.Add("L\x1fweird\x00bytes")
+	f.Fuzz(func(t *testing.T, key string) {
+		d := NewDict()
+		idStr := d.AddString(key)
+		if again := d.AddString(key); again != idStr {
+			t.Fatalf("AddString(%q) not idempotent: %x vs %x", key, []byte(idStr), []byte(again))
+		}
+		if lex, ok := d.Lex(idStr); !ok || lex != key {
+			t.Fatalf("Lex(AddString(%q)) = %q, %v", key, lex, ok)
+		}
+	})
+}

@@ -61,8 +61,11 @@ func (s *VPStore) TableFor(ref algebra.PropRef) (file string, isTypePartition, o
 	return f, false, ok
 }
 
-// BuildVP vertically partitions the graph into fs under prefix.
-func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string) *VPStore {
+// BuildVP vertically partitions the graph into fs under prefix. With a
+// non-nil dictionary the tables are written in the dictionary plane: every
+// term is registered (in triple order, so IDs are deterministic for a given
+// graph) and rows are compact ID-tuples instead of lexical tuples.
+func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
 	s := &VPStore{
 		Prefix:     prefix,
 		Tables:     map[string]string{},
@@ -78,10 +81,20 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string) *VPStore {
 		}
 		return w
 	}
+	encRow := func(fields ...string) []byte {
+		t := codec.Tuple(fields)
+		if d == nil {
+			return t.Encode()
+		}
+		for i, f := range t {
+			t[i] = d.AddString(f)
+		}
+		return t.EncodeIDs()
+	}
 	s.TriplesTable = prefix + "/triples"
 	triples := fs.Create(s.TriplesTable, ORCCompressionRatio)
 	for _, t := range g.Triples {
-		triples.WriteOwned(codec.Tuple{t.Subject.Key(), "I" + t.Property.Value, t.Object.Key()}.Encode())
+		triples.WriteOwned(encRow(t.Subject.Key(), "I"+t.Property.Value, t.Object.Key()))
 		s.Rows[s.TriplesTable]++
 		if t.Property.Value == rdf.RDFType {
 			name, ok := s.TypeTables[t.Object.Key()]
@@ -89,7 +102,7 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string) *VPStore {
 				name = fmt.Sprintf("%s/type_%s", prefix, sanitize(t.Object.Key()))
 				s.TypeTables[t.Object.Key()] = name
 			}
-			writerFor(name).WriteOwned(codec.Tuple{t.Subject.Key()}.Encode())
+			writerFor(name).WriteOwned(encRow(t.Subject.Key()))
 			s.Rows[name]++
 			continue
 		}
@@ -98,7 +111,7 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string) *VPStore {
 			name = fmt.Sprintf("%s/vp_%s", prefix, sanitize(t.Property.Value))
 			s.Tables[t.Property.Value] = name
 		}
-		writerFor(name).WriteOwned(codec.Tuple{t.Subject.Key(), t.Object.Key()}.Encode())
+		writerFor(name).WriteOwned(encRow(t.Subject.Key(), t.Object.Key()))
 		s.Rows[name]++
 	}
 	return s
@@ -155,8 +168,10 @@ func ECKeyForRef(ref algebra.PropRef) string {
 
 // BuildTG groups the graph's triples by subject and materialises the
 // triplegroups into fs under prefix, one file per property equivalence
-// class.
-func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string) *TGStore {
+// class. With a non-nil dictionary the triplegroups are written in the
+// dictionary plane (every field an ID-string); the equivalence-class
+// metadata stays lexical, so input pruning is plane-independent.
+func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *TGStore {
 	s := &TGStore{Prefix: prefix}
 	tgs := ntga.GroupBySubject(g)
 	type ec struct {
@@ -183,7 +198,18 @@ func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string) *TGStore {
 			classes[id] = cls
 			s.Files = append(s.Files, TGFile{Name: name, Props: props})
 		}
-		cls.writer.WriteOwned(tg.Encode())
+		if d == nil {
+			cls.writer.WriteOwned(tg.Encode())
+			continue
+		}
+		idtg := ntga.TripleGroup{
+			Subject: d.AddString(tg.Subject),
+			Triples: make([]ntga.PO, len(tg.Triples)),
+		}
+		for j, po := range tg.Triples {
+			idtg.Triples[j] = ntga.PO{Prop: d.AddString("I" + po.Prop), Obj: d.AddString(po.Obj)}
+		}
+		cls.writer.WriteOwned(idtg.EncodeIDs())
 	}
 	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Name < s.Files[j].Name })
 	return s

@@ -29,7 +29,7 @@ func storeGraph() *rdf.Graph {
 
 func TestBuildVP(t *testing.T) {
 	fs := dfs.New()
-	vp := BuildVP(fs, storeGraph(), "t/vp")
+	vp := BuildVP(fs, storeGraph(), "t/vp", nil)
 	// One table per non-type property.
 	for _, prop := range []string{"label", "pf", "product", "price"} {
 		file, isType, ok := vp.TableFor(algebra.PropRef{Prop: "http://e/" + prop})
@@ -82,7 +82,7 @@ func TestBuildVP(t *testing.T) {
 
 func TestBuildTGEquivalenceClasses(t *testing.T) {
 	fs := dfs.New()
-	tg := BuildTG(fs, storeGraph(), "t/tg")
+	tg := BuildTG(fs, storeGraph(), "t/tg", nil)
 	// p1 {type=PT1, label, pf}, p2 {type=PT2, label}, o1 {product, price}:
 	// three distinct equivalence classes.
 	if len(tg.Files) != 3 {
@@ -109,7 +109,7 @@ func TestBuildTGEquivalenceClasses(t *testing.T) {
 
 func TestFilesForPruning(t *testing.T) {
 	fs := dfs.New()
-	tg := BuildTG(fs, storeGraph(), "t/tg")
+	tg := BuildTG(fs, storeGraph(), "t/tg", nil)
 	// The offer star {product, price} matches exactly one class.
 	offer := tg.FilesFor([]algebra.PropRef{{Prop: "http://e/product"}, {Prop: "http://e/price"}})
 	if len(offer) != 1 {

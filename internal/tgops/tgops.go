@@ -3,6 +3,16 @@
 // TG_AgJ with map-side hash pre-aggregation (Algorithm 3). Both NTGA
 // engines — RAPID+ (Naive) and RAPIDAnalytics — compose their workflows
 // from these builders.
+//
+// Every operator runs in one of two data planes, chosen by Source.Dict:
+// the lexical plane (triplegroup fields are rdf.Term.Key strings, the
+// original layout) or the dictionary plane (fields are uvarint ID-strings,
+// see rdf.Dict). Query-space constants — property references, triple
+// patterns, the α table — are resolved into the plane once at job-build or
+// task-start time, shuffle keys are separator-free concatenations of
+// self-delimiting IDs, and values decode back to lexical form only at the
+// final aggregation boundary, so emitted result rows are byte-identical in
+// both planes.
 package tgops
 
 import (
@@ -14,6 +24,7 @@ import (
 	"rapidanalytics/internal/codec"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/ntga"
+	"rapidanalytics/internal/rdf"
 	"rapidanalytics/internal/sparql"
 )
 
@@ -27,7 +38,8 @@ type PropFilter struct {
 
 // ScanSpec describes a TG_OptGrpFilter-fused scan of raw triplegroup files
 // for one (composite) star: project to Prim ∪ Opt, require all of Prim,
-// apply property-level filters.
+// apply property-level filters. References are query-space; the scan
+// resolves them into the source's data plane per task.
 type ScanSpec struct {
 	Star    int
 	Prim    []algebra.PropRef
@@ -44,20 +56,81 @@ type Source struct {
 	Files []string
 	// Scan is non-nil for raw triplegroup inputs.
 	Scan *ScanSpec
+	// Dict selects the dictionary plane when non-nil: records are
+	// ID-encoded and constants resolve through the dictionary.
+	Dict *rdf.Dict
+}
+
+// planeFilter is a PropFilter with its property resolved into the plane.
+type planeFilter struct {
+	prop   string
+	filter sparql.Filter
+}
+
+// scanner is a Source resolved into its data plane, built once per map
+// task so per-record work is free of dictionary lookups.
+type scanner struct {
+	dict    *rdf.Dict
+	scan    *ScanSpec
+	prim    []ntga.Ref
+	opt     []ntga.Ref
+	filters []planeFilter
+}
+
+// scanner resolves the source's query-space constants into its plane.
+func (s *Source) scanner() *scanner {
+	sc := &scanner{dict: s.Dict, scan: s.Scan}
+	if s.Scan != nil {
+		sc.prim = ntga.ResolveRefs(s.Scan.Prim, s.Dict)
+		sc.opt = ntga.ResolveRefs(s.Scan.Opt, s.Dict)
+		for _, pf := range s.Scan.Filters {
+			prop := pf.Prop
+			if s.Dict != nil {
+				prop = s.Dict.KeyString("I" + pf.Prop)
+			}
+			sc.filters = append(sc.filters, planeFilter{prop: prop, filter: pf.Filter})
+		}
+	}
+	return sc
+}
+
+// lexOf translates a plane value to lexical form for filter evaluation.
+func (sc *scanner) lexOf(v string) string {
+	if sc.dict == nil {
+		return v
+	}
+	lex, ok := sc.dict.Lex(v)
+	if !ok {
+		return ""
+	}
+	return lex
 }
 
 // annTGOf decodes one record of the source into an annotated triplegroup.
 // Raw triplegroups pass through TG_OptGrpFilter first; the second result is
 // false when the record is filtered out.
-func (s *Source) annTGOf(rec []byte) (ntga.AnnTG, bool, error) {
-	if s.Scan == nil {
-		a, err := ntga.DecodeAnnTG(rec)
+func (sc *scanner) annTGOf(rec []byte) (ntga.AnnTG, bool, error) {
+	if sc.scan == nil {
+		var a ntga.AnnTG
+		var err error
+		if sc.dict != nil {
+			a, err = ntga.DecodeAnnTGIDs(rec, sc.dict)
+		} else {
+			a, err = ntga.DecodeAnnTG(rec)
+		}
 		if err != nil {
 			return ntga.AnnTG{}, false, err
 		}
 		return a, true, nil
 	}
-	tg, rest, err := ntga.DecodeTripleGroup(rec)
+	var tg ntga.TripleGroup
+	var rest []byte
+	var err error
+	if sc.dict != nil {
+		tg, rest, err = ntga.DecodeTripleGroupIDs(rec, sc.dict)
+	} else {
+		tg, rest, err = ntga.DecodeTripleGroup(rec)
+	}
 	if err != nil {
 		return ntga.AnnTG{}, false, err
 	}
@@ -66,43 +139,43 @@ func (s *Source) annTGOf(rec []byte) (ntga.AnnTG, bool, error) {
 	}
 	var out ntga.TripleGroup
 	var ok bool
-	if s.Scan.KeepAll {
+	if sc.scan.KeepAll {
 		// Unbound-property star: validate the bound primaries, keep every
 		// triple.
 		out, ok = tg, true
-		for _, ref := range s.Scan.Prim {
-			if !tg.HasRef(ref) {
+		for _, ref := range sc.prim {
+			if !tg.HasPO(ref.Prop, ref.Obj) {
 				ok = false
 				break
 			}
 		}
 	} else {
-		out, ok = ntga.OptGroupFilter(tg, s.Scan.Prim, s.Scan.Opt)
+		out, ok = ntga.OptGroupFilterRefs(tg, sc.prim, sc.opt)
 	}
 	if !ok {
 		return ntga.AnnTG{}, false, nil
 	}
-	if len(s.Scan.Filters) > 0 {
-		out, ok = applyPropFilters(out, s.Scan)
+	if len(sc.filters) > 0 {
+		out, ok = sc.applyPropFilters(out)
 		if !ok {
 			return ntga.AnnTG{}, false, nil
 		}
 	}
-	return ntga.NewAnnTG(s.Scan.Star, out), true, nil
+	return ntga.NewAnnTG(sc.scan.Star, out), true, nil
 }
 
 // applyPropFilters drops triples whose objects fail a filter; the
 // triplegroup survives only if every primary property retains at least one
 // triple.
-func applyPropFilters(tg ntga.TripleGroup, spec *ScanSpec) (ntga.TripleGroup, bool) {
+func (sc *scanner) applyPropFilters(tg ntga.TripleGroup) (ntga.TripleGroup, bool) {
 	out := ntga.TripleGroup{Subject: tg.Subject}
 	for _, po := range tg.Triples {
 		keep := true
-		for _, pf := range spec.Filters {
-			if pf.Prop != po.Prop {
+		for _, pf := range sc.filters {
+			if pf.prop != po.Prop {
 				continue
 			}
-			ok, err := algebra.EvalFilter(pf.Filter, po.Obj)
+			ok, err := algebra.EvalFilter(pf.filter, sc.lexOf(po.Obj))
 			if err != nil || !ok {
 				keep = false
 				break
@@ -112,8 +185,8 @@ func applyPropFilters(tg ntga.TripleGroup, spec *ScanSpec) (ntga.TripleGroup, bo
 			out.Triples = append(out.Triples, po)
 		}
 	}
-	for _, ref := range spec.Prim {
-		if !out.HasRef(ref) {
+	for _, ref := range sc.prim {
+		if !out.HasPO(ref.Prop, ref.Obj) {
 			return ntga.TripleGroup{}, false
 		}
 	}
@@ -129,9 +202,24 @@ type Endpoint struct {
 	Props []algebra.PropRef
 }
 
+// planeProps resolves the endpoint's carrying properties into the plane of
+// dictionary d.
+func (ep Endpoint) planeProps(d *rdf.Dict) []string {
+	props := make([]string, len(ep.Props))
+	for i, ref := range ep.Props {
+		if d != nil {
+			props[i] = d.KeyString("I" + ref.Prop)
+		} else {
+			props[i] = ref.Prop
+		}
+	}
+	return props
+}
+
 // joinKeys extracts the join key values at an endpoint — one per matching
-// object for multi-valued join properties (Algorithm 2's objList).
-func joinKeys(a *ntga.AnnTG, ep Endpoint) []string {
+// object for multi-valued join properties (Algorithm 2's objList). props
+// are the endpoint's plane-resolved carrying properties.
+func joinKeys(a *ntga.AnnTG, ep Endpoint, props []string) []string {
 	comp, ok := a.Component(ep.Star)
 	if !ok {
 		return nil
@@ -141,8 +229,8 @@ func joinKeys(a *ntga.AnnTG, ep Endpoint) []string {
 	}
 	var keys []string
 	seen := map[string]bool{}
-	for _, ref := range ep.Props {
-		for _, obj := range comp.Objects(ref.Prop) {
+	for _, prop := range props {
+		for _, obj := range comp.Objects(prop) {
 			if !seen[obj] {
 				seen[obj] = true
 				keys = append(keys, obj)
@@ -161,9 +249,10 @@ type JoinSide struct {
 // AlphaJoinJob builds the TG_AlphaJoin cycle (Algorithm 2): both sides are
 // tagged on their join keys and joined reduce-side; the joined triplegroup
 // is materialised only if it satisfies at least one original pattern's α
-// condition. A nil composite pattern disables the α check (RAPID+'s plain
-// TG_Join, and the α-ablation of RAPIDAnalytics).
-func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePattern, output string) *mapred.Job {
+// condition. A nil α table disables the check (RAPID+'s plain TG_Join, and
+// the α-ablation of RAPIDAnalytics). The table must be resolved in the
+// sources' data plane (ntga.ResolveAlpha).
+func AlphaJoinJob(name string, left, right JoinSide, alpha *ntga.AlphaTable, output string) *mapred.Job {
 	var inputs []string
 	seen := map[string]bool{}
 	for _, f := range append(append([]string{}, left.Src.Files...), right.Src.Files...) {
@@ -180,6 +269,16 @@ func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePatter
 		}
 		return false
 	}
+	dict := left.Src.Dict
+	if dict == nil {
+		dict = right.Src.Dict
+	}
+	encodeAnnTG := func(a *ntga.AnnTG, buf []byte) []byte {
+		if dict != nil {
+			return a.AppendEncodeIDs(buf)
+		}
+		return a.AppendEncode(buf)
+	}
 	return &mapred.Job{
 		Name:           name,
 		Inputs:         inputs,
@@ -188,47 +287,53 @@ func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePatter
 		MapOperator:    "TG_OptGrpFilter",
 		ReduceOperator: "TG_AlphaJoin",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
-			var sides []struct {
-				side JoinSide
-				tag  byte
+			type taskSide struct {
+				sc    *scanner
+				ep    Endpoint
+				props []string
+				tag   byte
 			}
+			var sides []taskSide
 			if inFiles(left.Src.Files, tc.InputFile) {
-				sides = append(sides, struct {
-					side JoinSide
-					tag  byte
-				}{left, 0})
+				sides = append(sides, taskSide{left.Src.scanner(), left.Ep, left.Ep.planeProps(left.Src.Dict), 0})
 			}
 			if inFiles(right.Src.Files, tc.InputFile) {
-				sides = append(sides, struct {
-					side JoinSide
-					tag  byte
-				}{right, 1})
+				sides = append(sides, taskSide{right.Src.scanner(), right.Ep, right.Ep.planeProps(right.Src.Dict), 1})
 			}
 			return mapred.MapperFunc(func(rec []byte, emit mapred.Emit) error {
 				for _, s := range sides {
-					a, ok, err := s.side.Src.annTGOf(rec)
+					a, ok, err := s.sc.annTGOf(rec)
 					if err != nil {
 						return err
 					}
 					if !ok {
 						continue
 					}
-					enc := a.Encode()
-					for _, key := range joinKeys(&a, s.side.Ep) {
-						emit(key, append([]byte{s.tag}, enc...))
+					// One tagged encode per record, shared across its join
+					// keys: the engine retains but never mutates emitted
+					// values.
+					enc := encodeAnnTG(&a, []byte{s.tag})
+					for _, key := range joinKeys(&a, s.ep, s.props) {
+						emit(key, enc)
 					}
 				}
 				return nil
 			})
 		},
 		NewReducer: func() mapred.Reducer {
+			decodeAnnTG := func(buf []byte) (ntga.AnnTG, error) {
+				if dict != nil {
+					return ntga.DecodeAnnTGIDs(buf, dict)
+				}
+				return ntga.DecodeAnnTG(buf)
+			}
 			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
 				var ls, rs []ntga.AnnTG
 				for _, v := range values {
 					if len(v) < 1 {
 						return fmt.Errorf("tgops: empty α-join value")
 					}
-					a, err := ntga.DecodeAnnTG(v[1:])
+					a, err := decodeAnnTG(v[1:])
 					if err != nil {
 						return err
 					}
@@ -241,8 +346,8 @@ func AlphaJoinJob(name string, left, right JoinSide, cp *algebra.CompositePatter
 				for i := range ls {
 					for j := range rs {
 						merged := ntga.Merge(ls[i], rs[j])
-						if cp == nil || ntga.SatisfiesAnyPattern(&merged, cp) {
-							emit("", merged.Encode())
+						if alpha.SatisfiesAny(&merged) {
+							emit("", encodeAnnTG(&merged, nil))
 						}
 					}
 				}
@@ -267,7 +372,8 @@ type AggJoinSpec struct {
 	// OptTPs are the pattern's OPTIONAL triple patterns per star.
 	OptTPs map[int][]sparql.TriplePattern
 	// Alpha gates which triplegroups contribute (nil accepts all) —
-	// Figure 5's "pf ≠ ∅".
+	// Figure 5's "pf ≠ ∅". The annotated triplegroup is in the source's
+	// data plane.
 	Alpha func(*ntga.AnnTG) bool
 	// Having drops groups whose final aggregate values fail the predicate
 	// (nil keeps all).
@@ -278,6 +384,14 @@ type AggJoinSpec struct {
 	BindingFilters []sparql.Filter
 }
 
+// resolvedAggSpec is an AggJoinSpec with its triple patterns resolved into
+// the source's data plane.
+type resolvedAggSpec struct {
+	AggJoinSpec
+	tps    map[int][]ntga.TP
+	optTPs map[int][]ntga.TP
+}
+
 // AggJoinJob builds the TG_AgJ cycle (Algorithm 3). With several specs it
 // is the generalised operator of Figure 6(b): all aggregations evaluate in
 // parallel within one cycle, keyed by id#group. With hashAgg the mapper
@@ -286,13 +400,20 @@ type AggJoinSpec struct {
 //
 // Output rows are [id, group values..., finals...] when tagged, and
 // [group values..., finals...] otherwise (tagged must be true when more
-// than one spec is given).
+// than one spec is given). Rows are lexical in both planes: the reducer is
+// the dictionary plane's decode boundary.
 func AggJoinJob(name string, src Source, specs []AggJoinSpec, tagged, hashAgg bool, output string) *mapred.Job {
 	if !tagged && len(specs) != 1 {
 		panic("tgops: untagged AggJoinJob requires exactly one spec")
 	}
+	resolved := make([]resolvedAggSpec, len(specs))
 	specByID := map[int]AggJoinSpec{}
-	for _, sp := range specs {
+	for i, sp := range specs {
+		resolved[i] = resolvedAggSpec{
+			AggJoinSpec: sp,
+			tps:         ntga.ResolveTPMap(sp.TPs, src.Dict),
+			optTPs:      ntga.ResolveTPMap(sp.OptTPs, src.Dict),
+		}
 		specByID[sp.ID] = sp
 	}
 	job := &mapred.Job{
@@ -303,62 +424,94 @@ func AggJoinJob(name string, src Source, specs []AggJoinSpec, tagged, hashAgg bo
 		MapOperator:    "TG_AgJ.map",
 		ReduceOperator: "TG_AgJ.reduce",
 		NewMapper: func(tc *mapred.TaskContext) mapred.Mapper {
-			m := &aggJoinMapper{src: src, specs: specs, tagged: tagged}
+			m := &aggJoinMapper{sc: src.scanner(), specs: resolved, tagged: tagged}
 			if hashAgg {
 				m.multiAggMap = map[string]*algebra.MultiAggState{}
 			}
 			return m
 		},
 		NewCombiner: func() mapred.Reducer {
-			return aggJoinMerger(specByID, tagged, false)
+			return aggJoinMerger(specByID, src.Dict, tagged, false)
 		},
 		NewReducer: func() mapred.Reducer {
-			return aggJoinMerger(specByID, tagged, true)
+			return aggJoinMerger(specByID, src.Dict, tagged, true)
 		},
 	}
 	return job
 }
 
 type aggJoinMapper struct {
-	src    Source
-	specs  []AggJoinSpec
+	sc     *scanner
+	specs  []resolvedAggSpec
 	tagged bool
+	// keyBuf is per-task scratch for dictionary-plane key building (map
+	// tasks are single-goroutine).
+	keyBuf []byte
 	// multiAggMap is the mapper-wide pre-aggregation table (Algorithm 3);
 	// nil disables hash aggregation.
 	multiAggMap map[string]*algebra.MultiAggState
 }
 
+// aggKey builds the shuffle key for one solution. The lexical plane keeps
+// the original "\x1f"-joined form; the dictionary plane concatenates the
+// optional uvarint spec ID and the group values' self-delimiting ID bytes
+// with no separators (ID bytes may contain 0x1f).
+func (m *aggJoinMapper) aggKey(sp *resolvedAggSpec, b ntga.Binding) string {
+	if m.sc.dict != nil {
+		buf := m.keyBuf[:0]
+		if m.tagged {
+			buf = codec.AppendUvarint(buf, uint64(sp.ID))
+		}
+		for _, g := range sp.GroupVars {
+			if v, ok := b[g]; ok {
+				buf = append(buf, v...)
+			} else {
+				buf = append(buf, algebra.Null...)
+			}
+		}
+		m.keyBuf = buf
+		return string(buf)
+	}
+	keyParts := make([]string, 0, len(sp.GroupVars)+1)
+	if m.tagged {
+		keyParts = append(keyParts, strconv.Itoa(sp.ID))
+	}
+	for _, g := range sp.GroupVars {
+		if v, ok := b[g]; ok {
+			keyParts = append(keyParts, v)
+		} else {
+			keyParts = append(keyParts, algebra.Null)
+		}
+	}
+	return strings.Join(keyParts, "\x1f")
+}
+
 func (m *aggJoinMapper) Map(rec []byte, emit mapred.Emit) error {
-	a, ok, err := m.src.annTGOf(rec)
+	a, ok, err := m.sc.annTGOf(rec)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return nil
 	}
-	for _, sp := range m.specs {
+	dict := m.sc.dict
+	for i := range m.specs {
+		sp := &m.specs[i]
 		if sp.Alpha != nil && !sp.Alpha(&a) {
 			continue
 		}
-		ntga.MatchPattern(&a, sp.TPs, sp.OptTPs, func(b ntga.Binding) {
+		ntga.MatchResolved(&a, sp.tps, sp.optTPs, dict != nil, func(b ntga.Binding) {
 			for _, f := range sp.BindingFilters {
-				ok, err := algebra.EvalFilter(f, b[f.Var])
+				v := b[f.Var]
+				if dict != nil {
+					v, _ = dict.Lex(v)
+				}
+				ok, err := algebra.EvalFilter(f, v)
 				if err != nil || !ok {
 					return
 				}
 			}
-			keyParts := make([]string, 0, len(sp.GroupVars)+1)
-			if m.tagged {
-				keyParts = append(keyParts, strconv.Itoa(sp.ID))
-			}
-			for _, g := range sp.GroupVars {
-				if v, ok := b[g]; ok {
-					keyParts = append(keyParts, v)
-				} else {
-					keyParts = append(keyParts, algebra.Null)
-				}
-			}
-			key := strings.Join(keyParts, "\x1f")
+			key := m.aggKey(sp, b)
 			if m.multiAggMap != nil {
 				st, ok := m.multiAggMap[key]
 				if !ok {
@@ -366,15 +519,15 @@ func (m *aggJoinMapper) Map(rec []byte, emit mapred.Emit) error {
 					m.multiAggMap[key] = st
 				}
 				for i, ag := range sp.Aggs {
-					st.States[i].Update(b[ag.Var])
+					st.States[i].UpdateTerm(dict, b[ag.Var])
 				}
 				return
 			}
 			st := algebra.NewMultiAggState(sp.Aggs)
 			for i, ag := range sp.Aggs {
-				st.States[i].Update(b[ag.Var])
+				st.States[i].UpdateTerm(dict, b[ag.Var])
 			}
-			emit(key, []byte(st.Encode()))
+			emit(key, st.AppendEncode(nil))
 		})
 	}
 	return nil
@@ -383,21 +536,68 @@ func (m *aggJoinMapper) Map(rec []byte, emit mapred.Emit) error {
 // Close flushes the pre-aggregated entries — Algorithm 3's Map.clean().
 func (m *aggJoinMapper) Close(emit mapred.Emit) error {
 	for key, st := range m.multiAggMap {
-		emit(key, []byte(st.Encode()))
+		emit(key, st.AppendEncode(nil))
 	}
 	return nil
 }
 
+// splitAggKey parses a shuffle key built by aggKey back into the spec ID
+// and lexical group values — the dictionary plane's decode boundary.
+func splitAggKey(key string, d *rdf.Dict, tagged bool) (id int, groups []string, err error) {
+	if d == nil {
+		rest := key
+		if tagged {
+			idStr, tail, _ := strings.Cut(key, "\x1f")
+			id, err = strconv.Atoi(idStr)
+			if err != nil {
+				return 0, nil, fmt.Errorf("tgops: bad agg-join key %q", key)
+			}
+			rest = tail
+		}
+		if rest != "" || !tagged {
+			groups = strings.Split(rest, "\x1f")
+		}
+		if key == "" {
+			groups = nil
+		}
+		return id, groups, nil
+	}
+	buf := []byte(key)
+	if tagged {
+		v, rest, err := codec.ReadUvarint(buf)
+		if err != nil {
+			return 0, nil, fmt.Errorf("tgops: bad agg-join id key %q", key)
+		}
+		id, buf = int(v), rest
+	}
+	for len(buf) > 0 {
+		v, rest, err := codec.ReadUvarint(buf)
+		if err != nil {
+			return 0, nil, fmt.Errorf("tgops: bad agg-join group key %q", key)
+		}
+		buf = rest
+		if v == 0 {
+			groups = append(groups, algebra.Null)
+			continue
+		}
+		lex, ok := d.Key(v)
+		if !ok {
+			return 0, nil, fmt.Errorf("tgops: unknown term id %d in agg-join key", v)
+		}
+		groups = append(groups, lex)
+	}
+	return id, groups, nil
+}
+
 // aggJoinMerger merges partial states per key; as the reducer it emits the
-// final row.
-func aggJoinMerger(specByID map[int]AggJoinSpec, tagged, final bool) mapred.Reducer {
+// final (lexical) row.
+func aggJoinMerger(specByID map[int]AggJoinSpec, d *rdf.Dict, tagged, final bool) mapred.Reducer {
 	return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
 		var sp AggJoinSpec
 		if tagged {
-			idStr, _, _ := strings.Cut(key, "\x1f")
-			id, err := strconv.Atoi(idStr)
+			id, _, err := splitAggKey(key, d, true)
 			if err != nil {
-				return fmt.Errorf("tgops: bad agg-join key %q", key)
+				return err
 			}
 			var ok bool
 			sp, ok = specByID[id]
@@ -411,14 +611,14 @@ func aggJoinMerger(specByID map[int]AggJoinSpec, tagged, final bool) mapred.Redu
 		}
 		acc := algebra.NewMultiAggState(sp.Aggs)
 		for _, v := range values {
-			st, err := algebra.DecodeMultiAggState(string(v))
+			st, err := algebra.DecodeMultiAggStateBytes(v)
 			if err != nil {
 				return err
 			}
 			acc.Merge(st)
 		}
 		if !final {
-			emit(key, []byte(acc.Encode()))
+			emit(key, acc.AppendEncode(nil))
 			return nil
 		}
 		finals := acc.Finals()
@@ -427,7 +627,14 @@ func aggJoinMerger(specByID map[int]AggJoinSpec, tagged, final bool) mapred.Redu
 		}
 		var row codec.Tuple
 		if key != "" {
-			row = append(row, strings.Split(key, "\x1f")...)
+			_, groups, err := splitAggKey(key, d, tagged)
+			if err != nil {
+				return err
+			}
+			if tagged {
+				row = append(row, strconv.Itoa(sp.ID))
+			}
+			row = append(row, groups...)
 		}
 		row = append(row, finals...)
 		emit("", row.Encode())

@@ -168,7 +168,7 @@ func TestScanPropFilters(t *testing.T) {
 	}
 	src := Source{Scan: spec}
 	keep := tg("o1", [2]string{"price", "L10"}, [2]string{"price", "L20"})
-	a, ok, err := src.annTGOf(keep.Encode())
+	a, ok, err := src.scanner().annTGOf(keep.Encode())
 	if err != nil || !ok {
 		t.Fatalf("annTGOf: %v %v", ok, err)
 	}
@@ -176,7 +176,7 @@ func TestScanPropFilters(t *testing.T) {
 		t.Errorf("filtered triples = %v", a.TGs[0].Triples)
 	}
 	drop := tg("o2", [2]string{"price", "L5"})
-	if _, ok, err := src.annTGOf(drop.Encode()); err != nil || ok {
+	if _, ok, err := src.scanner().annTGOf(drop.Encode()); err != nil || ok {
 		t.Errorf("triplegroup with no surviving primary triple passed: %v %v", ok, err)
 	}
 }
@@ -307,10 +307,11 @@ func TestAggJoinUntaggedRequiresSingleSpec(t *testing.T) {
 
 func TestJoinKeysMissingStar(t *testing.T) {
 	a := ntga.NewAnnTG(0, tg("x", [2]string{"p", "Iy"}))
-	if keys := joinKeys(&a, Endpoint{Star: 3, Role: algebra.RoleSubject}); keys != nil {
+	if keys := joinKeys(&a, Endpoint{Star: 3, Role: algebra.RoleSubject}, nil); keys != nil {
 		t.Errorf("keys for missing star = %v", keys)
 	}
-	keys := joinKeys(&a, Endpoint{Star: 0, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "p"}}})
+	ep := Endpoint{Star: 0, Role: algebra.RoleObject, Props: []algebra.PropRef{{Prop: "p"}}}
+	keys := joinKeys(&a, ep, ep.planeProps(nil))
 	if len(keys) != 1 || keys[0] != "Iy" {
 		t.Errorf("object keys = %v", keys)
 	}

@@ -84,6 +84,12 @@ type Options struct {
 	// PlanCacheSize bounds the store's LRU plan cache (entries). 0 means
 	// the default of 128; negative disables plan caching entirely.
 	PlanCacheSize int
+	// DictionaryEncoding stores both physical layouts with integer term IDs
+	// and runs the whole data plane (scan, shuffle, join, aggregation) on
+	// the compact ID encoding, decoding back to lexical form only at final
+	// aggregation; results are byte-identical either way. Enabled by
+	// DefaultOptions; false reproduces the original lexical layouts.
+	DictionaryEncoding bool
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
 }
@@ -100,7 +106,7 @@ type EngineFeatures struct {
 // DefaultOptions returns a 10-node cluster with no data-scale
 // extrapolation.
 func DefaultOptions() Options {
-	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20}
+	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20, DictionaryEncoding: true}
 }
 
 // Term is an RDF term accepted by Store.Add.
@@ -233,7 +239,8 @@ func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset) {
 		cfg.Nodes = s.opts.Nodes
 		s.cluster = mapred.NewCluster(cfg)
 		s.loads++
-		s.ds = engine.Load(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph)
+		s.ds = engine.LoadWith(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph,
+			engine.LoadOptions{DictionaryEncoding: s.opts.DictionaryEncoding})
 	}
 	return s.cluster, s.ds
 }
@@ -366,6 +373,7 @@ func (s *Store) engineFor(sys System) (engine.Engine, error) {
 				AlphaFiltering:      f.AlphaFiltering,
 				HashAggregation:     f.HashAggregation,
 				InputPruning:        f.InputPruning,
+				DictionaryEncoding:  s.opts.DictionaryEncoding,
 			}
 		}
 		return e, nil
