@@ -1,0 +1,200 @@
+// Command rapidlint runs the rapidanalytics invariant analyzers (maporder,
+// ctxloop, hotalloc, spansafe, errtyped — see DESIGN.md "Invariants") over
+// Go packages.
+//
+// Standalone multichecker:
+//
+//	go run ./cmd/rapidlint ./...
+//
+// exits 0 when the tree is clean, 1 with one "file:line:col: analyzer:
+// message" line per finding otherwise.
+//
+// As a vet tool, speaking go vet's unitchecker protocol (-V=full version
+// handshake, then one JSON .cfg per package):
+//
+//	go build -o /tmp/rapidlint ./cmd/rapidlint
+//	go vet -vettool=/tmp/rapidlint ./...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"rapidanalytics/internal/lint"
+	"rapidanalytics/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 && args[0] == "-V=full" {
+		// go vet fingerprints the tool for its action cache; the line must
+		// read "<name> version <buildid>".
+		fmt.Println("rapidlint version v1")
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// go vet asks which analyzer flags the tool accepts; rapidlint's
+		// suite is not configurable.
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0])
+	}
+	if len(args) == 0 || args[0] == "-help" || args[0] == "--help" || args[0] == "help" {
+		usage()
+		return 2
+	}
+	diags, err := driver.Run("", lint.Analyzers(), args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rapidlint <packages>   (e.g. rapidlint ./...)")
+	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+}
+
+// vetConfig is the subset of go vet's unitchecker JSON config rapidlint
+// consumes: the unit's sources plus the import-path → export-file mapping
+// needed to type-check it.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit described by a go vet .cfg file.
+// Diagnostics go to stderr and yield exit status 2, matching what go vet
+// expects from a vettool.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rapidlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// go vet hands test variants of each package to the tool too;
+		// rapidlint's invariants are production-code properties, so test
+		// files stay out — matching the standalone driver.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailed(&cfg, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// An external test package (pkg_test) holds only test files.
+		if err := writeVetx(&cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "rapidlint:", err)
+			return 1
+		}
+		return 0
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(&cfg, err)
+	}
+
+	diags, err := driver.Analyze(&driver.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		return 1
+	}
+	if err := writeVetx(&cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "rapidlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailed honors SucceedOnTypecheckFailure: go vet sets it when the
+// compiler will report the same errors anyway, so the vettool stays quiet.
+func typecheckFailed(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		if werr := writeVetx(cfg); werr != nil {
+			fmt.Fprintln(os.Stderr, "rapidlint:", werr)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "rapidlint:", err)
+	return 1
+}
+
+// writeVetx emits the (empty) serialized-facts file go vet requires every
+// vettool to produce; rapidlint's analyzers exchange no cross-package facts.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}

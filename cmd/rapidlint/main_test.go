@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the rapidlint binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rapidlint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building rapidlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolClean drives the binary through go vet's unitchecker protocol
+// (-V=full handshake, per-package .cfg units) over a clean engine package.
+func TestVettoolClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs go vet; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/codec/", "./internal/obs/")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages failed: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFindsViolations points go vet at a fixture package with known
+// violations and expects the tool's diagnostics to fail the vet run.
+func TestVettoolFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs go vet; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin,
+		"rapidanalytics/internal/lint/maporder/testdata/src/maporder_fx")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a violating fixture:\n%s", out)
+	}
+	if !strings.Contains(string(out), "maporder") {
+		t.Fatalf("vet output carries no maporder diagnostic:\n%s", out)
+	}
+}
+
+// TestStandaloneFindsViolations covers the multichecker mode's exit-status
+// contract: findings print to stdout and yield exit status 1.
+func TestStandaloneFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and loads packages; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "rapidanalytics/internal/lint/hotalloc/testdata/src/hotalloc_fx")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit status 1 on findings, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "hotalloc") {
+		t.Fatalf("output carries no hotalloc diagnostic:\n%s", out)
+	}
+}

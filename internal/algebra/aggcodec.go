@@ -44,6 +44,8 @@ func (s *AggState) UpdateTerm(d *rdf.Dict, value string) {
 
 // AppendEncode appends the state's Encode form to buf without the
 // fmt.Sprintf intermediate.
+//
+//rapid:hot
 func (s *AggState) AppendEncode(buf []byte) []byte {
 	buf = append(buf, s.Func...)
 	buf = append(buf, 0x1f)
@@ -63,6 +65,8 @@ func (s *AggState) AppendEncode(buf []byte) []byte {
 }
 
 // AppendEncode appends the multi-state's Encode form to buf.
+//
+//rapid:hot
 func (m *MultiAggState) AppendEncode(buf []byte) []byte {
 	for i, s := range m.States {
 		if i > 0 {

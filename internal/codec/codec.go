@@ -11,6 +11,8 @@ import (
 )
 
 // AppendString appends a uvarint-length-prefixed string to buf.
+//
+//rapid:hot
 func AppendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
@@ -31,6 +33,8 @@ func ReadString(buf []byte) (string, []byte, error) {
 }
 
 // AppendUvarint appends a uvarint to buf.
+//
+//rapid:hot
 func AppendUvarint(buf []byte, v uint64) []byte {
 	return binary.AppendUvarint(buf, v)
 }
@@ -62,6 +66,8 @@ func (t Tuple) EncodedLen() int {
 
 // AppendEncode appends the tuple's encoding to buf and returns the extended
 // slice, avoiding the intermediate allocation of Encode in hot emit paths.
+//
+//rapid:hot
 func (t Tuple) AppendEncode(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(t)))
 	for _, f := range t {
@@ -138,6 +144,8 @@ func (t Tuple) EncodedIDsLen() int {
 // uvarint arity followed by the fields' raw bytes. ID-strings are
 // self-delimiting uvarints, so no per-field length prefix is needed — this
 // is what makes the dictionary plane's rows and shuffle keys compact.
+//
+//rapid:hot
 func (t Tuple) AppendEncodeIDs(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(t)))
 	for _, f := range t {

@@ -83,6 +83,8 @@ func (r *rel) lexOf(v string) string {
 }
 
 // planeEncode serialises a row in the plane selected by d.
+//
+//rapid:hot
 func planeEncode(d *rdf.Dict, row codec.Tuple) []byte {
 	if d != nil {
 		return row.EncodeIDs()
@@ -92,6 +94,8 @@ func planeEncode(d *rdf.Dict, row codec.Tuple) []byte {
 
 // planeEncodeTagged serialises a row with a leading tag byte in a single
 // allocation — the hot emit path of the reduce-side joins.
+//
+//rapid:hot
 func planeEncodeTagged(d *rdf.Dict, tag byte, row codec.Tuple) []byte {
 	if d != nil {
 		buf := make([]byte, 1, 1+row.EncodedIDsLen())

@@ -1,0 +1,123 @@
+// Package ctxloop implements the rapidlint cancellation analyzer.
+//
+// The serving subsystem (PR 1) promises that a canceled request stops doing
+// work promptly: every long mapred loop — map record loops, combine group
+// loops, shuffle concatenation, reduce group loops, output materialization —
+// must poll cancellation on some path, conventionally every
+// ctxCheckInterval iterations via c.err() / abort.aborted() / a check()
+// closure. A loop that runs user code (Mapper.Map, Reducer.Reduce) or writes
+// job output (dfs.Writer, a mapred.Emit value) without any such poll is a
+// cancellation blind spot: a hot partition keeps burning CPU long after the
+// client hung up.
+//
+// ctxloop is scoped to packages named "mapred" (the execution engine; its
+// operators' own loops run under mapred's checks). Only the outermost
+// unchecked loop of a nest is reported. Suppress a provably short loop with
+//
+//	//lint:nocancel <why the iteration count is bounded and small>
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer flags mapred work loops with no cancellation check on any path.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "flags loops in package mapred that run mappers/reducers or write job " +
+		"output without polling cancellation (c.err(), abort.aborted(), check(), " +
+		"or a ctx.Done() select); poll every ctxCheckInterval iterations or " +
+		"justify with //lint:nocancel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "mapred" {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body, pos = l.Body, l.For
+		case *ast.RangeStmt:
+			body, pos = l.Body, l.For
+		default:
+			return true
+		}
+		what := workIn(pass.TypesInfo, body)
+		if what == "" || hasCancelCheck(body) {
+			return true // descend: an inner loop may still be a blind spot
+		}
+		pass.Reportf(pos,
+			"loop %s but never polls cancellation: a canceled query keeps burning CPU here; check c.err()/abort.aborted() every ctxCheckInterval iterations, or suppress with //lint:nocancel <boundedness argument>",
+			what)
+		return false // the nest has one blind spot; don't re-report inner loops
+	})
+	return nil
+}
+
+// workIn classifies the loop body's per-iteration work, or "" when the loop
+// does none of the kinds ctxloop polices.
+func workIn(info *types.Info, body ast.Node) string {
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case analysis.IsMethodOn(info, call, "internal/mapred", "Mapper", "Map"):
+			what = "runs user map code"
+		case analysis.IsMethodOn(info, call, "internal/mapred", "Reducer", "Reduce"):
+			what = "runs user reduce code"
+		case analysis.IsEmitCall(info, call):
+			what = "emits records"
+		case analysis.IsMethodOn(info, call, "internal/dfs", "Writer", "Write", "WriteOwned"):
+			what = "writes job output"
+		}
+		return true
+	})
+	return what
+}
+
+// hasCancelCheck reports whether any statement under body polls
+// cancellation: a call to something named err/Err/aborted/check/Done, or a
+// select statement (the ctx.Done() idiom).
+func hasCancelCheck(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := c.Fun.(type) {
+			case *ast.Ident:
+				found = isCheckName(fun.Name)
+			case *ast.SelectorExpr:
+				found = isCheckName(fun.Sel.Name)
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCheckName(name string) bool {
+	switch name {
+	case "err", "Err", "aborted", "check", "Done":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/ctxloop"
+	"rapidanalytics/internal/lint/linttest"
+)
+
+func TestCtxloop(t *testing.T) {
+	linttest.Run(t, ctxloop.Analyzer, "mapred")
+}

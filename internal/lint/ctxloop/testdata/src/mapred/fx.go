@@ -1,0 +1,64 @@
+// Package mapred (a fixture shadowing the engine package's name, which is
+// how ctxloop scopes itself) exercises the cancellation-blind-spot analyzer.
+package mapred
+
+import (
+	"context"
+
+	"rapidanalytics/internal/dfs"
+	mr "rapidanalytics/internal/mapred"
+)
+
+// WriteAll writes job output with no cancellation poll: the canonical blind
+// spot. Only the outer loop of the nest is reported.
+func WriteAll(batches [][][]byte, w *dfs.Writer) {
+	for _, recs := range batches { // want "never polls cancellation"
+		for _, r := range recs {
+			w.Write(r)
+		}
+	}
+}
+
+// MapAll runs user map code without polling: a mapper over a huge split
+// would keep running after the query died.
+func MapAll(recs [][]byte, m mr.Mapper, emit mr.Emit) error {
+	for _, r := range recs { // want "never polls cancellation"
+		if err := m.Map(r, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChecked is the engine convention and a true negative: poll ctx.Err
+// every ctxCheckInterval iterations.
+func WriteChecked(ctx context.Context, recs [][]byte, w *dfs.Writer) error {
+	for i, r := range recs {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		w.Write(r)
+	}
+	return nil
+}
+
+// WriteBounded is justified: the directive's boundedness argument
+// suppresses the diagnostic.
+func WriteBounded(header [][]byte, w *dfs.Writer) {
+	//lint:nocancel the header block holds at most three records
+	for _, r := range header {
+		w.Write(r)
+	}
+}
+
+// CountBytes does none of the work kinds ctxloop polices: a true negative
+// even though it loops without a check.
+func CountBytes(recs [][]byte) int {
+	n := 0
+	for _, r := range recs {
+		n += len(r)
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+// Package errtyped implements the rapidlint error-taxonomy analyzer.
+//
+// PR 1 gave the engine a typed error taxonomy — ErrParse, ErrUnsupported,
+// ErrUnknownSystem, ErrTimeout, ErrCanceled — precisely so the server can
+// map failures to HTTP statuses with errors.Is instead of string matching.
+// An exported entry point that returns a bare errors.New or a fmt.Errorf
+// without %w re-opens that hole: the caller gets an opaque error, the server
+// files it under 500, and the taxonomy silently rots.
+//
+// errtyped checks the packages that form the public surface (the root
+// rapidanalytics package and internal/server): inside exported functions and
+// methods, a return statement must not hand back errors.New(...) or a
+// fmt.Errorf whose format has no %w verb. Wrap a sentinel
+// (fmt.Errorf("...: %w", ..., ErrUnsupported)) or propagate the underlying
+// error with %w. For genuinely internal invariant failures, suppress with
+//
+//	//lint:ignore errtyped <why no caller can act on this error's type>
+package errtyped
+
+import (
+	"go/ast"
+	"strings"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer flags untyped errors returned from exported entry points.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtyped",
+	Doc: "flags errors.New / fmt.Errorf-without-%w returned from exported " +
+		"functions of the engine's public packages; wrap one of the " +
+		"ErrParse/ErrUnsupported/ErrUnknownSystem/ErrTimeout/ErrCanceled " +
+		"sentinels (or the cause) with %w",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	switch pass.Pkg.Name() {
+	case "rapidanalytics", "server":
+	default:
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isEntryPoint(fd) {
+				continue
+			}
+			checkReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isEntryPoint reports whether fd is part of the public surface: an exported
+// function, or an exported method on an exported receiver type.
+func isEntryPoint(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// checkReturns flags untyped error constructions in fd's return statements.
+// Function literals are skipped: a closure's error surfaces wherever the
+// closure is invoked, which need not be this entry point.
+func checkReturns(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch {
+			case analysis.IsPkgCall(pass.TypesInfo, call, "errors", "New"):
+				pass.Reportf(call.Pos(),
+					"%s returns errors.New: callers cannot classify this failure; wrap a sentinel from the engine taxonomy with fmt.Errorf(\"...: %%w\", ErrX) or suppress with //lint:ignore errtyped <why>",
+					fd.Name.Name)
+			case analysis.IsPkgCall(pass.TypesInfo, call, "fmt", "Errorf") && !wrapsCause(call):
+				pass.Reportf(call.Pos(),
+					"%s returns fmt.Errorf without %%w: callers cannot classify this failure; wrap a taxonomy sentinel or the cause with %%w, or suppress with //lint:ignore errtyped <why>",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// wrapsCause reports whether the fmt.Errorf call's format literal contains a
+// %w verb. A non-literal format cannot be checked and is given the benefit
+// of the doubt.
+func wrapsCause(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

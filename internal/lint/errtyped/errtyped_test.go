@@ -1,0 +1,12 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/errtyped"
+	"rapidanalytics/internal/lint/linttest"
+)
+
+func TestErrtyped(t *testing.T) {
+	linttest.Run(t, errtyped.Analyzer, "server")
+}

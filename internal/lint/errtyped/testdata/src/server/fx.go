@@ -1,0 +1,71 @@
+// Package server (a fixture shadowing the serving package's name, which is
+// how errtyped scopes itself) exercises the error-taxonomy analyzer.
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBase stands in for the engine's taxonomy sentinels; package-level
+// sentinel construction is exactly where errors.New belongs.
+var errBase = errors.New("fixture: base failure")
+
+// Open returns a bare errors.New from an exported entry point: the
+// canonical taxonomy bypass.
+func Open(ok bool) error {
+	if !ok {
+		return errors.New("cannot open") // want "returns errors.New"
+	}
+	return nil
+}
+
+// Validate mixes a flagged unwrapped Errorf with a true negative that
+// wraps the sentinel.
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // want "fmt.Errorf without %w"
+	}
+	if n > 1000 {
+		return fmt.Errorf("%w: count %d too large", errBase, n)
+	}
+	return nil
+}
+
+// Public is an exported type whose exported method is an entry point.
+type Public struct{}
+
+// Check flags the method form too.
+func (Public) Check() error {
+	return errors.New("method failure") // want "returns errors.New"
+}
+
+// hidden's methods are not entry points: true negative.
+type hidden struct{}
+
+func (hidden) check() error {
+	return errors.New("internal detail")
+}
+
+// helper errors surface through exported wrappers that add the taxonomy:
+// true negative.
+func helper() error {
+	return errors.New("deep detail")
+}
+
+// Wrap propagates helper's failure with the sentinel attached.
+func Wrap() error {
+	if err := helper(); err != nil {
+		return fmt.Errorf("%w: %w", errBase, err)
+	}
+	return nil
+}
+
+// Invariant documents why its failure is not classifiable.
+func Invariant(state int) error {
+	if state != 0 {
+		//lint:ignore errtyped unreachable unless memory corruption; no caller branches on it
+		return errors.New("invariant violated")
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/hotalloc"
+	"rapidanalytics/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotalloc_fx")
+}

@@ -1,0 +1,49 @@
+// Package hotalloc_fx exercises the hot-path allocation analyzer: fmt
+// formatting, string([]byte) and runtime string concatenation are banned
+// inside //rapid:hot functions.
+package hotalloc_fx
+
+import "fmt"
+
+//rapid:hot
+func SprintfKey(a, b string) string {
+	return fmt.Sprintf("%s|%s", a, b) // want "fmt.Sprintf allocates"
+}
+
+//rapid:hot
+func ConvertValue(v []byte) string {
+	return string(v) // want `string\(\[\]byte\) copies`
+}
+
+//rapid:hot
+func ConcatKey(a, b, c string) string {
+	return a + b + c // want "string concatenation allocates"
+}
+
+//rapid:hot
+func GrowKey(k, part string) string {
+	k += part // want `string \+= reallocates`
+	return k
+}
+
+// ColdSprintf is unannotated — setup-time code may format freely. True
+// negative.
+func ColdSprintf(a string) string {
+	return fmt.Sprintf("%s!", a)
+}
+
+//rapid:hot
+func AppendKey(buf []byte, s string) []byte {
+	return append(buf, s...) // true negative: the pooled idiom
+}
+
+//rapid:hot
+func ConstPrefix() string {
+	return "tg:" + "opt" // true negative: constant-folded at compile time
+}
+
+//rapid:hot
+func JustifiedKey(v []byte) string {
+	//lint:alloc the map index below requires a string key; this is the single materialization point
+	return string(v)
+}

@@ -1,0 +1,23 @@
+// Package lint registers the rapidlint analyzer suite: the machine-checked
+// engine invariants described in DESIGN.md's "Invariants" section.
+package lint
+
+import (
+	"rapidanalytics/internal/lint/analysis"
+	"rapidanalytics/internal/lint/ctxloop"
+	"rapidanalytics/internal/lint/errtyped"
+	"rapidanalytics/internal/lint/hotalloc"
+	"rapidanalytics/internal/lint/maporder"
+	"rapidanalytics/internal/lint/spansafe"
+)
+
+// Analyzers returns the full rapidlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		ctxloop.Analyzer,
+		hotalloc.Analyzer,
+		spansafe.Analyzer,
+		errtyped.Analyzer,
+	}
+}

@@ -1,0 +1,77 @@
+// Package maporder implements the rapidlint determinism analyzer.
+//
+// The engine's contract — established in PR 2 and relied on by every
+// cross-engine row-equivalence check since — is that job output is
+// byte-identical regardless of worker count or run. Go randomizes map
+// iteration order per run, so a `for k := range m` whose body reaches an
+// emit or DFS write publishes records in a different order every execution.
+// maporder flags exactly that shape: a range over a map whose body (at any
+// depth) calls a mapred.Emit value or writes through a dfs.Writer.
+//
+// The fix is to collect the keys, sort them, and emit in sorted order. When
+// order is provably irrelevant (e.g. the records feed a combiner that
+// re-sorts per partition), suppress with
+//
+//	//lint:sorted <why iteration order cannot reach the output>
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer flags map iteration that reaches an emit or writer call.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags `range` over a map whose body emits records or writes job output; " +
+		"map order is randomized per run, which breaks the engine's byte-identical " +
+		"output invariant — sort the keys first or justify with //lint:sorted",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink, what := outputSink(pass.TypesInfo, rs.Body); sink != nil {
+			pass.Reportf(rs.For,
+				"range over map reaches %s (line %d): map iteration order is randomized, so the job output is nondeterministic; emit in sorted key order or suppress with //lint:sorted <ordering argument>",
+				what, pass.Fset.Position(sink.Pos()).Line)
+		}
+		return true
+	})
+	return nil
+}
+
+// outputSink returns the first call under body that publishes records: a call
+// to a mapred.Emit value, or a dfs.Writer Write/WriteOwned.
+func outputSink(info *types.Info, body ast.Node) (sink ast.Node, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case analysis.IsEmitCall(info, call):
+			sink, what = call, "an emit call"
+		case analysis.IsMethodOn(info, call, "internal/dfs", "Writer", "Write", "WriteOwned"):
+			sink, what = call, "a DFS write"
+		}
+		return true
+	})
+	return sink, what
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/linttest"
+	"rapidanalytics/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "maporder_fx")
+}

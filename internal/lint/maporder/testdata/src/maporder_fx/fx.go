@@ -1,0 +1,55 @@
+// Package maporder_fx exercises the maporder analyzer: emits and DFS writes
+// fed from map iteration must be flagged unless sorted or justified.
+package maporder_fx
+
+import (
+	"sort"
+
+	"rapidanalytics/internal/dfs"
+	mr "rapidanalytics/internal/mapred"
+)
+
+// FlushUnsorted emits straight out of map order: the canonical violation.
+func FlushUnsorted(m map[string][]byte, emit mr.Emit) {
+	for k, v := range m { // want "map iteration order is randomized"
+		emit(k, v)
+	}
+}
+
+// SpillUnsorted writes to the DFS out of map order: the writer-sink variant.
+func SpillUnsorted(m map[string][]byte, w *dfs.Writer) {
+	for _, v := range m { // want "map iteration order is randomized"
+		w.Write(v)
+	}
+}
+
+// FlushSorted is the fix maporder points at: collect, sort, emit. Both loops
+// are true negatives — the map range has no sink in its body, and the
+// emitting loop ranges over a slice.
+func FlushSorted(m map[string][]byte, emit mr.Emit) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, m[k])
+	}
+}
+
+// FlushJustified carries an ordering argument, so the directive suppresses.
+func FlushJustified(m map[string][]byte, emit mr.Emit) {
+	//lint:sorted the map holds exactly one entry by construction, so there is no order to vary
+	for k, v := range m {
+		emit(k, v)
+	}
+}
+
+// FlushUnjustified shows that a bare directive suppresses nothing and is
+// itself reported.
+func FlushUnjustified(m map[string][]byte, emit mr.Emit) {
+	//lint:sorted // want "no justification"
+	for k, v := range m { // want "map iteration order is randomized"
+		emit(k, v)
+	}
+}

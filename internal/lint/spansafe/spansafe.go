@@ -1,0 +1,153 @@
+// Package spansafe implements the rapidlint observability-safety analyzer.
+//
+// The obs tracer (PR 3) keeps the untraced hot path allocation-free through
+// two conventions:
+//
+//  1. *obs.Span travels by pointer, and nil means "tracing disabled" — every
+//     Span method is a nil-receiver no-op. Declaring a variable, field,
+//     parameter, or result of value type obs.Span breaks that: the value
+//     copy has its own counters, updates to it are silently dropped, and the
+//     nil-disabled convention can't apply.
+//  2. Computing an allocating span name (fmt.Sprintf, string concatenation)
+//     and then calling StartChild on a possibly-nil span wastes the
+//     allocation when tracing is off — the engine guards those call sites
+//     with `if parent != nil { ... }`.
+//
+// spansafe enforces both. The nil-guard check is syntactic (an enclosing if
+// with a `!= nil` condition); if a call site is guarded another way, state
+// it with
+//
+//	//lint:ignore spansafe <how the span is known non-nil here>
+package spansafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer flags obs.Span value copies and unguarded allocating span names.
+var Analyzer = &analysis.Analyzer{
+	Name: "spansafe",
+	Doc: "flags declarations of value type obs.Span (spans travel as *obs.Span, " +
+		"nil = disabled) and StartChild calls whose name argument allocates " +
+		"without an enclosing nil guard",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The obs package itself owns the Span representation.
+	if !analysis.PkgPathSuffix(pass.Pkg, "internal/obs") {
+		checkValueCopies(pass)
+	}
+	checkUnguardedNames(pass)
+	return nil
+}
+
+// checkValueCopies reports every object declared with value type obs.Span.
+func checkValueCopies(pass *analysis.Pass) {
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		named, ok := v.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Span" || named.Obj().Pkg() == nil {
+			continue
+		}
+		if analysis.PkgPathSuffix(namedPkg(named), "internal/obs") {
+			pass.Reportf(id.Pos(),
+				"%s is declared with value type obs.Span: spans must travel as *obs.Span (nil = tracing disabled); a value copy drops counter updates silently",
+				id.Name)
+		}
+	}
+}
+
+func namedPkg(n *types.Named) *types.Package { return n.Obj().Pkg() }
+
+// checkUnguardedNames reports StartChild calls whose name argument allocates
+// (fmt formatting or non-constant string concatenation) with no enclosing
+// `!= nil` guard.
+func checkUnguardedNames(pass *analysis.Pass) {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !analysis.IsMethodOn(pass.TypesInfo, call, "internal/obs", "Span", "StartChild") {
+			return true
+		}
+		alloc := allocatingArg(pass, call)
+		if alloc == nil || hasNilGuard(stack) {
+			return true
+		}
+		pass.Reportf(alloc.Pos(),
+			"span name allocates before a StartChild on a possibly-nil span: when tracing is disabled this allocation is pure waste; wrap the call in `if span != nil { ... }` or suppress with //lint:ignore spansafe <why non-nil>")
+		return true
+	})
+}
+
+// allocatingArg returns the first argument subexpression that allocates a
+// string at runtime, or nil.
+func allocatingArg(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	var found ast.Expr
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				for _, name := range []string{"Sprintf", "Sprint", "Sprintln"} {
+					if analysis.IsPkgCall(pass.TypesInfo, e, "fmt", name) {
+						found = e
+						return false
+					}
+				}
+			case *ast.BinaryExpr:
+				if e.Op == token.ADD {
+					if tv, ok := pass.TypesInfo.Types[e]; ok && analysis.IsStringType(tv.Type) && tv.Value == nil {
+						found = e
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// hasNilGuard reports whether any enclosing if condition compares something
+// against nil with != (the engine's `if parent != nil` idiom).
+func hasNilGuard(stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.NEQ {
+				if isNilIdent(be.X) || isNilIdent(be.Y) {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

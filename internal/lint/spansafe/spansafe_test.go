@@ -1,0 +1,12 @@
+package spansafe_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/linttest"
+	"rapidanalytics/internal/lint/spansafe"
+)
+
+func TestSpansafe(t *testing.T) {
+	linttest.Run(t, spansafe.Analyzer, "spansafe_fx")
+}

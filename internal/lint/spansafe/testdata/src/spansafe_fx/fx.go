@@ -1,0 +1,40 @@
+// Package spansafe_fx exercises the span-safety analyzer: spans travel as
+// *obs.Span (nil = disabled), and allocating span names need a nil guard.
+package spansafe_fx
+
+import (
+	"fmt"
+
+	"rapidanalytics/internal/obs"
+)
+
+// Holder copies a Span by value: counter updates on the copy are lost.
+type Holder struct {
+	Span obs.Span // want "value type obs.Span"
+}
+
+// Unguarded pays for the Sprintf even when tracing is off (parent nil).
+func Unguarded(parent *obs.Span, p int) *obs.Span {
+	return parent.StartChild(obs.KindTask, fmt.Sprintf("part-%d", p)) // want "span name allocates"
+}
+
+// Guarded is the engine idiom and a true negative: the Sprintf only runs
+// when a span actually exists.
+func Guarded(parent *obs.Span, p int) *obs.Span {
+	if parent != nil {
+		return parent.StartChild(obs.KindTask, fmt.Sprintf("part-%d", p))
+	}
+	return nil
+}
+
+// ConstName is a true negative: a constant name costs nothing, and the
+// nil-receiver no-op handles the disabled case.
+func ConstName(parent *obs.Span) *obs.Span {
+	return parent.StartChild(obs.KindIO, "dfs-write")
+}
+
+// Justified documents why the span is known non-nil.
+func Justified(parent *obs.Span, p int) *obs.Span {
+	//lint:ignore spansafe caller creates parent unconditionally two frames up
+	return parent.StartChild(obs.KindTask, fmt.Sprintf("part-%d", p))
+}

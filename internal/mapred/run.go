@@ -147,7 +147,12 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
 		out.SetSpan(ioSpan)
 		for i := range results {
-			for _, e := range results[i].parts[0] {
+			for ri, e := range results[i].parts[0] {
+				if ri%ctxCheckInterval == 0 {
+					if err := c.err(); err != nil {
+						return nil, fmt.Errorf("mapred: job %s aborted writing map output: %w", job.Name, err)
+					}
+				}
 				m.MapOutputRecords++
 				m.MapOutputBytes += int64(len(e.key) + len(e.value))
 				out.Write(e.value)
@@ -260,7 +265,12 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	out.SetSpan(ioSpan)
 	for p := range states {
 		st := &states[p]
-		for _, rec := range st.out {
+		for ri, rec := range st.out {
+			if ri%ctxCheckInterval == 0 {
+				if err := c.err(); err != nil {
+					return nil, fmt.Errorf("mapred: job %s aborted writing reduce output: %w", job.Name, err)
+				}
+			}
 			out.WriteOwned(rec)
 		}
 		m.ReduceGroups += st.reduceGroups
@@ -565,7 +575,12 @@ func combine(comb Reducer, in []kv, partitions, p int, check func() error) ([]kv
 	}
 	// Combiner output must stay in its partition; re-partitioning is not
 	// allowed (keys must be preserved or at least co-partitioned).
-	for _, e := range out {
+	for ei, e := range out {
+		if ei%ctxCheckInterval == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		if partitions > 1 && partitionOf(e.key, partitions) != p {
 			return nil, fmt.Errorf("mapred: combiner moved key %q across partitions", e.key)
 		}
@@ -605,6 +620,8 @@ const (
 
 // partitionOf assigns a key to a reduce partition with an inline FNV-1a
 // hash — identical to fnv.New32a over the key bytes, but zero-alloc.
+//
+//rapid:hot
 func partitionOf(key string, partitions int) int {
 	h := uint32(fnvOffset32)
 	for i := 0; i < len(key); i++ {

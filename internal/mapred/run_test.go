@@ -324,3 +324,100 @@ func TestWorkflowPhaseWalls(t *testing.T) {
 			mapNs, shuffleNs, reduceNs)
 	}
 }
+
+// Regression: the combiner's group loop must poll cancellation every
+// ctxCheckInterval groups. A single map task pre-aggregates thousands of
+// distinct keys; the first combiner call cancels the context, and the
+// combine loop has to stop within one check interval instead of draining
+// every group.
+func TestCancelMidCombineAborts(t *testing.T) {
+	const keys = 4 * ctxCheckInterval
+	c := newTestCluster()
+	writeLines(c, "in", 1, "seed")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var combined atomic.Int64
+	job := &Job{
+		Name:       "combine-cancel",
+		Inputs:     []string{"in"},
+		Output:     "out",
+		Partitions: 1,
+		NewMapper: func(tc *TaskContext) Mapper {
+			return MapperFunc(func(rec []byte, emit Emit) error {
+				for i := 0; i < keys; i++ {
+					emit(fmt.Sprintf("k%06d", i), rec)
+				}
+				return nil
+			})
+		},
+		NewCombiner: func() Reducer {
+			return ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+				if combined.Add(1) == 1 {
+					cancel() // cancel mid-combine, on the very first group
+				}
+				return nil
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(key string, values [][]byte, emit Emit) error { return nil })
+		},
+	}
+	_, err := c.WithContext(ctx).Run(job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if n := combined.Load(); n > ctxCheckInterval+1 {
+		t.Errorf("combiner drained %d of %d groups after cancellation; want at most one check interval (%d)",
+			n, keys, ctxCheckInterval+1)
+	}
+	if c.FS.Exists("out") {
+		t.Error("cancelled job materialised its output")
+	}
+}
+
+// closeCancelMapper emits its records in Map and cancels the bound context
+// in Close — after the map task's record loop, immediately before the
+// map-only output write.
+type closeCancelMapper struct {
+	keys   int
+	cancel context.CancelFunc
+}
+
+func (m *closeCancelMapper) Map(rec []byte, emit Emit) error {
+	for i := 0; i < m.keys; i++ {
+		emit(fmt.Sprintf("k%06d", i), rec)
+	}
+	return nil
+}
+
+func (m *closeCancelMapper) Close(emit Emit) error {
+	m.cancel()
+	return nil
+}
+
+// Regression: a map-only job whose context dies at the end of the map phase
+// must not materialise output — the write path polls cancellation instead
+// of flushing every buffered record to the DFS.
+func TestCancelAtMapCloseWritesNoMapOnlyOutput(t *testing.T) {
+	c := newTestCluster()
+	writeLines(c, "in", 1, "seed")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job := &Job{
+		Name:   "maponly-cancel",
+		Inputs: []string{"in"},
+		Output: "out",
+		NewMapper: func(tc *TaskContext) Mapper {
+			return &closeCancelMapper{keys: 4 * ctxCheckInterval, cancel: cancel}
+		},
+	}
+	_, err := c.WithContext(ctx).Run(job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if c.FS.Exists("out") {
+		t.Error("cancelled map-only job materialised its output")
+	}
+}

@@ -15,6 +15,8 @@ import (
 
 // AppendEncodeIDs appends the dictionary-plane encoding of the triplegroup
 // to buf. Every field must be an ID-string.
+//
+//rapid:hot
 func (tg *TripleGroup) AppendEncodeIDs(buf []byte) []byte {
 	buf = append(buf, tg.Subject...)
 	buf = codec.AppendUvarint(buf, uint64(len(tg.Triples)))
@@ -66,6 +68,8 @@ func DecodeTripleGroupIDs(buf []byte, in codec.Interner) (TripleGroup, []byte, e
 
 // AppendEncodeIDs appends the dictionary-plane encoding of the annotated
 // triplegroup to buf.
+//
+//rapid:hot
 func (a *AnnTG) AppendEncodeIDs(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, uint64(len(a.Stars)))
 	for i, s := range a.Stars {

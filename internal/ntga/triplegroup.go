@@ -103,6 +103,8 @@ func (tg *TripleGroup) String() string {
 
 // AppendEncode appends the triplegroup's encoding to buf and returns the
 // extended slice — the allocation-free form of Encode for hot emit paths.
+//
+//rapid:hot
 func (tg *TripleGroup) AppendEncode(buf []byte) []byte {
 	buf = codec.AppendString(buf, tg.Subject)
 	buf = codec.AppendUvarint(buf, uint64(len(tg.Triples)))
@@ -227,6 +229,8 @@ func Merge(a, b AnnTG) AnnTG {
 // AppendEncode appends the annotated triplegroup's encoding to buf and
 // returns the extended slice — the allocation-free form of Encode for hot
 // emit paths.
+//
+//rapid:hot
 func (a *AnnTG) AppendEncode(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, uint64(len(a.Stars)))
 	for i, s := range a.Stars {

@@ -17,6 +17,7 @@ package tgops
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -456,6 +457,8 @@ type aggJoinMapper struct {
 // the original "\x1f"-joined form; the dictionary plane concatenates the
 // optional uvarint spec ID and the group values' self-delimiting ID bytes
 // with no separators (ID bytes may contain 0x1f).
+//
+//rapid:hot
 func (m *aggJoinMapper) aggKey(sp *resolvedAggSpec, b ntga.Binding) string {
 	if m.sc.dict != nil {
 		buf := m.keyBuf[:0]
@@ -470,6 +473,7 @@ func (m *aggJoinMapper) aggKey(sp *resolvedAggSpec, b ntga.Binding) string {
 			}
 		}
 		m.keyBuf = buf
+		//lint:alloc shuffle keys and the multiAggMap index must be string; this is the single per-solution key materialization and keyBuf pools the build buffer
 		return string(buf)
 	}
 	keyParts := make([]string, 0, len(sp.GroupVars)+1)
@@ -533,10 +537,19 @@ func (m *aggJoinMapper) Map(rec []byte, emit mapred.Emit) error {
 	return nil
 }
 
-// Close flushes the pre-aggregated entries — Algorithm 3's Map.clean().
+// Close flushes the pre-aggregated entries — Algorithm 3's Map.clean() — in
+// sorted key order. Map iteration order would vary run to run; the combiner
+// happens to re-sort each partition today, but the output contract
+// (byte-identical shuffle streams) must not depend on which jobs attach a
+// combiner.
 func (m *aggJoinMapper) Close(emit mapred.Emit) error {
-	for key, st := range m.multiAggMap {
-		emit(key, st.AppendEncode(nil))
+	keys := make([]string, 0, len(m.multiAggMap))
+	for key := range m.multiAggMap {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		emit(key, m.multiAggMap[key].AppendEncode(nil))
 	}
 	return nil
 }

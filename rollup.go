@@ -33,19 +33,19 @@ type RollupSpec struct {
 // BuildRollup renders the spec as a SPARQL analytical query.
 func BuildRollup(spec RollupSpec) (string, error) {
 	if len(spec.Dims) == 0 {
-		return "", fmt.Errorf("rapidanalytics: rollup needs at least one dimension")
+		return "", fmt.Errorf("%w: rollup needs at least one dimension", ErrUnsupported)
 	}
 	if strings.TrimSpace(spec.Pattern) == "" || spec.Var == "" {
-		return "", fmt.Errorf("rapidanalytics: rollup needs a pattern and an aggregated variable")
+		return "", fmt.Errorf("%w: rollup needs a pattern and an aggregated variable", ErrUnsupported)
 	}
 	switch strings.ToUpper(spec.Agg) {
 	case "COUNT", "SUM", "AVG", "MIN", "MAX":
 	default:
-		return "", fmt.Errorf("rapidanalytics: unsupported rollup aggregate %q", spec.Agg)
+		return "", fmt.Errorf("%w: rollup aggregate %q", ErrUnsupported, spec.Agg)
 	}
 	for _, d := range spec.Dims {
 		if d == spec.Var {
-			return "", fmt.Errorf("rapidanalytics: dimension ?%s is also the aggregated variable", d)
+			return "", fmt.Errorf("%w: dimension ?%s is also the aggregated variable", ErrUnsupported, d)
 		}
 	}
 	distinct := ""
