@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rapidanalytics/internal/bench"
+)
+
+// diskIters is how many times each query runs per backend; the report
+// keeps the best wall time of each.
+const diskIters = 2
+
+// diskSpillThreshold is the map-side spill threshold both backends run
+// with. It is deliberately tiny so the spill path triggers even on the
+// small CI datasets; output is identical for every threshold.
+const diskSpillThreshold = 4096
+
+// Disk benchmarks the disk-backed (blockstore) DFS against the in-memory
+// backend over the full multi-grouping catalog, checking on the way that
+// both backends return identical result rows and identical job-for-job
+// volume metrics (output bytes, stored bytes, shuffle and spill
+// volumes). Results go to stdout and BENCH_disk.json; any divergence is
+// an error, so CI fails when the storage planes drift. The harness's
+// SizeMult carries over, so CI can run the same experiment on a tiny
+// dataset.
+func Disk(h *bench.Harness) (string, error) {
+	rep, err := bench.CompareStorageBackends(bench.MGCatalog(), bench.Engines(), diskIters, h.Loader.SizeMult, diskSpillThreshold)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_disk.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if !rep.AllIdentical {
+		return "", fmt.Errorf("mem and disk backends diverged in rows or volume metrics (see BENCH_disk.json)")
+	}
+	if rep.TotalSpillRuns == 0 {
+		return "", fmt.Errorf("spill path never triggered at threshold %d (see BENCH_disk.json)", rep.SpillThresholdBytes)
+	}
+	return bench.RenderDisk(rep) + "(wrote BENCH_disk.json)\n", nil
+}

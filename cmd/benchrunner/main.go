@@ -14,7 +14,8 @@
 // prepared (plan-cache speedup, writes BENCH_prepared.json), parallel
 // (sequential vs parallel reduce, writes BENCH_parallel.json), dict
 // (lexical vs dictionary-encoded data plane over the full MG catalog,
-// writes BENCH_dict.json), all.
+// writes BENCH_dict.json), disk (in-memory vs disk-backed DFS over the
+// full MG catalog, writes BENCH_disk.json), all.
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, all")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, all")
 		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
@@ -60,6 +61,7 @@ func main() {
 	run("prepared", Prepared)
 	run("parallel", Parallel)
 	run("dict", Dict)
+	run("disk", Disk)
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(h, *traceOut); err != nil {

@@ -39,8 +39,13 @@ func main() {
 		trace    = flag.String("trace", "", "execution trace: table (per-cycle stats) or spans (hierarchical span tree)")
 		traceOut = flag.String("trace-out", "", "write the captured span trees as JSON to this file")
 		format   = flag.String("format", "table", "result format: table or csv")
+		storage  = flag.String("storage", "", "DFS backend: mem or disk (empty honors $RAPID_STORAGE, default mem)")
+		dataDir  = flag.String("data-dir", "", "root directory for -storage disk (empty = fresh temp dir)")
+		shards   = flag.Int("shards", 0, "disk backend shard directory count (0 = default)")
+		spill    = flag.Int64("spill-threshold", 0, "map-side spill threshold in bytes (0 disables spilling)")
 	)
 	flag.Parse()
+	st := storageOpts{storage: *storage, dataDir: *dataDir, shards: *shards, spill: *spill}
 	if *trace != "" && *trace != "table" && *trace != "spans" {
 		fatal(fmt.Errorf("-trace must be empty, %q or %q", "table", "spans"))
 	}
@@ -59,10 +64,18 @@ func main() {
 	}
 
 	if *data != "" {
-		runOnFile(query, *data, *system, *all, *verify, *rows, *trace, *traceOut, *format)
+		runOnFile(query, *data, *system, *all, *verify, *rows, *trace, *traceOut, *format, st)
 		return
 	}
-	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace, *traceOut)
+	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace, *traceOut, st)
+}
+
+// storageOpts carries the storage-backend flags into both run paths.
+type storageOpts struct {
+	storage string
+	dataDir string
+	shards  int
+	spill   int64
 }
 
 func resolveQuery(queryID, file string) (string, error) {
@@ -84,13 +97,18 @@ func resolveQuery(queryID, file string) (string, error) {
 	}
 }
 
-func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace, traceOut, format string) {
+func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace, traceOut, format string, st storageOpts) {
 	f, err := os.Open(dataFile)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	store := ra.NewStore(ra.DefaultOptions())
+	opts := ra.DefaultOptions()
+	opts.Storage = st.storage
+	opts.DataDir = st.dataDir
+	opts.StorageShards = st.shards
+	opts.SpillThresholdBytes = st.spill
+	store := ra.NewStore(opts)
 	if err := store.LoadNTriples(f); err != nil {
 		fatal(err)
 	}
@@ -140,11 +158,15 @@ func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace
 	}
 }
 
-func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int, trace, traceOut string) {
+func runOnCatalogDataset(query, queryID, dataset, system string, all, verify bool, rows int, trace, traceOut string, st storageOpts) {
 	if queryID == "" {
 		fatal(fmt.Errorf("-dataset requires a catalog -query; use -data for ad-hoc queries"))
 	}
 	h := bench.NewHarness(verify)
+	h.Loader.Storage = st.storage
+	h.Loader.DataDir = st.dataDir
+	h.Loader.Shards = st.shards
+	h.Loader.SpillThresholdBytes = st.spill
 	engines := bench.Engines()
 	if !all {
 		var filtered []engine.Engine

@@ -51,10 +51,24 @@ func main() {
 		nodes         = flag.Int("nodes", 0, "simulated cluster size (0 = default 10)")
 		slowThreshold = flag.Duration("slow-query-threshold", 250*time.Millisecond, "wall time at which a query enters the slow-query log")
 		slowLogSize   = flag.Int("slow-query-log", 128, "slow-query ring buffer capacity")
+		storage       = flag.String("storage", "", "DFS backend: mem or disk (empty honors $RAPID_STORAGE, default mem)")
+		dataDir       = flag.String("data-dir", "", "root directory for -storage disk (empty = fresh temp dir)")
+		shards        = flag.Int("shards", 0, "disk backend shard directory count (0 = default)")
+		spill         = flag.Int64("spill-threshold", 0, "map-side spill threshold in bytes (0 disables spilling)")
 	)
 	flag.Parse()
 
-	store, err := buildStore(*data, *gen, *size, *cacheSize, *nodes)
+	opts := ra.DefaultOptions()
+	opts.PlanCacheSize = *cacheSize
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+	}
+	opts.Storage = *storage
+	opts.DataDir = *dataDir
+	opts.StorageShards = *shards
+	opts.SpillThresholdBytes = *spill
+
+	store, err := buildStore(*data, *gen, *size, opts)
 	if err != nil {
 		log.Fatalf("rapidserver: %v", err)
 	}
@@ -100,12 +114,7 @@ func main() {
 }
 
 // buildStore loads the graph the server will serve.
-func buildStore(data, gen string, size, cacheSize, nodes int) (*ra.Store, error) {
-	opts := ra.DefaultOptions()
-	opts.PlanCacheSize = cacheSize
-	if nodes > 0 {
-		opts.Nodes = nodes
-	}
+func buildStore(data, gen string, size int, opts ra.Options) (*ra.Store, error) {
 	switch {
 	case data != "" && gen != "":
 		return nil, fmt.Errorf("-data and -gen are mutually exclusive")

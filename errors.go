@@ -27,6 +27,10 @@ var (
 	// ErrCanceled reports that the execution context was cancelled
 	// mid-query. errors.Is(err, context.Canceled) also holds.
 	ErrCanceled = errors.New("rapidanalytics: query canceled")
+	// ErrStorage reports that the store's DFS backend could not be set up
+	// or the storage layouts could not be materialised (e.g. an unwritable
+	// DataDir with Options.Storage = StorageDisk).
+	ErrStorage = errors.New("rapidanalytics: storage error")
 )
 
 // wrapContextErr classifies a failure that happened while ctx was dead:

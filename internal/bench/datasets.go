@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"rapidanalytics/internal/datagen"
+	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/rdf"
@@ -128,6 +130,16 @@ type Loader struct {
 	// lexical data plane). Result rows are identical either way; volumes
 	// differ.
 	Lexical bool
+	// Storage selects the DFS backend for every loaded cluster: "mem",
+	// "disk", or "" to honor the RAPID_STORAGE environment default.
+	Storage string
+	// DataDir roots disk-backend storage; empty uses a fresh temp dir.
+	DataDir string
+	// Shards is the disk backend's shard count (0 = blockstore default).
+	Shards int
+	// SpillThresholdBytes bounds per-map-task buffered shuffle output (0
+	// disables spilling). See mapred.ClusterConfig.SpillThresholdBytes.
+	SpillThresholdBytes int64
 
 	mu     sync.Mutex
 	loaded map[string]*loadedDataset
@@ -152,10 +164,40 @@ func (l *Loader) Load(id string) (*mapred.Cluster, *engine.Dataset, error) {
 	scale := spec.PaperTriples / float64(g.Len())
 	cfg := spec.Cluster(scale)
 	cfg.ExecReduceWorkers = l.ReduceWorkers
-	c := mapred.NewCluster(cfg)
-	ds := engine.LoadWith(c, spec.ID, g, engine.LoadOptions{DictionaryEncoding: !l.Lexical})
+	cfg.SpillThresholdBytes = l.SpillThresholdBytes
+	c, err := l.newCluster(cfg, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := engine.LoadWith(c, spec.ID, g, engine.LoadOptions{DictionaryEncoding: !l.Lexical})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: loading %s: %w", id, err)
+	}
 	l.loaded[id] = &loadedDataset{spec: spec, cluster: c, ds: ds}
 	return c, ds, nil
+}
+
+// newCluster builds the cluster for one dataset, honoring the loader's
+// storage selection.
+func (l *Loader) newCluster(cfg mapred.ClusterConfig, id string) (*mapred.Cluster, error) {
+	switch l.Storage {
+	case "":
+		return mapred.NewCluster(cfg), nil
+	case "mem":
+		return mapred.NewClusterFS(cfg, dfs.New()), nil
+	case "disk":
+		dir, err := os.MkdirTemp(l.DataDir, "rapidfs-"+id+"-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: disk storage: %w", err)
+		}
+		fs, err := dfs.NewDisk(dir, l.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("bench: disk storage: %w", err)
+		}
+		return mapred.NewClusterFS(cfg, fs), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown storage backend %q", l.Storage)
+	}
 }
 
 // DatasetsFor returns the spec ids a catalog query runs on: BSBM queries

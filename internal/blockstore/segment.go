@@ -1,0 +1,328 @@
+// Package blockstore implements the on-disk storage layer backing the
+// disk-backed DFS: append-only segment files of length-prefixed record
+// blocks with per-block CRCs and a block index in a footer, laid out in N
+// hash-partitioned shard directories. A segment is immutable once written
+// (writers build a temp file that is atomically renamed on Close), so
+// readers never observe partial writes and an open segment stays readable
+// after the name is truncated or deleted — the same snapshot semantics the
+// in-memory DFS backend provides.
+//
+// Segment layout:
+//
+//	+-----------------+  "RSEG" magic + format version byte
+//	| header (5 B)    |
+//	+-----------------+
+//	| block 0         |  u32le CRC32(payload) | payload
+//	| block 1         |  payload = records, each uvarint(len+1) | bytes
+//	| ...             |
+//	+-----------------+
+//	| footer payload  |  block index {offset,len,records,rawBytes}*,
+//	|                 |  totals, opaque metadata blob
+//	+-----------------+
+//	| trailer (20 B)  |  u32le CRC32(footer) | u64le footerOff |
+//	+-----------------+  u32le footerLen | "RSGF" magic
+//
+// Record lengths are stored as uvarint(len+1): a stored zero is invalid,
+// so truncation or corruption inside a block cannot silently decode as an
+// empty record, while genuinely empty records still round-trip.
+package blockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment format constants.
+const (
+	segMagic     = "RSEG"
+	segVersion   = 0x01
+	trailerMagic = "RSGF"
+	headerLen    = 5
+	trailerLen   = 20
+
+	// defaultBlockBytes is the target uncompressed payload size of one
+	// block. A block always holds at least one record, so records larger
+	// than the target get a block of their own.
+	defaultBlockBytes = 32 << 10
+)
+
+// ErrCorrupt reports a structurally invalid or corrupted segment: bad
+// magic, out-of-bounds index entries, CRC mismatches, or invalid record
+// framing. Test with errors.Is.
+var ErrCorrupt = errors.New("blockstore: corrupt segment")
+
+// blockMeta is one footer index entry.
+type blockMeta struct {
+	offset  int64 // file offset of the block's CRC word
+	length  int64 // payload length in bytes (excluding the CRC word)
+	records int64 // records in the block
+	raw     int64 // sum of record lengths in the block
+}
+
+// segMeta is a parsed footer: the block index plus segment totals.
+type segMeta struct {
+	blocks  []blockMeta
+	records int64
+	bytes   int64 // sum of record lengths across all blocks
+	meta    []byte
+}
+
+// segmentEncoder streams records into segment format on an io.Writer,
+// buffering one block at a time.
+type segmentEncoder struct {
+	w           io.Writer
+	off         int64
+	buf         []byte
+	bufRecords  int64
+	bufRaw      int64
+	blocks      []blockMeta
+	records     int64
+	bytes       int64
+	blockTarget int
+	err         error
+}
+
+// newSegmentEncoder writes the segment header and returns the encoder.
+func newSegmentEncoder(w io.Writer, blockTarget int) *segmentEncoder {
+	if blockTarget <= 0 {
+		blockTarget = defaultBlockBytes
+	}
+	e := &segmentEncoder{w: w, blockTarget: blockTarget}
+	e.write(append([]byte(segMagic), segVersion))
+	return e
+}
+
+func (e *segmentEncoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+	e.off += int64(len(p))
+}
+
+// append adds one record to the current block, flushing the block first if
+// it has reached the target size.
+func (e *segmentEncoder) append(rec []byte) {
+	if len(e.buf) >= e.blockTarget {
+		e.flushBlock()
+	}
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(rec))+1)
+	e.buf = append(e.buf, rec...)
+	e.bufRecords++
+	e.bufRaw += int64(len(rec))
+	e.records++
+	e.bytes += int64(len(rec))
+}
+
+// flushBlock writes the buffered block with its CRC and records its index
+// entry. Empty blocks are never written.
+func (e *segmentEncoder) flushBlock() {
+	if e.bufRecords == 0 {
+		return
+	}
+	bm := blockMeta{offset: e.off, length: int64(len(e.buf)), records: e.bufRecords, raw: e.bufRaw}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(e.buf))
+	e.write(crc[:])
+	e.write(e.buf)
+	e.blocks = append(e.blocks, bm)
+	e.buf = e.buf[:0]
+	e.bufRecords = 0
+	e.bufRaw = 0
+}
+
+// finish flushes the last block, writes the footer and trailer, and
+// returns the first write error, if any.
+func (e *segmentEncoder) finish(meta []byte) error {
+	e.flushBlock()
+	footer := encodeFooter(&segMeta{blocks: e.blocks, records: e.records, bytes: e.bytes, meta: meta})
+	footerOff := e.off
+	e.write(footer)
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint32(tr[0:4], crc32.ChecksumIEEE(footer))
+	binary.LittleEndian.PutUint64(tr[4:12], uint64(footerOff))
+	binary.LittleEndian.PutUint32(tr[12:16], uint32(len(footer)))
+	copy(tr[16:20], trailerMagic)
+	e.write(tr[:])
+	return e.err
+}
+
+// encodeFooter serialises the block index, totals and metadata blob.
+func encodeFooter(m *segMeta) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(m.blocks)))
+	for _, b := range m.blocks {
+		buf = binary.AppendUvarint(buf, uint64(b.offset))
+		buf = binary.AppendUvarint(buf, uint64(b.length))
+		buf = binary.AppendUvarint(buf, uint64(b.records))
+		buf = binary.AppendUvarint(buf, uint64(b.raw))
+	}
+	buf = binary.AppendUvarint(buf, uint64(m.records))
+	buf = binary.AppendUvarint(buf, uint64(m.bytes))
+	buf = binary.AppendUvarint(buf, uint64(len(m.meta)))
+	buf = append(buf, m.meta...)
+	return buf
+}
+
+// parseSegment validates a segment's framing and returns its parsed
+// footer. It reads only the header, footer and trailer; block payloads are
+// read (and CRC-checked) lazily by iterators.
+func parseSegment(r io.ReaderAt, size int64) (*segMeta, error) {
+	if size < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than header+trailer", ErrCorrupt, size)
+	}
+	var hdr [headerLen]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("blockstore: reading header: %w", err)
+	}
+	if string(hdr[:4]) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != segVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	var tr [trailerLen]byte
+	if _, err := r.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, fmt.Errorf("blockstore: reading trailer: %w", err)
+	}
+	if string(tr[16:20]) != trailerMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic %q (truncated segment?)", ErrCorrupt, tr[16:20])
+	}
+	footerCRC := binary.LittleEndian.Uint32(tr[0:4])
+	footerOff := int64(binary.LittleEndian.Uint64(tr[4:12]))
+	footerLen := int64(binary.LittleEndian.Uint32(tr[12:16]))
+	if footerOff < headerLen || footerLen < 0 || footerOff+footerLen != size-trailerLen {
+		return nil, fmt.Errorf("%w: footer [%d,+%d) does not fit segment of %d bytes", ErrCorrupt, footerOff, footerLen, size)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := r.ReadAt(footer, footerOff); err != nil {
+		return nil, fmt.Errorf("blockstore: reading footer: %w", err)
+	}
+	if crc32.ChecksumIEEE(footer) != footerCRC {
+		return nil, fmt.Errorf("%w: footer CRC mismatch", ErrCorrupt)
+	}
+	m, err := decodeFooter(footer)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the block index against the physical layout: offsets must
+	// be monotonically increasing and every block must fit before the
+	// footer.
+	prevEnd := int64(headerLen)
+	var records, bytes int64
+	for i, b := range m.blocks {
+		if b.offset != prevEnd || b.length < 0 || b.records <= 0 || b.raw < 0 {
+			return nil, fmt.Errorf("%w: block %d index entry invalid", ErrCorrupt, i)
+		}
+		prevEnd = b.offset + 4 + b.length
+		if prevEnd > footerOff {
+			return nil, fmt.Errorf("%w: block %d overruns footer", ErrCorrupt, i)
+		}
+		records += b.records
+		bytes += b.raw
+	}
+	if prevEnd != footerOff {
+		return nil, fmt.Errorf("%w: %d unindexed bytes before footer", ErrCorrupt, footerOff-prevEnd)
+	}
+	if records != m.records || bytes != m.bytes {
+		return nil, fmt.Errorf("%w: totals disagree with block index", ErrCorrupt)
+	}
+	return m, nil
+}
+
+// decodeFooter parses the footer payload, bounds-checking every field.
+func decodeFooter(buf []byte) (*segMeta, error) {
+	u := func() (int64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 || v > 1<<62 {
+			return 0, fmt.Errorf("%w: bad footer varint", ErrCorrupt)
+		}
+		buf = buf[n:]
+		return int64(v), nil
+	}
+	n, err := u()
+	if err != nil {
+		return nil, err
+	}
+	// Each index entry takes at least 4 bytes; reject counts the payload
+	// cannot possibly hold before allocating.
+	if n > int64(len(buf))/4 {
+		return nil, fmt.Errorf("%w: block count %d exceeds footer size", ErrCorrupt, n)
+	}
+	m := &segMeta{blocks: make([]blockMeta, 0, n)}
+	for i := int64(0); i < n; i++ {
+		var b blockMeta
+		if b.offset, err = u(); err != nil {
+			return nil, err
+		}
+		if b.length, err = u(); err != nil {
+			return nil, err
+		}
+		if b.records, err = u(); err != nil {
+			return nil, err
+		}
+		if b.raw, err = u(); err != nil {
+			return nil, err
+		}
+		m.blocks = append(m.blocks, b)
+	}
+	if m.records, err = u(); err != nil {
+		return nil, err
+	}
+	if m.bytes, err = u(); err != nil {
+		return nil, err
+	}
+	metaLen, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if metaLen != int64(len(buf)) {
+		return nil, fmt.Errorf("%w: metadata length %d does not match remaining %d footer bytes", ErrCorrupt, metaLen, len(buf))
+	}
+	m.meta = append([]byte(nil), buf...)
+	return m, nil
+}
+
+// readBlock reads and CRC-checks one block payload into a fresh buffer.
+// The buffer is never reused, so record slices handed out by iterators
+// stay valid indefinitely.
+func readBlock(r io.ReaderAt, b blockMeta) ([]byte, error) {
+	buf := make([]byte, 4+b.length)
+	if _, err := r.ReadAt(buf, b.offset); err != nil {
+		return nil, fmt.Errorf("blockstore: reading block at %d: %w", b.offset, err)
+	}
+	want := binary.LittleEndian.Uint32(buf[:4])
+	payload := buf[4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: block CRC mismatch at offset %d", ErrCorrupt, b.offset)
+	}
+	return payload, nil
+}
+
+// blockRecords decodes a block payload into record slices (subslices of
+// payload), verifying the framing and the indexed record count.
+func blockRecords(payload []byte, want int64) ([][]byte, error) {
+	recs := make([][]byte, 0, want)
+	for len(payload) > 0 {
+		v, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad record length varint", ErrCorrupt)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("%w: zero record length field", ErrCorrupt)
+		}
+		rl := v - 1
+		payload = payload[n:]
+		if rl > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: record length %d overruns block", ErrCorrupt, rl)
+		}
+		recs = append(recs, payload[:rl:rl])
+		payload = payload[rl:]
+	}
+	if int64(len(recs)) != want {
+		return nil, fmt.Errorf("%w: block holds %d records, index says %d", ErrCorrupt, len(recs), want)
+	}
+	return recs, nil
+}

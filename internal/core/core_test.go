@@ -59,7 +59,10 @@ func TestSingleStarSingleCycle(t *testing.T) {
 	aq := mustAQ(t, `PREFIX e: <http://e/>
 SELECT ?x (COUNT(?v) AS ?n) { ?s e:p ?x ; e:q ?v . } GROUP BY ?x`)
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	ds := engine.Load(c, "t", g)
+	ds, err := engine.Load(c, "t", g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, wm, err := New().Execute(c, ds, aq)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +92,10 @@ SELECT ?x ?n ?m {
 		t.Fatal("patterns unexpectedly overlap; test fixture broken")
 	}
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	ds := engine.Load(c, "t", g)
+	ds, err := engine.Load(c, "t", g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, wm, err := New().Execute(c, ds, aq)
 	if err != nil {
 		t.Fatal(err)

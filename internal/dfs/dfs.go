@@ -1,157 +1,183 @@
-// Package dfs implements an in-memory stand-in for HDFS: named files of
-// byte records with exact byte accounting and per-file compression ratios.
-// The MapReduce engine reads job inputs from and materialises job outputs to
-// this file system, so every byte the paper's workflows would write to HDFS
-// is metered here. Compression ratios model columnar formats such as ORC,
-// whose aggressive compression reduces stored bytes (and therefore the
-// number of map tasks a job gets) while adding decompression work — the
-// effect the paper observes for Hive's ORC tables.
+// Package dfs implements the simulated HDFS the MapReduce engine reads job
+// inputs from and materialises job outputs to: named files of byte records
+// with exact byte accounting and per-file compression ratios (modelling
+// columnar formats such as ORC, whose aggressive compression reduces stored
+// bytes — and therefore map-task counts — while adding decompression work).
+//
+// Storage is pluggable through the Backend interface. Two backends exist:
+// the default in-memory backend (every record held as a []byte, the
+// original behavior) and a disk backend over internal/blockstore (sharded
+// append-only segment files). Both present identical semantics:
+//
+//   - Open returns a snapshot: the records committed at Open time. A
+//     snapshot stays readable after the name is deleted or truncated by a
+//     new Create.
+//   - A file's content is committed by Writer.Close. Writers are
+//     append-only; Create truncates.
+//   - Record slices handed out by iterators are immutable and remain valid
+//     indefinitely; callers must not modify them.
 package dfs
 
 import (
+	"errors"
 	"fmt"
-	"sort"
-	"strings"
-	"sync"
-
-	"rapidanalytics/internal/obs"
 )
 
-// File is a named sequence of records.
-type File struct {
-	Name string
-	// Records are the raw record payloads in write order.
-	Records [][]byte
-	// Bytes is the uncompressed logical size: the sum of record lengths.
-	Bytes int64
-	// CompressionRatio is stored-size / logical-size, in (0, 1]. 1 means no
-	// compression.
-	CompressionRatio float64
+// ErrCompressionRatio reports a compression ratio outside (0, 1] passed to
+// FS.Create. Test with errors.Is.
+var ErrCompressionRatio = errors.New("dfs: compression ratio out of range (0, 1]")
+
+// RecordIterator streams a file's records in write order. Not safe for
+// concurrent use; create one iterator per consumer.
+type RecordIterator interface {
+	// Next advances to the next record, reporting false at end-of-file or
+	// on error.
+	Next() bool
+	// Record returns the current record. The slice is shared and immutable:
+	// it stays valid after Next but must not be modified.
+	Record() []byte
+	// Err returns the first read error, or nil after a clean end-of-file.
+	Err() error
 }
+
+// Backend is the storage engine behind an FS. Implementations must be safe
+// for concurrent use and provide the snapshot semantics documented on the
+// package.
+type Backend interface {
+	// Create starts writing a new (or truncated) file; the content commits
+	// at FileWriter.Close. The ratio is validated by FS.Create before it
+	// reaches the backend.
+	Create(name string, ratio float64) (FileWriter, error)
+	// Open returns a snapshot read handle, or an error including the name
+	// if the file does not exist.
+	Open(name string) (*File, error)
+	// Exists reports whether the named file exists.
+	Exists(name string) bool
+	// Delete removes the named file; deleting a missing file is a no-op.
+	Delete(name string) error
+	// List returns the names of all files with the given prefix, sorted.
+	List(prefix string) []string
+	// TotalStoredBytes sums the stored (compressed) size of all files with
+	// the prefix.
+	TotalStoredBytes(prefix string) int64
+}
+
+// FileWriter is a backend's append-only write handle. Implementations are
+// not required to be concurrency-safe; the Writer wrapper serialises.
+type FileWriter interface {
+	// Append adds one record, taking ownership of the slice.
+	Append(rec []byte) error
+	// Close commits the file. Errors from earlier Appends may surface here.
+	Close() error
+}
+
+// recordSource is a backend's snapshot read payload inside a File.
+type recordSource interface {
+	iterate(start int) RecordIterator
+	close() error
+}
+
+// File is a snapshot read handle on a named file.
+type File struct {
+	name  string
+	nrec  int
+	bytes int64
+	ratio float64
+	src   recordSource
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// NumRecords returns the snapshot's record count.
+func (f *File) NumRecords() int { return f.nrec }
+
+// Bytes returns the uncompressed logical size: the sum of record lengths.
+func (f *File) Bytes() int64 { return f.bytes }
+
+// CompressionRatio returns stored-size / logical-size, in (0, 1].
+func (f *File) CompressionRatio() float64 { return f.ratio }
 
 // StoredBytes returns the on-disk size after compression.
-func (f *File) StoredBytes() int64 {
-	return int64(float64(f.Bytes) * f.CompressionRatio)
+func (f *File) StoredBytes() int64 { return storedSize(f.bytes, f.ratio) }
+
+// Records returns an iterator positioned at record index start (0-based; 0
+// streams the whole file). Many iterators may be drawn from one File.
+func (f *File) Records(start int) RecordIterator { return f.src.iterate(start) }
+
+// AllRecords materialises the whole snapshot. Prefer Records for
+// record-at-a-time consumers; this is for side inputs and small files.
+func (f *File) AllRecords() ([][]byte, error) {
+	recs := make([][]byte, 0, f.nrec)
+	it := f.Records(0)
+	for it.Next() {
+		recs = append(recs, it.Record())
+	}
+	return recs, it.Err()
 }
 
-// NumRecords returns the record count.
-func (f *File) NumRecords() int { return len(f.Records) }
+// Close releases backend resources (the segment file descriptor on the
+// disk backend; a no-op in memory). Closing is optional — unclosed handles
+// are reclaimed at GC — but tidy for long-lived processes.
+func (f *File) Close() error { return f.src.close() }
 
-// FS is a flat in-memory file system. All methods are safe for concurrent
-// use.
+// storedSize is the one compression-accounting formula both backends and
+// the Writer share.
+func storedSize(bytes int64, ratio float64) int64 {
+	return int64(float64(bytes) * ratio)
+}
+
+// FS is a flat file system over a pluggable storage backend. All methods
+// are safe for concurrent use.
 type FS struct {
-	mu    sync.RWMutex
-	files map[string]*File
+	b Backend
 }
 
-// New returns an empty file system.
-func New() *FS {
-	return &FS{files: map[string]*File{}}
+// New returns an FS over a fresh in-memory backend.
+func New() *FS { return &FS{b: NewMemBackend()} }
+
+// NewWithBackend returns an FS over the given backend.
+func NewWithBackend(b Backend) *FS { return &FS{b: b} }
+
+// NewDisk returns an FS over a disk backend rooted at dir with the given
+// shard count (<= 0 selects the blockstore default).
+func NewDisk(dir string, shards int) (*FS, error) {
+	b, err := NewDiskBackend(dir, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{b: b}, nil
 }
 
-// Create creates (or truncates) a file with the given compression ratio and
-// returns a writer for it. ratio must be in (0, 1]; pass 1 for uncompressed
-// data.
-func (fs *FS) Create(name string, ratio float64) *Writer {
+// Backend returns the FS's storage backend.
+func (fs *FS) Backend() Backend { return fs.b }
+
+// Create creates (or truncates) a file with the given compression ratio
+// and returns a writer for it. The ratio must be in (0, 1] — pass 1 for
+// uncompressed data — otherwise Create fails with ErrCompressionRatio.
+func (fs *FS) Create(name string, ratio float64) (*Writer, error) {
 	if ratio <= 0 || ratio > 1 {
-		ratio = 1
+		return nil, fmt.Errorf("%w: %g for %q", ErrCompressionRatio, ratio, name)
 	}
-	f := &File{Name: name, CompressionRatio: ratio}
-	fs.mu.Lock()
-	fs.files[name] = f
-	fs.mu.Unlock()
-	return &Writer{f: f}
+	fw, err := fs.b.Create(name, ratio)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{fw: fw, name: name, ratio: ratio}, nil
 }
 
-// Open returns the named file.
-func (fs *FS) Open(name string) (*File, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.files[name]
-	if !ok {
-		return nil, fmt.Errorf("dfs: no such file %q", name)
-	}
-	return f, nil
-}
+// Open returns a snapshot of the named file.
+func (fs *FS) Open(name string) (*File, error) { return fs.b.Open(name) }
 
 // Exists reports whether the named file exists.
-func (fs *FS) Exists(name string) bool {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	_, ok := fs.files[name]
-	return ok
-}
+func (fs *FS) Exists(name string) bool { return fs.b.Exists(name) }
 
 // Delete removes the named file. Deleting a missing file is a no-op,
-// matching `hadoop fs -rm -f`.
-func (fs *FS) Delete(name string) {
-	fs.mu.Lock()
-	delete(fs.files, name)
-	fs.mu.Unlock()
-}
+// matching `hadoop fs -rm -f`. Snapshots stay readable.
+func (fs *FS) Delete(name string) { fs.b.Delete(name) }
 
 // List returns the names of all files with the given prefix, sorted.
-func (fs *FS) List(prefix string) []string {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	var names []string
-	for n := range fs.files {
-		if strings.HasPrefix(n, prefix) {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	return names
-}
+func (fs *FS) List(prefix string) []string { return fs.b.List(prefix) }
 
 // TotalStoredBytes sums the stored size of all files with the prefix.
-func (fs *FS) TotalStoredBytes(prefix string) int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	var total int64
-	for n, f := range fs.files {
-		if strings.HasPrefix(n, prefix) {
-			total += f.StoredBytes()
-		}
-	}
-	return total
-}
-
-// Writer appends records to a file. Writes are internally locked; each
-// writing task still conventionally owns its writer.
-type Writer struct {
-	f    *File
-	mu   sync.Mutex
-	span *obs.Span
-}
-
-// SetSpan attaches an observability span that accrues one record and the
-// record's logical bytes per write. A nil span (the default) leaves writes
-// untraced at no cost beyond a nil check.
-func (w *Writer) SetSpan(s *obs.Span) { w.span = s }
-
-// Write appends one record. The record is copied.
-func (w *Writer) Write(record []byte) {
-	rec := make([]byte, len(record))
-	copy(rec, record)
-	w.mu.Lock()
-	w.f.Records = append(w.f.Records, rec)
-	w.f.Bytes += int64(len(rec))
-	w.mu.Unlock()
-	w.span.AddRecords(1)
-	w.span.AddBytes(int64(len(rec)))
-}
-
-// WriteOwned appends one record without copying; the caller must not reuse
-// the slice.
-func (w *Writer) WriteOwned(record []byte) {
-	w.mu.Lock()
-	w.f.Records = append(w.f.Records, record)
-	w.f.Bytes += int64(len(record))
-	w.mu.Unlock()
-	w.span.AddRecords(1)
-	w.span.AddBytes(int64(len(record)))
-}
-
-// File returns the underlying file.
-func (w *Writer) File() *File { return w.f }
+func (fs *FS) TotalStoredBytes(prefix string) int64 { return fs.b.TotalStoredBytes(prefix) }

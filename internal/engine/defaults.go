@@ -18,7 +18,7 @@ import (
 
 // EnsureDefaultRows appends a default row to every empty per-subquery
 // result file whose subquery groups by ALL. files[i] belongs to subquery i.
-func EnsureDefaultRows(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) {
+func EnsureDefaultRows(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) error {
 	for i, sq := range aq.Subqueries {
 		if !sq.GroupByAll() {
 			continue
@@ -27,20 +27,25 @@ func EnsureDefaultRows(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) 
 		if err != nil || f.NumRecords() > 0 {
 			continue
 		}
-		appendRecord(fs, files[i], defaultRow(sq).Encode())
+		f.Close()
+		if err := appendRecord(fs, files[i], defaultRow(sq).Encode()); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // EnsureDefaultRowsTagged is the variant for a single file of id-prefixed
 // rows (the parallel-aggregation output of RAPIDAnalytics).
-func EnsureDefaultRowsTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) {
+func EnsureDefaultRowsTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) error {
 	f, err := fs.Open(file)
 	if err != nil {
-		return
+		return nil
 	}
 	present := map[int]bool{}
-	for _, rec := range f.Records {
-		t, err := codec.DecodeTuple(rec)
+	it := f.Records(0)
+	for it.Next() {
+		t, err := codec.DecodeTuple(it.Record())
 		if err != nil || len(t) == 0 {
 			continue
 		}
@@ -48,13 +53,21 @@ func EnsureDefaultRowsTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuer
 			present[id] = true
 		}
 	}
+	rerr := it.Err()
+	f.Close()
+	if rerr != nil {
+		return rerr
+	}
 	for i, sq := range aq.Subqueries {
 		if !sq.GroupByAll() || present[i] {
 			continue
 		}
 		row := append(codec.Tuple{strconv.Itoa(i)}, defaultRow(sq)...)
-		appendRecord(fs, file, row.Encode())
+		if err := appendRecord(fs, file, row.Encode()); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // ApplyGroupByAllHaving filters GROUP BY ALL subquery rows by their HAVING
@@ -62,7 +75,7 @@ func EnsureDefaultRowsTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuer
 // exists first (possibly with default values) and is then subjected to
 // HAVING, matching SPARQL semantics. Grouped subqueries apply HAVING inside
 // their aggregation reducers instead.
-func ApplyGroupByAllHaving(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) {
+func ApplyGroupByAllHaving(fs *dfs.FS, files []string, aq *algebra.AnalyticalQuery) error {
 	for i, sq := range aq.Subqueries {
 		if !sq.GroupByAll() || len(sq.Having) == 0 {
 			continue
@@ -71,18 +84,19 @@ func ApplyGroupByAllHaving(fs *dfs.FS, files []string, aq *algebra.AnalyticalQue
 		if err != nil {
 			continue
 		}
-		w := fs.Create(files[i], f.CompressionRatio)
-		for _, rec := range f.Records {
+		err = rewriteFiltered(fs, files[i], f, func(rec []byte) bool {
 			t, err := codec.DecodeTuple(rec)
-			if err != nil || sq.HavingPassed(t) {
-				w.Write(rec)
-			}
+			return err != nil || sq.HavingPassed(t)
+		})
+		if err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // ApplyGroupByAllHavingTagged is the tagged-file variant.
-func ApplyGroupByAllHavingTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) {
+func ApplyGroupByAllHavingTagged(fs *dfs.FS, file string, aq *algebra.AnalyticalQuery) error {
 	needed := false
 	for _, sq := range aq.Subqueries {
 		if sq.GroupByAll() && len(sq.Having) > 0 {
@@ -90,44 +104,71 @@ func ApplyGroupByAllHavingTagged(fs *dfs.FS, file string, aq *algebra.Analytical
 		}
 	}
 	if !needed {
-		return
+		return nil
 	}
 	f, err := fs.Open(file)
 	if err != nil {
-		return
+		return nil
 	}
-	w := fs.Create(file, f.CompressionRatio)
-	for _, rec := range f.Records {
+	return rewriteFiltered(fs, file, f, func(rec []byte) bool {
 		t, err := codec.DecodeTuple(rec)
 		if err != nil || len(t) == 0 {
-			w.Write(rec)
-			continue
+			return true
 		}
 		id, err := strconv.Atoi(t[0])
 		if err != nil || id < 0 || id >= len(aq.Subqueries) {
-			w.Write(rec)
-			continue
+			return true
 		}
 		sq := aq.Subqueries[id]
-		if !sq.GroupByAll() || len(sq.Having) == 0 || sq.HavingPassed(t[1:]) {
-			w.Write(rec)
+		return !sq.GroupByAll() || len(sq.Having) == 0 || sq.HavingPassed(t[1:])
+	})
+}
+
+// rewriteFiltered replaces name with the records of snapshot f that keep
+// reports true, preserving the file's compression ratio. It closes f.
+func rewriteFiltered(fs *dfs.FS, name string, f *dfs.File, keep func(rec []byte) bool) error {
+	defer f.Close()
+	w, err := fs.Create(name, f.CompressionRatio())
+	if err != nil {
+		return err
+	}
+	it := f.Records(0)
+	for it.Next() {
+		if keep(it.Record()) {
+			w.WriteOwned(it.Record())
 		}
 	}
+	if err := it.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 func defaultRow(sq *algebra.Subquery) codec.Tuple {
 	return codec.Tuple(algebra.NewMultiAggState(sq.Aggs).Finals())
 }
 
-func appendRecord(fs *dfs.FS, name string, rec []byte) {
+// appendRecord rewrites name with its current records plus rec — the
+// read-modify-write append the mem backend allowed in place.
+func appendRecord(fs *dfs.FS, name string, rec []byte) error {
 	f, err := fs.Open(name)
 	if err != nil {
-		return
+		return nil
 	}
-	records := append(f.Records, rec)
-	ratio := f.CompressionRatio
-	w := fs.Create(name, ratio)
-	for _, r := range records {
-		w.WriteOwned(r)
+	defer f.Close()
+	w, err := fs.Create(name, f.CompressionRatio())
+	if err != nil {
+		return err
 	}
+	it := f.Records(0)
+	for it.Next() {
+		w.WriteOwned(it.Record())
+	}
+	if err := it.Err(); err != nil {
+		w.Close()
+		return err
+	}
+	w.WriteOwned(rec)
+	return w.Close()
 }

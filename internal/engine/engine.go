@@ -45,24 +45,32 @@ func DefaultLoadOptions() LoadOptions { return LoadOptions{DictionaryEncoding: t
 
 // Load materialises the graph into the cluster's file system under the
 // dataset name with the default options (dictionary encoding on).
-func Load(c *mapred.Cluster, name string, g *rdf.Graph) *Dataset {
+func Load(c *mapred.Cluster, name string, g *rdf.Graph) (*Dataset, error) {
 	return LoadWith(c, name, g, DefaultLoadOptions())
 }
 
 // LoadWith materialises the graph into the cluster's file system under the
 // dataset name.
-func LoadWith(c *mapred.Cluster, name string, g *rdf.Graph, opts LoadOptions) *Dataset {
+func LoadWith(c *mapred.Cluster, name string, g *rdf.Graph, opts LoadOptions) (*Dataset, error) {
 	var d *rdf.Dict
 	if opts.DictionaryEncoding {
 		d = rdf.NewDict()
 	}
+	vp, err := store.BuildVP(c.FS, g, name+"/vp", d)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading %s: %w", name, err)
+	}
+	tg, err := store.BuildTG(c.FS, g, name+"/tg", d)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading %s: %w", name, err)
+	}
 	return &Dataset{
 		Name:  name,
 		Graph: g,
-		VP:    store.BuildVP(c.FS, g, name+"/vp", d),
-		TG:    store.BuildTG(c.FS, g, name+"/tg", d),
+		VP:    vp,
+		TG:    tg,
 		Dict:  d,
-	}
+	}, nil
 }
 
 // Engine evaluates analytical queries on a cluster.
@@ -194,13 +202,18 @@ func ReadResult(fs *dfs.FS, file string, columns []string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
 	res := &Result{Columns: columns}
-	for _, rec := range f.Records {
-		t, err := codec.DecodeTuple(rec)
+	it := f.Records(0)
+	for it.Next() {
+		t, err := codec.DecodeTuple(it.Record())
 		if err != nil {
 			return nil, fmt.Errorf("engine: reading %s: %w", file, err)
 		}
 		res.Rows = append(res.Rows, t)
+	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("engine: reading %s: %w", file, err)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/codec"
+	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/sparql"
 )
@@ -28,6 +29,34 @@ SELECT ?g ?cntG ?cntT {
   { SELECT ?g (COUNT(?x) AS ?cntG) { ?s e:g ?g ; e:x ?x . } GROUP BY ?g }
   { SELECT (COUNT(?y) AS ?cntT) { ?s2 e:y ?y . } }
 }`
+
+func writeRecs(t *testing.T, fs *dfs.FS, name string, recs ...[]byte) {
+	t.Helper()
+	w, err := fs.Create(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		w.Write(r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readRecs(t *testing.T, fs *dfs.FS, name string) [][]byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
 
 func TestResultEqualDiff(t *testing.T) {
 	a := &Result{Columns: []string{"x", "y"}, Rows: []codec.Tuple{{"1", "2"}, {"3", "4"}}}
@@ -82,11 +111,8 @@ func TestPretty(t *testing.T) {
 func TestFinalJoinJobCrossJoin(t *testing.T) {
 	aq := mustAQ(t, twoSubqueries)
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	w := c.FS.Create("sub0", 1)
-	w.Write(codec.Tuple{"Ig1", "3"}.Encode())
-	w.Write(codec.Tuple{"Ig2", "5"}.Encode())
-	w2 := c.FS.Create("sub1", 1)
-	w2.Write(codec.Tuple{"7"}.Encode())
+	writeRecs(t, c.FS, "sub0", codec.Tuple{"Ig1", "3"}.Encode(), codec.Tuple{"Ig2", "5"}.Encode())
+	writeRecs(t, c.FS, "sub1", codec.Tuple{"7"}.Encode())
 	if _, err := c.Run(FinalJoinJob(aq, []string{"sub0", "sub1"}, "out")); err != nil {
 		t.Fatal(err)
 	}
@@ -105,10 +131,10 @@ func TestFinalJoinJobCrossJoin(t *testing.T) {
 func TestTaggedFinalJoinJob(t *testing.T) {
 	aq := mustAQ(t, twoSubqueries)
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	w := c.FS.Create("tagged", 1)
-	w.Write(codec.Tuple{"0", "Ig1", "3"}.Encode())
-	w.Write(codec.Tuple{"1", "7"}.Encode())
-	w.Write(codec.Tuple{"0", "Ig2", "5"}.Encode())
+	writeRecs(t, c.FS, "tagged",
+		codec.Tuple{"0", "Ig1", "3"}.Encode(),
+		codec.Tuple{"1", "7"}.Encode(),
+		codec.Tuple{"0", "Ig2", "5"}.Encode())
 	m, err := c.Run(TaggedFinalJoinJob(aq, "tagged", "out"))
 	if err != nil {
 		t.Fatal(err)
@@ -128,22 +154,26 @@ func TestTaggedFinalJoinJob(t *testing.T) {
 func TestEnsureDefaultRows(t *testing.T) {
 	aq := mustAQ(t, twoSubqueries)
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	c.FS.Create("sub0", 1).Write(codec.Tuple{"Ig1", "3"}.Encode())
-	c.FS.Create("sub1", 1) // empty GROUP BY ALL result
-	EnsureDefaultRows(c.FS, []string{"sub0", "sub1"}, aq)
-	f, _ := c.FS.Open("sub1")
-	if f.NumRecords() != 1 {
-		t.Fatalf("default row not appended: %d records", f.NumRecords())
+	writeRecs(t, c.FS, "sub0", codec.Tuple{"Ig1", "3"}.Encode())
+	writeRecs(t, c.FS, "sub1") // empty GROUP BY ALL result
+	if err := EnsureDefaultRows(c.FS, []string{"sub0", "sub1"}, aq); err != nil {
+		t.Fatal(err)
 	}
-	tu, err := codec.DecodeTuple(f.Records[0])
+	recs := readRecs(t, c.FS, "sub1")
+	if len(recs) != 1 {
+		t.Fatalf("default row not appended: %d records", len(recs))
+	}
+	tu, err := codec.DecodeTuple(recs[0])
 	if err != nil || len(tu) != 1 || tu[0] != "0" {
 		t.Errorf("default row = %v, %v (want COUNT default 0)", tu, err)
 	}
 	// The grouped subquery must NOT be repaired.
 	c2 := mapred.NewCluster(mapred.DefaultConfig())
-	c2.FS.Create("sub0", 1)
-	c2.FS.Create("sub1", 1).Write(codec.Tuple{"9"}.Encode())
-	EnsureDefaultRows(c2.FS, []string{"sub0", "sub1"}, aq)
+	writeRecs(t, c2.FS, "sub0")
+	writeRecs(t, c2.FS, "sub1", codec.Tuple{"9"}.Encode())
+	if err := EnsureDefaultRows(c2.FS, []string{"sub0", "sub1"}, aq); err != nil {
+		t.Fatal(err)
+	}
 	f0, _ := c2.FS.Open("sub0")
 	if f0.NumRecords() != 0 {
 		t.Error("grouped subquery file repaired; should stay empty")
@@ -158,14 +188,15 @@ func TestEnsureDefaultRows(t *testing.T) {
 func TestEnsureDefaultRowsTagged(t *testing.T) {
 	aq := mustAQ(t, twoSubqueries)
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	w := c.FS.Create("tagged", 1)
-	w.Write(codec.Tuple{"0", "Ig1", "3"}.Encode()) // only subquery 0 rows
-	EnsureDefaultRowsTagged(c.FS, "tagged", aq)
-	f, _ := c.FS.Open("tagged")
-	if f.NumRecords() != 2 {
-		t.Fatalf("records = %d, want default row appended", f.NumRecords())
+	writeRecs(t, c.FS, "tagged", codec.Tuple{"0", "Ig1", "3"}.Encode()) // only subquery 0 rows
+	if err := EnsureDefaultRowsTagged(c.FS, "tagged", aq); err != nil {
+		t.Fatal(err)
 	}
-	tu, _ := codec.DecodeTuple(f.Records[1])
+	recs := readRecs(t, c.FS, "tagged")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want default row appended", len(recs))
+	}
+	tu, _ := codec.DecodeTuple(recs[1])
 	if len(tu) != 2 || tu[0] != "1" || tu[1] != "0" {
 		t.Errorf("appended row = %v", tu)
 	}
@@ -177,8 +208,8 @@ func TestFinishQueryWithEmptyAllSide(t *testing.T) {
 	aq := mustAQ(t, twoSubqueries)
 	c := mapred.NewCluster(mapred.DefaultConfig())
 	r := NewRunner(c, "tmp/test")
-	c.FS.Create("sub0", 1).Write(codec.Tuple{"Ig1", "3"}.Encode())
-	c.FS.Create("sub1", 1)
+	writeRecs(t, c.FS, "sub0", codec.Tuple{"Ig1", "3"}.Encode())
+	writeRecs(t, c.FS, "sub1")
 	res, wm, err := FinishQuery(r, aq, []string{"sub0", "sub1"})
 	if err != nil {
 		t.Fatal(err)

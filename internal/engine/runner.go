@@ -42,8 +42,12 @@ func (r *Runner) Exec(job *mapred.Job) error {
 // and reads the final result. Single-subquery queries read their aggregate
 // directly: its column order is already the query's projection.
 func FinishQuery(r *Runner, aq *algebra.AnalyticalQuery, aggFiles []string) (*Result, *mapred.WorkflowMetrics, error) {
-	EnsureDefaultRows(r.C.FS, aggFiles, aq)
-	ApplyGroupByAllHaving(r.C.FS, aggFiles, aq)
+	if err := EnsureDefaultRows(r.C.FS, aggFiles, aq); err != nil {
+		return nil, r.WM, err
+	}
+	if err := ApplyGroupByAllHaving(r.C.FS, aggFiles, aq); err != nil {
+		return nil, r.WM, err
+	}
 	if len(aggFiles) == 1 {
 		return finishSorted(r, aq, aggFiles[0])
 	}
@@ -57,8 +61,12 @@ func FinishQuery(r *Runner, aq *algebra.AnalyticalQuery, aggFiles []string) (*Re
 // FinishQueryTagged is the variant over a single tagged aggregate file (the
 // parallel TG_AgJ output of RAPIDAnalytics).
 func FinishQueryTagged(r *Runner, aq *algebra.AnalyticalQuery, tagged string) (*Result, *mapred.WorkflowMetrics, error) {
-	EnsureDefaultRowsTagged(r.C.FS, tagged, aq)
-	ApplyGroupByAllHavingTagged(r.C.FS, tagged, aq)
+	if err := EnsureDefaultRowsTagged(r.C.FS, tagged, aq); err != nil {
+		return nil, r.WM, err
+	}
+	if err := ApplyGroupByAllHavingTagged(r.C.FS, tagged, aq); err != nil {
+		return nil, r.WM, err
+	}
 	out := r.Path("final")
 	if err := r.Exec(TaggedFinalJoinJob(aq, tagged, out)); err != nil {
 		return nil, r.WM, err

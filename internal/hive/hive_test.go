@@ -18,9 +18,15 @@ func newCluster() *mapred.Cluster {
 }
 
 func writeTuples(c *mapred.Cluster, name string, rows ...codec.Tuple) {
-	w := c.FS.Create(name, 1)
+	w, err := c.FS.Create(name, 1)
+	if err != nil {
+		panic(err)
+	}
 	for _, r := range rows {
 		w.Write(r.Encode())
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
 	}
 }
 
@@ -30,8 +36,13 @@ func readRows(t *testing.T, c *mapred.Cluster, name string) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var out []string
-	for _, rec := range f.Records {
+	for _, rec := range recs {
 		tu, err := codec.DecodeTuple(rec)
 		if err != nil {
 			t.Fatal(err)
@@ -272,8 +283,14 @@ func TestMapJoinThresholdScalesWithData(t *testing.T) {
 	cfg := mapred.DefaultConfig()
 	cfg.DataScale = 1000
 	c := mapred.NewCluster(cfg)
-	w := c.FS.Create("f", 1)
+	w, err := c.FS.Create("f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w.Write(make([]byte, 1<<10)) // 1024B -> 1,024,000B at paper scale
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	conf := DefaultConfig()
 	if got := conf.storedSize(c, "f"); got != 1024*1000 {
 		t.Errorf("scaled stored size = %d, want %d", got, 1024*1000)

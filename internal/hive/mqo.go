@@ -98,7 +98,10 @@ func (h *MQO) evalComposite(run *runner, ds *engine.Dataset, cp *algebra.Composi
 			optional := len(p.Owners) != cp.NumPatterns
 			file, isType, ok := ds.VP.TableFor(p.Ref)
 			if !ok {
-				file = run.emptyFile(true)
+				var err error
+				if file, err = run.emptyFile(true); err != nil {
+					return nil, err
+				}
 			}
 			r := &rel{file: file, dict: ds.Dict}
 			switch {

@@ -118,7 +118,10 @@ func starScanInputs(run *runner, ds *engine.Dataset, st *algebra.StarPattern, fi
 		ref := algebra.PropRefOf(tp)
 		file, isType, ok := ds.VP.TableFor(ref)
 		if !ok {
-			file = run.emptyFile(isType || !tp.O.IsVar)
+			var err error
+			if file, err = run.emptyFile(isType || !tp.O.IsVar); err != nil {
+				return nil, err
+			}
 		}
 		r := &rel{file: file, dict: ds.Dict}
 		switch {
@@ -143,7 +146,10 @@ func starScanInputs(run *runner, ds *engine.Dataset, st *algebra.StarPattern, fi
 		ref := algebra.PropRefOf(tp)
 		file, isType, ok := ds.VP.TableFor(ref)
 		if !ok {
-			file = run.emptyFile(isType || !tp.O.IsVar)
+			var err error
+			if file, err = run.emptyFile(isType || !tp.O.IsVar); err != nil {
+				return nil, err
+			}
 		}
 		r := &rel{file: file, dict: ds.Dict}
 		switch {
@@ -224,19 +230,26 @@ func (r *runner) exec(job *mapred.Job) error { return r.Exec(job) }
 // emptyFile returns a shared empty placeholder for missing VP tables (a
 // property or type absent from the dataset): single-column for type
 // partitions and constant-object scans, two-column otherwise.
-func (r *runner) emptyFile(oneCol bool) string {
+func (r *runner) emptyFile(oneCol bool) (string, error) {
+	name := &r.empty2
 	if oneCol {
-		if r.empty1 == "" {
-			r.empty1 = r.path("empty1")
-			r.C.FS.Create(r.empty1, 1)
+		name = &r.empty1
+	}
+	if *name == "" {
+		p := r.path("empty1")
+		if !oneCol {
+			p = r.path("empty2")
 		}
-		return r.empty1
+		w, err := r.C.FS.Create(p, 1)
+		if err != nil {
+			return "", err
+		}
+		if err := w.Close(); err != nil {
+			return "", err
+		}
+		*name = p
 	}
-	if r.empty2 == "" {
-		r.empty2 = r.path("empty2")
-		r.C.FS.Create(r.empty2, 1)
-	}
-	return r.empty2
+	return *name, nil
 }
 
 // starJoin runs a star join, choosing a map join when all inputs but the

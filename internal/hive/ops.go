@@ -187,11 +187,12 @@ func (c Config) storedSize(cl *mapred.Cluster, file string) int64 {
 	if scale < 1 {
 		scale = 1
 	}
+	defer f.Close()
 	sz := int64(float64(f.StoredBytes()) * scale)
 	// A non-empty table occupies at least one stored byte; compact ID-tuples
 	// compress small enough to round to zero otherwise, which would let a
 	// non-empty broadcast side fit a zero map-join budget.
-	if sz == 0 && len(f.Records) > 0 {
+	if sz == 0 && f.NumRecords() > 0 {
 		sz = 1
 	}
 	return sz

@@ -75,18 +75,21 @@ func TestCorruptTriplegroupDetected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := c.FS.Create(name+".tmp", 1)
-		for _, rec := range f.Records {
+		recs, err := f.AllRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := c.FS.Create(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
 			w.Write(rec)
 		}
 		w.Write([]byte{0xFF, 0xFE, 0x01})
-		// Swap in the corrupted file under the original name.
-		orig, _ := c.FS.Open(name + ".tmp")
-		w2 := c.FS.Create(name, 1)
-		for _, rec := range orig.Records {
-			w2.Write(rec)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
 		}
-		c.FS.Delete(name + ".tmp")
 	}
 	aq := buildAQ(t, queries["mg1"])
 	for _, e := range engines()[2:] { // the NTGA engines read these files

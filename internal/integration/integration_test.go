@@ -146,7 +146,11 @@ func setup(t *testing.T, g *rdf.Graph) (*mapred.Cluster, *engine.Dataset) {
 	cfg := mapred.DefaultConfig()
 	cfg.ExecSplitBytes = 256 // force several map tasks even on tiny data
 	c := mapred.NewCluster(cfg)
-	return c, engine.Load(c, "test", g)
+	ds, err := engine.Load(c, "test", g)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return c, ds
 }
 
 func buildAQ(t *testing.T, qs string) *algebra.AnalyticalQuery {

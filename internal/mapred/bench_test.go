@@ -19,9 +19,15 @@ func BenchmarkWordCountThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := NewCluster(cfg)
-		w := c.FS.Create("in", 1)
+		w, err := c.FS.Create("in", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, l := range lines {
 			w.Write([]byte(l))
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
 		}
 		if _, err := c.Run(wordCountJob("in", "out", true)); err != nil {
 			b.Fatal(err)

@@ -58,6 +58,14 @@ type ClusterConfig struct {
 	// for every setting; like ExecSplitBytes it does not affect the cost
 	// model.
 	ExecReduceWorkers int
+	// SpillThresholdBytes bounds a map task's buffered shuffle output
+	// during *execution*: when the buffered key+value bytes reach the
+	// threshold the task combines, sorts and spills each partition's buffer
+	// to the DFS, and the shuffle merges spill runs back in. 0 disables
+	// spilling (everything stays resident). Job output bytes are identical
+	// for every setting; the cost model already charges map-side spill IO
+	// unconditionally, so this knob does not affect simulated seconds.
+	SpillThresholdBytes int64
 }
 
 // DefaultConfig returns the 10-node VCL-like cluster used for BSBM-500K and

@@ -10,6 +10,8 @@ package mapred
 
 import (
 	"context"
+	"os"
+	"strconv"
 
 	"rapidanalytics/internal/dfs"
 )
@@ -130,6 +132,15 @@ type Metrics struct {
 	MapOutputRecords int64 // after combining; what is shuffled
 	MapOutputBytes   int64 // after combining; what is shuffled
 
+	// SpillRuns counts the sorted spill runs map tasks wrote when buffered
+	// output crossed ClusterConfig.SpillThresholdBytes (0 when spilling is
+	// disabled or never triggered).
+	SpillRuns int64
+	// SpillRecords counts the key/value pairs written to spill runs.
+	SpillRecords int64
+	// SpillBytes counts the logical key+value bytes written to spill runs.
+	SpillBytes int64
+
 	ReduceGroups      int64   // distinct reduce keys
 	OutputRecords     int64   // records written to the DFS
 	OutputBytes       int64   // uncompressed logical bytes written
@@ -232,7 +243,40 @@ type Cluster struct {
 	ctx context.Context
 }
 
-// NewCluster returns a cluster over a fresh file system.
+// NewCluster returns a cluster over a fresh file system. The backend is
+// in-memory unless the RAPID_STORAGE environment variable selects "disk",
+// in which case the DFS lives in a fresh directory under RAPID_DATA_DIR
+// (or the OS temp dir) sharded RAPID_SHARDS ways; a disk backend that
+// cannot be set up panics rather than silently falling back, so CI legs
+// running the suite against disk cannot pass vacuously.
 func NewCluster(cfg ClusterConfig) *Cluster {
-	return &Cluster{FS: dfs.New(), Config: cfg}
+	return &Cluster{FS: defaultFS(), Config: cfg}
+}
+
+// NewClusterFS returns a cluster over the given file system, bypassing the
+// RAPID_STORAGE environment default.
+func NewClusterFS(cfg ClusterConfig, fs *dfs.FS) *Cluster {
+	return &Cluster{FS: fs, Config: cfg}
+}
+
+// defaultFS builds the file system NewCluster uses, honoring RAPID_STORAGE.
+func defaultFS() *dfs.FS {
+	if os.Getenv("RAPID_STORAGE") != "disk" {
+		return dfs.New()
+	}
+	dir, err := os.MkdirTemp(os.Getenv("RAPID_DATA_DIR"), "rapidfs-")
+	if err != nil {
+		panic("mapred: RAPID_STORAGE=disk: " + err.Error())
+	}
+	shards := 0
+	if s := os.Getenv("RAPID_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			shards = n
+		}
+	}
+	fs, err := dfs.NewDisk(dir, shards)
+	if err != nil {
+		panic("mapred: RAPID_STORAGE=disk: " + err.Error())
+	}
+	return fs
 }

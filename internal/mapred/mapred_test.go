@@ -18,9 +18,15 @@ func newTestCluster() *Cluster {
 }
 
 func writeLines(c *Cluster, name string, ratio float64, lines ...string) {
-	w := c.FS.Create(name, ratio)
+	w, err := c.FS.Create(name, ratio)
+	if err != nil {
+		panic(err)
+	}
 	for _, l := range lines {
 		w.Write([]byte(l))
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
 	}
 }
 
@@ -30,8 +36,13 @@ func readLines(t *testing.T, c *Cluster, name string) []string {
 	if err != nil {
 		t.Fatalf("open %s: %v", name, err)
 	}
-	out := make([]string, len(f.Records))
-	for i, r := range f.Records {
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	out := make([]string, len(recs))
+	for i, r := range recs {
 		out[i] = string(r)
 	}
 	return out

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/obs"
 )
 
@@ -17,12 +18,15 @@ type kv struct {
 	value []byte
 }
 
-// split is one map task's slice of an input file.
+// split is one map task's slice of an input file: a [start, start+n)
+// record range read back through the file's streaming iterator, so the
+// records are never materialised ahead of the task that consumes them.
 type split struct {
-	file    string
-	records [][]byte
-	bytes   int64
-	stored  int64
+	f     *dfs.File
+	file  string
+	start int
+	n     int
+	bytes int64
 }
 
 // DefaultPartitions is the reduce partition count used when a job does not
@@ -54,11 +58,19 @@ func (a *abortSignal) aborted() bool {
 	}
 }
 
-// taskResult is one map task's partitioned output.
+// taskResult is one map task's partitioned output: the in-memory buffers
+// plus, when the task spilled, the per-partition spill runs in emission
+// order.
 type taskResult struct {
-	parts [][]kv
-	emits int64
-	err   error
+	parts  [][]kv
+	spills [][]spillRef
+	emits  int64
+
+	spillRuns    int64
+	spillRecords int64
+	spillBytes   int64
+
+	err error
 }
 
 // partState carries one reduce partition through shuffle-sort and reduce:
@@ -81,10 +93,11 @@ type partState struct {
 // from the cluster's cost model). Map tasks run on a bounded worker pool;
 // the shuffle-sort and reduce phases run one bounded worker pool over the
 // reduce partitions. Determinism is preserved end to end: each partition's
-// buffers are concatenated in map-task order, the shuffle sort is stable,
-// and partition outputs are written to the DFS in partition order — so
-// output bytes, record order and all volume metrics are identical whether
-// the phases run on one worker or many.
+// buffers are concatenated in map-task order (spill runs merge stably in
+// the same order), the shuffle sort is stable, and partition outputs are
+// written to the DFS in partition order — so output bytes, record order
+// and all volume metrics are identical whether the phases run on one
+// worker or many, and identical across storage backends.
 func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	if err := c.err(); err != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted: %w", job.Name, err)
@@ -95,13 +108,17 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	cycle := obs.FromContext(c.Context()).StartChild(obs.KindCycle, job.Name)
 	defer cycle.End()
 	m := &Metrics{Job: job.Name, MapOnly: job.MapOnly()}
-	splits, err := c.makeSplits(job, m)
+	splits, inputs, err := c.makeSplits(job, m)
 	if err != nil {
 		return nil, err
 	}
+	defer closeFiles(inputs)
 	side, err := c.loadSideInputs(job, m)
 	if err != nil {
 		return nil, err
+	}
+	if c.Config.SpillThresholdBytes > 0 && !job.MapOnly() {
+		defer c.cleanupSpills(job.Output)
 	}
 
 	partitions := job.Partitions
@@ -129,6 +146,9 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	}
 	for i := range results {
 		m.MapEmitRecords += results[i].emits
+		m.SpillRuns += results[i].spillRuns
+		m.SpillRecords += results[i].spillRecords
+		m.SpillBytes += results[i].spillBytes
 	}
 	mapOp.AddRecords(m.MapEmitRecords)
 	mapOp.EndWith(mapWall)
@@ -143,25 +163,37 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		// map buffers in task order, as Hadoop map tasks would; the write is
 		// part of the map phase, there is no shuffle or reduce.
 		wstart := time.Now()
-		out := c.FS.Create(job.Output, ratio)
+		out, err := c.FS.Create(job.Output, ratio)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
+		}
 		ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
 		out.SetSpan(ioSpan)
-		for i := range results {
-			for ri, e := range results[i].parts[0] {
-				if ri%ctxCheckInterval == 0 {
-					if err := c.err(); err != nil {
-						return nil, fmt.Errorf("mapred: job %s aborted writing map output: %w", job.Name, err)
+		werr := func() error {
+			for i := range results {
+				for ri, e := range results[i].parts[0] {
+					if ri%ctxCheckInterval == 0 {
+						if err := c.err(); err != nil {
+							return fmt.Errorf("mapred: job %s aborted writing map output: %w", job.Name, err)
+						}
 					}
+					m.MapOutputRecords++
+					m.MapOutputBytes += int64(len(e.key) + len(e.value))
+					out.Write(e.value)
+					m.OutputRecords++
+					m.OutputBytes += int64(len(e.value))
 				}
-				m.MapOutputRecords++
-				m.MapOutputBytes += int64(len(e.key) + len(e.value))
-				out.Write(e.value)
-				m.OutputRecords++
-				m.OutputBytes += int64(len(e.value))
 			}
-		}
+			return nil
+		}()
 		ioSpan.End()
-		m.OutputStoredBytes = out.File().StoredBytes()
+		if cerr := out.Close(); werr == nil && cerr != nil {
+			werr = fmt.Errorf("mapred: job %s: %w", job.Name, cerr)
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		m.OutputStoredBytes = out.StoredBytes()
 		m.MapWallNs += time.Since(wstart).Nanoseconds()
 		mapPhase.EndWith(time.Duration(m.MapWallNs))
 		cycle.AddRecords(m.OutputRecords)
@@ -173,11 +205,20 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 
 	states := make([]partState, partitions)
 	workers := c.reduceWorkers(partitions)
+	anySpill := false
+	for i := range results {
+		if results[i].spillRuns > 0 {
+			anySpill = true
+			break
+		}
+	}
 
 	// Shuffle-sort: concatenate each partition's slices in map-task order
-	// and sort-group them, one partition per worker. The cancellation check
-	// runs before each partition's sort, so a cancelled query never enters
-	// an unbounded sort over a hot partition.
+	// and sort-group them (or, when tasks spilled, stable-merge the spill
+	// runs and in-memory remainders in the same order), one partition per
+	// worker. The cancellation check runs before each partition's sort, so
+	// a cancelled query never enters an unbounded sort over a hot
+	// partition.
 	shufflePhase := cycle.StartChild(obs.KindPhase, "shuffle-sort")
 	shuffleStart := time.Now()
 	runPartitions(workers, partitions, func(p int) {
@@ -190,19 +231,23 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 			st.err = err
 			return
 		}
-		n := 0
-		for i := range results {
-			n += len(results[i].parts[p])
+		if anySpill {
+			c.mergeSpilled(results, p, st, pspan)
+		} else {
+			n := 0
+			for i := range results {
+				n += len(results[i].parts[p])
+			}
+			buf := make([]kv, 0, n)
+			for i := range results {
+				buf = append(buf, results[i].parts[p]...)
+			}
+			for _, e := range buf {
+				st.mapOutRecords++
+				st.mapOutBytes += int64(len(e.key) + len(e.value))
+			}
+			st.groups = sortAndGroup(buf)
 		}
-		buf := make([]kv, 0, n)
-		for i := range results {
-			buf = append(buf, results[i].parts[p]...)
-		}
-		for _, e := range buf {
-			st.mapOutRecords++
-			st.mapOutBytes += int64(len(e.key) + len(e.value))
-		}
-		st.groups = sortAndGroup(buf)
 		if pspan != nil {
 			pspan.AddRecords(st.mapOutRecords)
 			pspan.AddBytes(st.mapOutBytes)
@@ -260,25 +305,37 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 
 	// Materialise buffered partition outputs in partition order — the byte
 	// stream a single sequential reducer loop would have produced.
-	out := c.FS.Create(job.Output, ratio)
+	out, err := c.FS.Create(job.Output, ratio)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
+	}
 	ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
 	out.SetSpan(ioSpan)
-	for p := range states {
-		st := &states[p]
-		for ri, rec := range st.out {
-			if ri%ctxCheckInterval == 0 {
-				if err := c.err(); err != nil {
-					return nil, fmt.Errorf("mapred: job %s aborted writing reduce output: %w", job.Name, err)
+	werr := func() error {
+		for p := range states {
+			st := &states[p]
+			for ri, rec := range st.out {
+				if ri%ctxCheckInterval == 0 {
+					if err := c.err(); err != nil {
+						return fmt.Errorf("mapred: job %s aborted writing reduce output: %w", job.Name, err)
+					}
 				}
+				out.WriteOwned(rec)
 			}
-			out.WriteOwned(rec)
+			m.ReduceGroups += st.reduceGroups
+			m.OutputRecords += st.outputRecords
+			m.OutputBytes += st.outputBytes
 		}
-		m.ReduceGroups += st.reduceGroups
-		m.OutputRecords += st.outputRecords
-		m.OutputBytes += st.outputBytes
-	}
+		return nil
+	}()
 	ioSpan.End()
-	m.OutputStoredBytes = out.File().StoredBytes()
+	if cerr := out.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("mapred: job %s: %w", job.Name, cerr)
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	m.OutputStoredBytes = out.StoredBytes()
 	m.ReduceWallNs = time.Since(reduceStart).Nanoseconds()
 	reduceOp.AddRecords(m.ReduceGroups)
 	reducePhase.AddRecords(m.OutputRecords)
@@ -288,6 +345,48 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	cycle.AddBytes(m.OutputBytes)
 	c.Config.cost(m)
 	return m, nil
+}
+
+// mergeSpilled builds one partition's groups by stable-merging every map
+// task's spill runs and in-memory remainder in emission order. Spill reads
+// get their own io span under the partition's shuffle span.
+func (c *Cluster) mergeSpilled(results []taskResult, p int, st *partState, pspan *obs.Span) {
+	var rspan *obs.Span
+	if pspan != nil {
+		rspan = pspan.StartChild(obs.KindIO, "spill-read")
+	}
+	var srcs []kvSource
+	var spillRecs, spillBytes int64
+	for i := range results {
+		for _, ref := range results[i].spills[p] {
+			src, err := newSpillKVSource(c.FS, ref)
+			if err != nil {
+				st.err = err
+				rspan.End()
+				return
+			}
+			srcs = append(srcs, src)
+			spillRecs += ref.records
+			spillBytes += ref.bytes
+		}
+		if len(results[i].parts[p]) > 0 {
+			buf := results[i].parts[p]
+			sortStableByKey(buf)
+			srcs = append(srcs, &memKVSource{kvs: buf})
+		}
+	}
+	groups, records, bytes, err := mergePartition(srcs, c.err)
+	if err != nil {
+		st.err = err
+		rspan.End()
+		return
+	}
+	rspan.AddRecords(spillRecs)
+	rspan.AddBytes(spillBytes)
+	rspan.End()
+	st.groups = groups
+	st.mapOutRecords = records
+	st.mapOutBytes = bytes
 }
 
 // runMapPhase executes every split on a pool of maxParallel workers pulling
@@ -319,11 +418,12 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte
 				var tspan *obs.Span
 				if mapOp != nil {
 					tspan = mapOp.StartChild(obs.KindTask, fmt.Sprintf("task-%d", i))
-					tspan.AddRecords(int64(len(splits[i].records)))
+					tspan.AddRecords(int64(splits[i].n))
 					tspan.AddBytes(splits[i].bytes)
 				}
-				parts, emits, err := c.runMapTask(job, splits[i], side, partitions, abort)
-				results[i] = taskResult{parts: parts, emits: emits, err: err}
+				res, err := c.runMapTask(job, i, splits[i], side, partitions, abort, tspan)
+				res.err = err
+				results[i] = res
 				tspan.End()
 				if err != nil {
 					abort.trip()
@@ -449,38 +549,58 @@ func maxParallel() int {
 // (unless ExecReduceWorkers overrides it) the shuffle/reduce phases.
 func DefaultParallelism() int { return maxParallel() }
 
+// closeFiles releases the input snapshots a job's splits read from.
+func closeFiles(files []*dfs.File) {
+	for _, f := range files {
+		f.Close()
+	}
+}
+
 // makeSplits carves each input file into block-sized splits and accounts
-// input volumes.
-func (c *Cluster) makeSplits(job *Job, m *Metrics) ([]split, error) {
+// input volumes. Splits reference record ranges of the returned open file
+// snapshots (closed by the caller after the map phase); carving walks the
+// file's iterator once, so split boundaries are identical on every backend.
+func (c *Cluster) makeSplits(job *Job, m *Metrics) ([]split, []*dfs.File, error) {
 	blockSize := c.Config.ExecSplitBytes
 	if blockSize <= 0 {
 		blockSize = 4 << 20
 	}
 	var splits []split
+	var files []*dfs.File
 	for _, name := range job.Inputs {
 		f, err := c.FS.Open(name)
 		if err != nil {
-			return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
+			return nil, files, fmt.Errorf("mapred: job %s: %w", job.Name, err)
 		}
+		files = append(files, f)
 		m.MapInputRecords += int64(f.NumRecords())
-		m.MapInputBytes += f.Bytes
+		m.MapInputBytes += f.Bytes()
 		m.MapStoredBytes += f.StoredBytes()
-		cur := split{file: name}
-		for _, rec := range f.Records {
-			cur.records = append(cur.records, rec)
-			cur.bytes += int64(len(rec))
+		it := f.Records(0)
+		idx := 0
+		cur := split{f: f, file: name}
+		for it.Next() {
+			cur.n++
+			cur.bytes += int64(len(it.Record()))
+			idx++
 			if cur.bytes >= blockSize {
 				splits = append(splits, cur)
-				cur = split{file: name}
+				cur = split{f: f, file: name, start: idx}
 			}
 		}
-		if len(cur.records) > 0 || f.NumRecords() == 0 {
+		if err := it.Err(); err != nil {
+			return nil, files, fmt.Errorf("mapred: job %s reading %s: %w", job.Name, name, err)
+		}
+		if cur.n > 0 || f.NumRecords() == 0 {
 			splits = append(splits, cur)
 		}
 	}
-	return splits, nil
+	return splits, files, nil
 }
 
+// loadSideInputs materialises broadcast side inputs (map-join hash-table
+// sources must be wholly resident in every task, as in Hadoop's
+// distributed cache).
 func (c *Cluster) loadSideInputs(job *Job, m *Metrics) (map[string][][]byte, error) {
 	if len(job.SideInputs) == 0 {
 		return nil, nil
@@ -491,18 +611,24 @@ func (c *Cluster) loadSideInputs(job *Job, m *Metrics) (map[string][][]byte, err
 		if err != nil {
 			return nil, fmt.Errorf("mapred: job %s side input: %w", job.Name, err)
 		}
-		side[name] = f.Records
+		recs, err := f.AllRecords()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("mapred: job %s side input %s: %w", job.Name, name, err)
+		}
+		side[name] = recs
 		m.SideInputBytes += f.StoredBytes()
 	}
 	return side, nil
 }
 
-// runMapTask runs one mapper over a split, partitions its output, and
-// applies the combiner locally. It returns the partitioned (post-combiner)
-// output and the number of records the mapper emitted before combining.
-// check covers both context cancellation and sibling-task failure, and is
-// consulted between records and inside the combiner.
-func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, partitions int, abort *abortSignal) ([][]kv, int64, error) {
+// runMapTask runs one mapper over a split's record range, partitions its
+// output, and applies the combiner locally. When spilling is enabled and
+// the buffered output reaches the threshold, each partition's buffer is
+// combined, sorted and written out as a spill run. check covers both
+// context cancellation and sibling-task failure, and is consulted between
+// records and inside the combiner.
+func (c *Cluster) runMapTask(job *Job, taskIdx int, sp split, side map[string][][]byte, partitions int, abort *abortSignal, tspan *obs.Span) (taskResult, error) {
 	check := func() error {
 		if err := c.err(); err != nil {
 			return err
@@ -515,40 +641,108 @@ func (c *Cluster) runMapTask(job *Job, sp split, side map[string][][]byte, parti
 	tc := &TaskContext{InputFile: sp.file, sideData: side}
 	mapper := job.NewMapper(tc)
 	parts := make([][]kv, partitions)
-	var emits int64
+	var res taskResult
+	threshold := c.Config.SpillThresholdBytes
+	canSpill := threshold > 0 && !job.MapOnly()
+	var buffered, maxBuffered int64
+	var spillRunIdx int
+	if canSpill {
+		res.spills = make([][]spillRef, partitions)
+	}
+	spill := func() error {
+		for p := range parts {
+			if len(parts[p]) == 0 {
+				continue
+			}
+			run := parts[p]
+			parts[p] = nil
+			if job.NewCombiner != nil {
+				combined, err := combine(job.NewCombiner(), run, partitions, p, check)
+				if err != nil {
+					return err
+				}
+				run = combined
+			}
+			sortStableByKey(run)
+			ref, err := c.writeSpillRun(spillRunName(job.Output, taskIdx, spillRunIdx, p), run, tspan, check)
+			if err != nil {
+				return err
+			}
+			res.spills[p] = append(res.spills[p], ref)
+			res.spillRuns++
+			res.spillRecords += ref.records
+			res.spillBytes += ref.bytes
+		}
+		spillRunIdx++
+		buffered = 0
+		return nil
+	}
 	emit := func(key string, value []byte) {
-		emits++
+		res.emits++
 		p := 0
 		if partitions > 1 {
 			p = partitionOf(key, partitions)
 		}
 		parts[p] = append(parts[p], kv{key: key, value: value})
+		buffered += int64(len(key) + len(value))
 	}
-	for ri, rec := range sp.records {
+	// maybeSpill runs at record boundaries (a single record's emits may
+	// overshoot the threshold, bounding the overshoot to one record).
+	maybeSpill := func() error {
+		if !canSpill {
+			return nil
+		}
+		if buffered > maxBuffered {
+			maxBuffered = buffered
+		}
+		if buffered >= threshold {
+			return spill()
+		}
+		return nil
+	}
+	it := sp.f.Records(sp.start)
+	ri := 0
+	for ; ri < sp.n && it.Next(); ri++ {
 		if ri%ctxCheckInterval == 0 {
 			if err := check(); err != nil {
-				return nil, 0, err
+				return res, err
 			}
 		}
-		if err := mapper.Map(rec, emit); err != nil {
-			return nil, 0, err
+		if err := mapper.Map(it.Record(), emit); err != nil {
+			return res, err
 		}
+		if err := maybeSpill(); err != nil {
+			return res, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return res, fmt.Errorf("reading %s: %w", sp.file, err)
+	}
+	if ri < sp.n {
+		return res, fmt.Errorf("mapred: input %s truncated: split wants %d records from %d, read %d", sp.file, sp.n, sp.start, ri)
 	}
 	if closer, ok := mapper.(MapCloser); ok {
 		if err := closer.Close(emit); err != nil {
-			return nil, 0, err
+			return res, err
 		}
+		if err := maybeSpill(); err != nil {
+			return res, err
+		}
+	}
+	if canSpill {
+		noteSpillHighWater(maxBuffered)
 	}
 	if job.NewCombiner != nil && !job.MapOnly() {
 		for p := range parts {
 			combined, err := combine(job.NewCombiner(), parts[p], partitions, p, check)
 			if err != nil {
-				return nil, 0, err
+				return res, err
 			}
 			parts[p] = combined
 		}
 	}
-	return parts, emits, nil
+	res.parts = parts
+	return res, nil
 }
 
 // combine runs the combiner over one partition of a map task's output. The

@@ -1,0 +1,242 @@
+package mapred
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"rapidanalytics/internal/dfs"
+	"rapidanalytics/internal/obs"
+)
+
+// Map-side spill: when ClusterConfig.SpillThresholdBytes is set, a map
+// task whose buffered shuffle output reaches the threshold combines, sorts
+// and writes each partition's buffer to a spill run in the cluster FS
+// (blockstore segments on the disk backend), exactly as Hadoop spills its
+// map output buffer. The shuffle phase then k-way merges each partition's
+// spill runs and in-memory remainder — a stable merge keyed on (key,
+// source order), provably identical to concatenating the runs in emission
+// order and stable-sorting, so reduce input (and therefore job output) is
+// byte-identical to the unspilled execution. With a combiner, combining
+// happens per run (again as Hadoop does), so shuffled records/bytes may
+// differ from the unspilled run while the reduced output stays identical.
+
+// spillRef identifies one sorted spill run materialised in the cluster FS.
+type spillRef struct {
+	file    string
+	records int64
+	bytes   int64 // logical kv bytes (key + value lengths)
+}
+
+// spillRunName places task t's run r for partition p under a job-unique
+// prefix, so concurrent queries on one cluster never collide.
+func spillRunName(output string, task, run, part int) string {
+	return fmt.Sprintf("_spill/%s/t%04d-r%04d-p%04d", output, task, run, part)
+}
+
+// cleanupSpills removes every spill run a job left behind.
+func (c *Cluster) cleanupSpills(output string) {
+	for _, name := range c.FS.List("_spill/" + output + "/") {
+		c.FS.Delete(name)
+	}
+}
+
+// spillMaxBuffered tracks the high-water mark of per-task buffered kv
+// bytes observed at record boundaries while spilling is enabled. It exists
+// so tests can assert the spill path bounds resident shuffle memory; it is
+// never read by execution.
+var spillMaxBuffered atomic.Int64
+
+// noteSpillHighWater raises the recorded high-water mark to n.
+func noteSpillHighWater(n int64) {
+	for {
+		cur := spillMaxBuffered.Load()
+		if n <= cur || spillMaxBuffered.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// encodeKV frames a shuffle pair as uvarint(len(key)) || key || value.
+func encodeKV(e kv) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(e.key)+len(e.value))
+	buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+	buf = append(buf, e.key...)
+	buf = append(buf, e.value...)
+	return buf
+}
+
+// decodeKV parses a spill record. The returned value aliases rec.
+func decodeKV(rec []byte) (kv, error) {
+	kl, n := binary.Uvarint(rec)
+	if n <= 0 || kl > uint64(len(rec)-n) {
+		return kv{}, fmt.Errorf("mapred: corrupt spill record")
+	}
+	end := n + int(kl)
+	return kv{key: string(rec[n:end]), value: rec[end:]}, nil
+}
+
+// sortStableByKey sorts kvs by key, preserving emission order within a
+// key — the same ordering contract as sortAndGroup.
+func sortStableByKey(kvs []kv) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].key < kvs[j].key })
+}
+
+// writeSpillRun materialises one sorted run, attaching a spill-write io
+// span under the task span when tracing.
+func (c *Cluster) writeSpillRun(name string, kvs []kv, tspan *obs.Span, check func() error) (spillRef, error) {
+	w, err := c.FS.Create(name, 1)
+	if err != nil {
+		return spillRef{}, err
+	}
+	var sspan *obs.Span
+	if tspan != nil {
+		sspan = tspan.StartChild(obs.KindIO, "spill-write")
+	}
+	w.SetSpan(sspan)
+	ref := spillRef{file: name, records: int64(len(kvs))}
+	werr := func() error {
+		for i := range kvs {
+			if i%ctxCheckInterval == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+			ref.bytes += int64(len(kvs[i].key) + len(kvs[i].value))
+			w.WriteOwned(encodeKV(kvs[i]))
+		}
+		return nil
+	}()
+	sspan.End()
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return spillRef{}, werr
+	}
+	return ref, nil
+}
+
+// kvSource streams one sorted run of kv pairs for the shuffle merge.
+type kvSource interface {
+	// next pops the next pair; ok is false at end of run.
+	next() (e kv, ok bool, err error)
+}
+
+// memKVSource streams a sorted in-memory buffer.
+type memKVSource struct {
+	kvs []kv
+	i   int
+}
+
+func (s *memKVSource) next() (kv, bool, error) {
+	if s.i >= len(s.kvs) {
+		return kv{}, false, nil
+	}
+	e := s.kvs[s.i]
+	s.i++
+	return e, true, nil
+}
+
+// spillKVSource streams a spill run back from the cluster FS.
+type spillKVSource struct {
+	f  *dfs.File
+	it dfs.RecordIterator
+}
+
+func newSpillKVSource(fs *dfs.FS, ref spillRef) (*spillKVSource, error) {
+	f, err := fs.Open(ref.file)
+	if err != nil {
+		return nil, err
+	}
+	return &spillKVSource{f: f, it: f.Records(0)}, nil
+}
+
+func (s *spillKVSource) next() (kv, bool, error) {
+	if !s.it.Next() {
+		err := s.it.Err()
+		s.f.Close()
+		return kv{}, false, err
+	}
+	e, err := decodeKV(s.it.Record())
+	if err != nil {
+		return kv{}, false, err
+	}
+	return e, true, nil
+}
+
+// kvHeapItem is one source's head pair in the merge heap.
+type kvHeapItem struct {
+	e   kv
+	src int
+	s   kvSource
+}
+
+// kvHeap orders source heads by (key, source index): the stable-merge
+// tie-break that makes the merged stream identical to concatenating the
+// sources in order and stable-sorting.
+type kvHeap []kvHeapItem
+
+func (h kvHeap) Len() int { return len(h) }
+func (h kvHeap) Less(i, j int) bool {
+	if h[i].e.key != h[j].e.key {
+		return h[i].e.key < h[j].e.key
+	}
+	return h[i].src < h[j].src
+}
+func (h kvHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *kvHeap) Push(x any)   { *h = append(*h, x.(kvHeapItem)) }
+func (h *kvHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// mergePartition stable-merges sorted kv sources into key groups,
+// returning the groups plus the merged record and byte counts (the
+// partition's shuffle volume).
+func mergePartition(srcs []kvSource, check func() error) ([]group, int64, int64, error) {
+	h := make(kvHeap, 0, len(srcs))
+	for i, s := range srcs {
+		e, ok, err := s.next()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if ok {
+			h = append(h, kvHeapItem{e: e, src: i, s: s})
+		}
+	}
+	heap.Init(&h)
+	var groups []group
+	var records, bytes int64
+	for len(h) > 0 {
+		if records%ctxCheckInterval == 0 {
+			if err := check(); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		top := &h[0]
+		records++
+		bytes += int64(len(top.e.key) + len(top.e.value))
+		if len(groups) == 0 || groups[len(groups)-1].key != top.e.key {
+			groups = append(groups, group{key: top.e.key})
+		}
+		g := &groups[len(groups)-1]
+		g.values = append(g.values, top.e.value)
+		e, ok, err := top.s.next()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if ok {
+			top.e = e
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return groups, records, bytes, nil
+}

@@ -1,0 +1,163 @@
+package mapred
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rapidanalytics/internal/dfs"
+)
+
+// spillFixture writes enough input lines that a small threshold forces
+// several spill runs per map task.
+func spillFixture(c *Cluster) {
+	lines := make([]string, 400)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%d w%d w%d w%d", i%7, i%3, i%11, i%29)
+	}
+	writeLines(c, "in", 1, lines...)
+}
+
+func spillCluster(threshold int64) *Cluster {
+	cfg := DefaultConfig()
+	cfg.ExecSplitBytes = 256 // several map tasks
+	cfg.SpillThresholdBytes = threshold
+	return NewCluster(cfg)
+}
+
+// Output must be byte-identical with spilling on and off; with no
+// combiner every deterministic volume metric except the Spill* counters
+// must match too.
+func TestSpillOutputIdentical(t *testing.T) {
+	run := func(threshold int64) (Metrics, []string) {
+		c := spillCluster(threshold)
+		spillFixture(c)
+		m, err := c.Run(wordCountJob("in", "out", false))
+		if err != nil {
+			t.Fatalf("threshold=%d: %v", threshold, err)
+		}
+		return m.Volumes(), readLines(t, c, "out")
+	}
+	base, baseOut := run(0)
+	spilled, spilledOut := run(64)
+	if spilled.SpillRuns == 0 || spilled.SpillRecords == 0 || spilled.SpillBytes == 0 {
+		t.Fatalf("spill path not exercised: %+v", spilled)
+	}
+	if base.SpillRuns != 0 {
+		t.Fatalf("threshold 0 spilled: %+v", base)
+	}
+	if strings.Join(baseOut, "\n") != strings.Join(spilledOut, "\n") {
+		t.Errorf("output diverged:\n%v\nvs\n%v", baseOut, spilledOut)
+	}
+	// Spill counters are the only volumes allowed to differ.
+	spilled.SpillRuns, spilled.SpillRecords, spilled.SpillBytes = 0, 0, 0
+	if base != spilled {
+		t.Errorf("volumes diverged:\n%+v\nvs\n%+v", base, spilled)
+	}
+}
+
+// With a combiner, combining happens per spill run, so shuffle volumes
+// may legitimately differ — but the reduced output must not.
+func TestSpillWithCombinerOutputIdentical(t *testing.T) {
+	run := func(threshold int64) []string {
+		c := spillCluster(threshold)
+		spillFixture(c)
+		m, err := c.Run(wordCountJob("in", "out", true))
+		if err != nil {
+			t.Fatalf("threshold=%d: %v", threshold, err)
+		}
+		if threshold > 0 && m.SpillRuns == 0 {
+			t.Fatalf("spill path not exercised with combiner")
+		}
+		return readLines(t, c, "out")
+	}
+	if a, b := run(0), run(64); strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("combiner output diverged:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// Spilling must bound resident shuffle memory: the per-task buffered
+// high-water mark stays within one record's emits of the threshold.
+func TestSpillBoundsBufferedBytes(t *testing.T) {
+	const threshold = 256
+	spillMaxBuffered.Store(0)
+	c := spillCluster(threshold)
+	spillFixture(c)
+	if _, err := c.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+	hw := spillMaxBuffered.Load()
+	if hw == 0 {
+		t.Fatal("high-water mark not recorded")
+	}
+	// One input line emits four single-byte-value pairs (~30 logical kv
+	// bytes); allow that overshoot on top of the threshold.
+	if slack := int64(64); hw > threshold+slack {
+		t.Errorf("buffered high-water = %d, want <= %d", hw, threshold+slack)
+	}
+}
+
+// Spill runs are temporary: the FS must hold none after the job, on the
+// mem and disk backends alike.
+func TestSpillRunsCleanedUp(t *testing.T) {
+	backends := map[string]*dfs.FS{"mem": dfs.New()}
+	disk, err := dfs.NewDisk(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["disk"] = disk
+	for name, fs := range backends {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.ExecSplitBytes = 256
+			cfg.SpillThresholdBytes = 64
+			c := NewClusterFS(cfg, fs)
+			spillFixture(c)
+			m, err := c.Run(wordCountJob("in", "out", false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.SpillRuns == 0 {
+				t.Fatal("spill path not exercised")
+			}
+			if left := fs.List("_spill/"); len(left) != 0 {
+				t.Errorf("spill runs left behind: %v", left)
+			}
+		})
+	}
+}
+
+// The full matrix: worker counts x spill thresholds x backends must all
+// produce the same output bytes (the determinism contract extended to
+// storage and spilling).
+func TestSpillDeterminismMatrix(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4} {
+		for _, threshold := range []int64{0, 64, 1 << 20} {
+			for _, backend := range []string{"mem", "disk"} {
+				cfg := DefaultConfig()
+				cfg.ExecSplitBytes = 256
+				cfg.ExecReduceWorkers = workers
+				cfg.SpillThresholdBytes = threshold
+				fs := dfs.New()
+				if backend == "disk" {
+					var err error
+					if fs, err = dfs.NewDisk(t.TempDir(), 3); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c := NewClusterFS(cfg, fs)
+				spillFixture(c)
+				if _, err := c.Run(wordCountJob("in", "out", true)); err != nil {
+					t.Fatalf("w=%d t=%d %s: %v", workers, threshold, backend, err)
+				}
+				got := strings.Join(readLines(t, c, "out"), "\n")
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Errorf("w=%d t=%d %s: output diverged", workers, threshold, backend)
+				}
+			}
+		}
+	}
+}

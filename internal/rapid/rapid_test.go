@@ -14,7 +14,11 @@ import (
 func load(t *testing.T, g *rdf.Graph) (*mapred.Cluster, *engine.Dataset) {
 	t.Helper()
 	c := mapred.NewCluster(mapred.DefaultConfig())
-	return c, engine.Load(c, "t", g)
+	ds, err := engine.Load(c, "t", g)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return c, ds
 }
 
 func TestName(t *testing.T) {

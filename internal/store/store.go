@@ -65,7 +65,7 @@ func (s *VPStore) TableFor(ref algebra.PropRef) (file string, isTypePartition, o
 // non-nil dictionary the tables are written in the dictionary plane: every
 // term is registered (in triple order, so IDs are deterministic for a given
 // graph) and rows are compact ID-tuples instead of lexical tuples.
-func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
+func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) (*VPStore, error) {
 	s := &VPStore{
 		Prefix:     prefix,
 		Tables:     map[string]string{},
@@ -73,10 +73,18 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
 		Rows:       map[string]int64{},
 	}
 	writers := map[string]*dfs.Writer{}
+	var werr error
 	writerFor := func(name string) *dfs.Writer {
 		w, ok := writers[name]
 		if !ok {
-			w = fs.Create(name, ORCCompressionRatio)
+			var err error
+			w, err = fs.Create(name, ORCCompressionRatio)
+			if err != nil {
+				if werr == nil {
+					werr = err
+				}
+				return nil
+			}
 			writers[name] = w
 		}
 		return w
@@ -92,8 +100,11 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
 		return t.EncodeIDs()
 	}
 	s.TriplesTable = prefix + "/triples"
-	triples := fs.Create(s.TriplesTable, ORCCompressionRatio)
+	triples := writerFor(s.TriplesTable)
 	for _, t := range g.Triples {
+		if werr != nil {
+			break
+		}
 		triples.WriteOwned(encRow(t.Subject.Key(), "I"+t.Property.Value, t.Object.Key()))
 		s.Rows[s.TriplesTable]++
 		if t.Property.Value == rdf.RDFType {
@@ -102,8 +113,10 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
 				name = fmt.Sprintf("%s/type_%s", prefix, sanitize(t.Object.Key()))
 				s.TypeTables[t.Object.Key()] = name
 			}
-			writerFor(name).WriteOwned(encRow(t.Subject.Key()))
-			s.Rows[name]++
+			if w := writerFor(name); w != nil {
+				w.WriteOwned(encRow(t.Subject.Key()))
+				s.Rows[name]++
+			}
 			continue
 		}
 		name, ok := s.Tables[t.Property.Value]
@@ -111,10 +124,31 @@ func BuildVP(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *VPStore {
 			name = fmt.Sprintf("%s/vp_%s", prefix, sanitize(t.Property.Value))
 			s.Tables[t.Property.Value] = name
 		}
-		writerFor(name).WriteOwned(encRow(t.Subject.Key(), t.Object.Key()))
-		s.Rows[name]++
+		if w := writerFor(name); w != nil {
+			w.WriteOwned(encRow(t.Subject.Key(), t.Object.Key()))
+			s.Rows[name]++
+		}
 	}
-	return s
+	if err := closeWriters(writers, werr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// closeWriters commits every table writer (in name order, for deterministic
+// error selection) and returns the first error among werr and the Closes.
+func closeWriters(writers map[string]*dfs.Writer, werr error) error {
+	names := make([]string, 0, len(writers))
+	for n := range writers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writers[n].Close(); werr == nil {
+			werr = err
+		}
+	}
+	return werr
 }
 
 func sanitize(s string) string {
@@ -171,7 +205,7 @@ func ECKeyForRef(ref algebra.PropRef) string {
 // class. With a non-nil dictionary the triplegroups are written in the
 // dictionary plane (every field an ID-string); the equivalence-class
 // metadata stays lexical, so input pruning is plane-independent.
-func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *TGStore {
+func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) (*TGStore, error) {
 	s := &TGStore{Prefix: prefix}
 	tgs := ntga.GroupBySubject(g)
 	type ec struct {
@@ -179,6 +213,7 @@ func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *TGStore {
 		props  map[string]bool
 	}
 	classes := map[string]*ec{}
+	writers := map[string]*dfs.Writer{}
 	for i := range tgs {
 		tg := &tgs[i]
 		props := map[string]bool{}
@@ -194,8 +229,13 @@ func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *TGStore {
 		cls, ok := classes[id]
 		if !ok {
 			name := fmt.Sprintf("%s/ec_%s", prefix, id)
-			cls = &ec{writer: fs.Create(name, 1), props: props}
+			w, err := fs.Create(name, 1)
+			if err != nil {
+				return nil, closeWriters(writers, err)
+			}
+			cls = &ec{writer: w, props: props}
 			classes[id] = cls
+			writers[name] = w
 			s.Files = append(s.Files, TGFile{Name: name, Props: props})
 		}
 		if d == nil {
@@ -211,8 +251,11 @@ func BuildTG(fs *dfs.FS, g *rdf.Graph, prefix string, d *rdf.Dict) *TGStore {
 		}
 		cls.writer.WriteOwned(idtg.EncodeIDs())
 	}
+	if err := closeWriters(writers, nil); err != nil {
+		return nil, err
+	}
 	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Name < s.Files[j].Name })
-	return s
+	return s, nil
 }
 
 func hashKeys(keys []string) string {

@@ -27,9 +27,29 @@ func storeGraph() *rdf.Graph {
 	return g
 }
 
+func firstRecord(t *testing.T, fs *dfs.FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", name)
+	}
+	return recs[0]
+}
+
 func TestBuildVP(t *testing.T) {
 	fs := dfs.New()
-	vp := BuildVP(fs, storeGraph(), "t/vp", nil)
+	vp, err := BuildVP(fs, storeGraph(), "t/vp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// One table per non-type property.
 	for _, prop := range []string{"label", "pf", "product", "price"} {
 		file, isType, ok := vp.TableFor(algebra.PropRef{Prop: "http://e/" + prop})
@@ -44,11 +64,11 @@ func TestBuildVP(t *testing.T) {
 			t.Errorf("%s table empty", prop)
 		}
 		// ORC-style compression applies.
-		if f.StoredBytes() >= f.Bytes {
-			t.Errorf("%s table not compressed: stored %d >= logical %d", prop, f.StoredBytes(), f.Bytes)
+		if f.StoredBytes() >= f.Bytes() {
+			t.Errorf("%s table not compressed: stored %d >= logical %d", prop, f.StoredBytes(), f.Bytes())
 		}
 		// Rows decode as (subject, object) tuples.
-		tu, err := codec.DecodeTuple(f.Records[0])
+		tu, err := codec.DecodeTuple(firstRecord(t, fs, file))
 		if err != nil || len(tu) != 2 {
 			t.Errorf("%s row = %v, %v", prop, tu, err)
 		}
@@ -66,7 +86,7 @@ func TestBuildVP(t *testing.T) {
 		if f.NumRecords() != 1 {
 			t.Errorf("type partition %s rows = %d", typ, f.NumRecords())
 		}
-		tu, err := codec.DecodeTuple(f.Records[0])
+		tu, err := codec.DecodeTuple(firstRecord(t, fs, file))
 		if err != nil || len(tu) != 1 {
 			t.Errorf("type row = %v, %v", tu, err)
 		}
@@ -82,7 +102,10 @@ func TestBuildVP(t *testing.T) {
 
 func TestBuildTGEquivalenceClasses(t *testing.T) {
 	fs := dfs.New()
-	tg := BuildTG(fs, storeGraph(), "t/tg", nil)
+	tg, err := BuildTG(fs, storeGraph(), "t/tg", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// p1 {type=PT1, label, pf}, p2 {type=PT2, label}, o1 {product, price}:
 	// three distinct equivalence classes.
 	if len(tg.Files) != 3 {
@@ -94,7 +117,12 @@ func TestBuildTGEquivalenceClasses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, rec := range df.Records {
+		recs, err := df.AllRecords()
+		df.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
 			g, rest, err := ntga.DecodeTripleGroup(rec)
 			if err != nil || len(rest) != 0 {
 				t.Fatalf("triplegroup decode: %v", err)
@@ -109,7 +137,10 @@ func TestBuildTGEquivalenceClasses(t *testing.T) {
 
 func TestFilesForPruning(t *testing.T) {
 	fs := dfs.New()
-	tg := BuildTG(fs, storeGraph(), "t/tg", nil)
+	tg, err := BuildTG(fs, storeGraph(), "t/tg", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The offer star {product, price} matches exactly one class.
 	offer := tg.FilesFor([]algebra.PropRef{{Prop: "http://e/product"}, {Prop: "http://e/price"}})
 	if len(offer) != 1 {

@@ -20,9 +20,15 @@ func newCluster() *mapred.Cluster {
 }
 
 func writeTGs(c *mapred.Cluster, name string, tgs ...ntga.TripleGroup) {
-	w := c.FS.Create(name, 1)
+	w, err := c.FS.Create(name, 1)
+	if err != nil {
+		panic(err)
+	}
 	for i := range tgs {
 		w.Write(tgs[i].Encode())
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
 	}
 }
 
@@ -40,8 +46,13 @@ func readAnnTGs(t *testing.T, c *mapred.Cluster, name string) []ntga.AnnTG {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make([]ntga.AnnTG, 0, f.NumRecords())
-	for _, rec := range f.Records {
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]ntga.AnnTG, 0, len(recs))
+	for _, rec := range recs {
 		a, err := ntga.DecodeAnnTG(rec)
 		if err != nil {
 			t.Fatalf("decode: %v", err)
@@ -210,8 +221,13 @@ func readTuples(t *testing.T, c *mapred.Cluster, name string) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var out []string
-	for _, rec := range f.Records {
+	for _, rec := range recs {
 		tu, err := codec.DecodeTuple(rec)
 		if err != nil {
 			t.Fatal(err)
@@ -248,12 +264,18 @@ func TestAggJoinHashEmitsLess(t *testing.T) {
 	run := func(hash bool) int64 {
 		c := newCluster()
 		// All triples in one group: hash agg should emit once per task.
-		w := c.FS.Create("in", 1)
+		w, err := c.FS.Create("in", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		g := tg("only")
 		for i := 0; i < 50; i++ {
 			g.Triples = append(g.Triples, ntga.PO{Prop: "price", Obj: "L1"})
 		}
 		w.Write(g.Encode())
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
 		src := Source{Files: []string{"in"}, Scan: &ScanSpec{Star: 0, Prim: []algebra.PropRef{{Prop: "price"}}}}
 		m, err := c.Run(AggJoinJob("agg", src, aggSpecs(false), false, hash, "out"))
 		if err != nil {

@@ -26,12 +26,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"rapidanalytics/internal/algebra"
 	"rapidanalytics/internal/core"
+	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/hive"
 	"rapidanalytics/internal/mapred"
@@ -90,6 +93,26 @@ type Options struct {
 	// aggregation; results are byte-identical either way. Enabled by
 	// DefaultOptions; false reproduces the original lexical layouts.
 	DictionaryEncoding bool
+	// Storage selects the simulated DFS backend: StorageMem (the default)
+	// keeps every record in memory; StorageDisk materialises files as
+	// sharded blockstore segments under DataDir. Output bytes are identical
+	// on both. Empty honors the RAPID_STORAGE environment variable,
+	// defaulting to memory.
+	Storage string
+	// DataDir roots disk-backed storage. Empty uses a fresh directory under
+	// the OS temp dir. Each (re)materialisation of the store's layouts
+	// writes under a new load-numbered subdirectory, so in-flight queries
+	// keep reading consistent snapshots; stale loads are not reclaimed
+	// until the process exits.
+	DataDir string
+	// StorageShards is the disk backend's directory shard count (0 = the
+	// blockstore default of 8).
+	StorageShards int
+	// SpillThresholdBytes bounds each map task's buffered shuffle output:
+	// past the threshold, partition buffers are sorted and spilled to the
+	// DFS and merged back during the shuffle. 0 disables spilling. Query
+	// results and output bytes are identical for every setting.
+	SpillThresholdBytes int64
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
 }
@@ -102,6 +125,15 @@ type EngineFeatures struct {
 	HashAggregation     bool
 	InputPruning        bool
 }
+
+// Storage backends selectable through Options.Storage and the -storage
+// flag of cmd/rapidanalytics and cmd/rapidserver.
+const (
+	// StorageMem keeps the simulated DFS in memory (the default).
+	StorageMem = "mem"
+	// StorageDisk persists DFS files as sharded blockstore segment files.
+	StorageDisk = "disk"
+)
 
 // DefaultOptions returns a 10-node cluster with no data-scale
 // extrapolation.
@@ -157,6 +189,12 @@ type Store struct {
 func NewStore(opts Options) *Store {
 	if opts.Nodes <= 0 {
 		opts.Nodes = 10
+	}
+	if opts.Storage == "" {
+		opts.Storage = os.Getenv("RAPID_STORAGE")
+	}
+	if opts.Storage == "" {
+		opts.Storage = StorageMem
 	}
 	if opts.DataScale <= 0 {
 		opts.DataScale = 1
@@ -231,18 +269,52 @@ func (s *Store) NumTriples() int {
 // ensureLoaded materialises the storage layouts (once) and returns the
 // cluster and dataset to execute on. Callers hold s.mu.RLock, so the graph
 // cannot change underneath the materialisation.
-func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset) {
+func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset, error) {
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
 	if s.ds == nil {
 		cfg := mapred.VCL10(s.opts.DataScale)
 		cfg.Nodes = s.opts.Nodes
-		s.cluster = mapred.NewCluster(cfg)
+		cfg.SpillThresholdBytes = s.opts.SpillThresholdBytes
 		s.loads++
-		s.ds = engine.LoadWith(s.cluster, fmt.Sprintf("store/%d", s.loads), s.graph,
+		fs, err := s.newFS()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrStorage, err)
+		}
+		cluster := mapred.NewClusterFS(cfg, fs)
+		ds, err := engine.LoadWith(cluster, fmt.Sprintf("store/%d", s.loads), s.graph,
 			engine.LoadOptions{DictionaryEncoding: s.opts.DictionaryEncoding})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrStorage, err)
+		}
+		s.cluster, s.ds = cluster, ds
 	}
-	return s.cluster, s.ds
+	return s.cluster, s.ds, nil
+}
+
+// newFS builds the DFS for one materialisation of the store's layouts.
+// Each disk-backed load gets its own load-numbered directory: queries
+// in flight on the previous load keep their snapshots, at the cost of
+// leaking superseded loads until process exit (acceptable for the rare
+// bulk-load-then-query workload the store favours).
+func (s *Store) newFS() (*dfs.FS, error) {
+	switch s.opts.Storage {
+	case StorageMem:
+		return dfs.New(), nil
+	case StorageDisk:
+		dir := s.opts.DataDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "rapidanalytics-")
+			if err != nil {
+				return nil, err
+			}
+			dir = d
+			s.opts.DataDir = d
+		}
+		return dfs.NewDisk(filepath.Join(dir, fmt.Sprintf("load-%d", s.loads)), s.opts.StorageShards)
+	default:
+		return nil, fmt.Errorf("unknown storage backend %q (want %q or %q)", s.opts.Storage, StorageMem, StorageDisk)
+	}
 }
 
 // Stats summarises one query execution.
@@ -546,7 +618,10 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 		root = obs.New(obs.KindQuery, string(sys))
 		ctx = obs.NewContext(ctx, root)
 	}
-	cluster, ds := s.ensureLoaded()
+	cluster, ds, err := s.ensureLoaded()
+	if err != nil {
+		return nil, nil, err
+	}
 	res, wm, err := eng.Execute(cluster.WithContext(ctx), ds, q.aq)
 	if err != nil {
 		if ctx.Err() != nil {
