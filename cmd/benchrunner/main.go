@@ -15,7 +15,9 @@
 // (sequential vs parallel reduce, writes BENCH_parallel.json), dict
 // (lexical vs dictionary-encoded data plane over the full MG catalog,
 // writes BENCH_dict.json), disk (in-memory vs disk-backed DFS over the
-// full MG catalog, writes BENCH_disk.json), all.
+// full MG catalog, writes BENCH_disk.json), stream (streaming vs
+// materialised intermediates over the full MG catalog, writes
+// BENCH_stream.json), all.
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, all")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, stream, all")
 		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
@@ -62,6 +64,7 @@ func main() {
 	run("parallel", Parallel)
 	run("dict", Dict)
 	run("disk", Disk)
+	run("stream", Stream)
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(h, *traceOut); err != nil {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rapidanalytics/internal/bench"
+)
+
+// streamIters is how many times each query runs per mode; the report
+// keeps the best wall time of each.
+const streamIters = 2
+
+// Stream benchmarks the vectorized streaming plane against fully
+// materialised intermediates over the full multi-grouping catalog,
+// checking on the way that both modes return identical result rows and
+// identical job-for-job volume metrics (modulo the Streamed* counters),
+// and that streaming strictly reduces the bytes materialised into the
+// storage backend. Results go to stdout and BENCH_stream.json; any
+// divergence is an error, so CI fails when the streaming plane drifts.
+// The harness's SizeMult carries over for reduced-scale CI smoke runs.
+func Stream(h *bench.Harness) (string, error) {
+	rep, err := bench.CompareStreamingModes(bench.MGCatalog(), bench.Engines(), streamIters, h.Loader.SizeMult)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_stream.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if !rep.AllIdentical {
+		return "", fmt.Errorf("streaming and materialising modes diverged in rows or volume metrics (see BENCH_stream.json)")
+	}
+	if rep.TotalStreamedRecords == 0 {
+		return "", fmt.Errorf("streaming plane never engaged across the catalog (see BENCH_stream.json)")
+	}
+	if !rep.StorageReduced {
+		return "", fmt.Errorf("streaming did not reduce materialised stored bytes (see BENCH_stream.json)")
+	}
+	return bench.RenderStream(rep) + "(wrote BENCH_stream.json)\n", nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/mapred"
+	"rapidanalytics/internal/sparql"
+)
+
+// StreamRun compares one (query, dataset, engine) triple between the
+// vectorized streaming plane and a fully materialising run.
+type StreamRun struct {
+	Query   string `json:"query"`
+	Dataset string `json:"dataset"`
+	Engine  string `json:"engine"`
+	// RowsIdentical reports that both modes returned exactly the same
+	// result rows.
+	RowsIdentical bool `json:"rowsIdentical"`
+	// VolumesIdentical reports that every job's deterministic volume
+	// metrics matched job-for-job across modes, modulo the Streamed*
+	// counters (the only fields allowed to differ — OutputStoredBytes
+	// stays the notional stored size on streamed jobs, so the cost model
+	// and simulated seconds are identical by construction).
+	VolumesIdentical bool `json:"volumesIdentical"`
+	// StreamedRecords and StreamedBatches sum over the streaming run's
+	// jobs; zero means no cycle of this plan was eligible to stream.
+	StreamedRecords int64 `json:"streamedRecords"`
+	StreamedBatches int64 `json:"streamedBatches"`
+	// MaterializedStoredBytes is the streaming run's stored output that
+	// actually reached the backend; BaselineStoredBytes is the same sum
+	// for the materialising run (every job contributes there).
+	MaterializedStoredBytes int64 `json:"materializedStoredBytes"`
+	BaselineStoredBytes     int64 `json:"baselineStoredBytes"`
+	// StorageOK reports the storage gate: strictly fewer materialised
+	// bytes when anything streamed, equality when nothing was eligible.
+	StorageOK bool `json:"storageOK"`
+	// Wall times are best-of-iters in-process milliseconds, recorded for
+	// the report; wall clock is not a correctness gate.
+	StreamWallMillis       float64 `json:"streamWallMillis"`
+	MaterializedWallMillis float64 `json:"materializedWallMillis"`
+}
+
+// StreamReport is the result of CompareStreamingModes, serialised to
+// BENCH_stream.json by benchrunner -exp stream.
+type StreamReport struct {
+	Iters int         `json:"iters"`
+	Runs  []StreamRun `json:"runs"`
+	// TotalStreamedRecords and TotalStreamedBatches aggregate the
+	// streaming plane's activity; zero means streaming never engaged.
+	TotalStreamedRecords int64 `json:"totalStreamedRecords"`
+	TotalStreamedBatches int64 `json:"totalStreamedBatches"`
+	// TotalMaterializedStoredBytes / TotalBaselineStoredBytes aggregate
+	// the storage reduction across the catalog.
+	TotalMaterializedStoredBytes int64 `json:"totalMaterializedStoredBytes"`
+	TotalBaselineStoredBytes     int64 `json:"totalBaselineStoredBytes"`
+	// AllIdentical is the conjunction of every run's RowsIdentical and
+	// VolumesIdentical — the experiment's byte-identity gate.
+	AllIdentical bool `json:"allIdentical"`
+	// StorageReduced requires every run to pass its storage gate and the
+	// catalog-wide materialised total to be strictly below the baseline.
+	StorageReduced bool `json:"storageReduced"`
+}
+
+// CompareStreamingModes runs each catalog query on each engine twice per
+// iteration — once with the vectorized streaming plane on and once fully
+// materialising — and reports result-row identity, job-for-job volume
+// identity modulo the Streamed* counters, the stored-byte reduction, and
+// wall times. Any row or volume divergence is a streaming-plane bug.
+func CompareStreamingModes(catalog []DictCatalogEntry, engines []engine.Engine, iters int, sizeMult float64) (*StreamReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	streamLoader := NewLoader()
+	matLoader := NewLoader()
+	matLoader.DisableStreaming = true
+	if sizeMult > 0 {
+		streamLoader.SizeMult = sizeMult
+		matLoader.SizeMult = sizeMult
+	}
+
+	report := &StreamReport{Iters: iters, AllIdentical: true, StorageReduced: true}
+	for _, entry := range catalog {
+		for _, id := range entry.Queries {
+			q, ok := Get(id)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown query %q", id)
+			}
+			parsed, err := sparql.Parse(q.SPARQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", id, err)
+			}
+			aq, err := algebra.Build(parsed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", id, err)
+			}
+			for _, e := range engines {
+				run := StreamRun{Query: id, Dataset: entry.Dataset, Engine: e.Name()}
+				for it := 0; it < iters; it++ {
+					sRes, sWM, sWall, err := dictExec(streamLoader, entry.Dataset, e, aq)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s via %s (streaming): %w", id, entry.Dataset, e.Name(), err)
+					}
+					mRes, mWM, mWall, err := dictExec(matLoader, entry.Dataset, e, aq)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s on %s via %s (materialised): %w", id, entry.Dataset, e.Name(), err)
+					}
+					if it == 0 {
+						run.RowsIdentical = sRes.Equal(mRes)
+						run.VolumesIdentical = volumesIdenticalModuloStreaming(sWM, mWM)
+						run.StreamedRecords = sWM.StreamedRecords()
+						run.StreamedBatches = sWM.StreamedBatches()
+						run.MaterializedStoredBytes = sWM.MaterializedStoredBytes()
+						run.BaselineStoredBytes = mWM.MaterializedStoredBytes()
+						if run.StreamedRecords > 0 {
+							run.StorageOK = run.MaterializedStoredBytes < run.BaselineStoredBytes
+						} else {
+							run.StorageOK = run.MaterializedStoredBytes == run.BaselineStoredBytes
+						}
+						run.StreamWallMillis = sWall
+						run.MaterializedWallMillis = mWall
+					} else {
+						run.StreamWallMillis = min(run.StreamWallMillis, sWall)
+						run.MaterializedWallMillis = min(run.MaterializedWallMillis, mWall)
+					}
+				}
+				report.AllIdentical = report.AllIdentical && run.RowsIdentical && run.VolumesIdentical
+				report.StorageReduced = report.StorageReduced && run.StorageOK
+				report.TotalStreamedRecords += run.StreamedRecords
+				report.TotalStreamedBatches += run.StreamedBatches
+				report.TotalMaterializedStoredBytes += run.MaterializedStoredBytes
+				report.TotalBaselineStoredBytes += run.BaselineStoredBytes
+				report.Runs = append(report.Runs, run)
+			}
+		}
+	}
+	if report.TotalMaterializedStoredBytes >= report.TotalBaselineStoredBytes {
+		report.StorageReduced = false
+	}
+	return report, nil
+}
+
+// volumesIdenticalModuloStreaming compares per-job volumes with the
+// Streamed* counters zeroed on both sides: everything else — records,
+// bytes, stored bytes, shuffle and spill volumes, simulated seconds —
+// must match exactly between the streaming and materialising modes.
+func volumesIdenticalModuloStreaming(a, b *mapred.WorkflowMetrics) bool {
+	if len(a.Jobs) != len(b.Jobs) {
+		return false
+	}
+	for i := range a.Jobs {
+		va, vb := a.Jobs[i].Volumes(), b.Jobs[i].Volumes()
+		va.StreamedRecords, va.StreamedBatches = 0, 0
+		vb.StreamedRecords, vb.StreamedBatches = 0, 0
+		if a.Jobs[i].Job != b.Jobs[i].Job || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderStream renders a StreamReport as an aligned table.
+func RenderStream(rep *StreamReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streaming vs materialising intermediate plane (best of %d)\n", rep.Iters)
+	fmt.Fprintf(&b, "%-6s %-10s %-22s %12s %12s %12s %10s %10s %6s\n",
+		"query", "dataset", "engine", "streamed", "mat bytes", "base bytes", "stream ms", "mat ms", "same")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-6s %-10s %-22s %12d %12d %12d %10.1f %10.1f %6v\n",
+			r.Query, r.Dataset, r.Engine, r.StreamedRecords, r.MaterializedStoredBytes,
+			r.BaselineStoredBytes, r.StreamWallMillis, r.MaterializedWallMillis,
+			r.RowsIdentical && r.VolumesIdentical)
+	}
+	fmt.Fprintf(&b, "streamed: %d records in %d batches; stored bytes %d vs %d baseline; identical: %v; reduced: %v\n",
+		rep.TotalStreamedRecords, rep.TotalStreamedBatches,
+		rep.TotalMaterializedStoredBytes, rep.TotalBaselineStoredBytes,
+		rep.AllIdentical, rep.StorageReduced)
+	return b.String()
+}

@@ -156,7 +156,11 @@ func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algeb
 	if !e.Opts.AlphaFiltering {
 		alphaCP = nil
 	}
-	return rapid.JoinChain(run, scans, order, "composite", ntga.ResolveAlpha(alphaCP, ds.Dict))
+	// With parallel aggregation a single generalised TG_AgJ consumes the
+	// matches, so the final join streams too; sequential aggregation runs
+	// one TG_AgJ per subquery over the shared matches, which need the real
+	// DFS checkpoint.
+	return rapid.JoinChain(run, scans, order, "composite", ntga.ResolveAlpha(alphaCP, ds.Dict), e.Opts.ParallelAggregation)
 }
 
 // compositeStarScan builds the scan for one composite star: primary

@@ -14,13 +14,17 @@
 //     new Create.
 //   - A file's content is committed by Writer.Close. Writers are
 //     append-only; Create truncates.
-//   - Record slices handed out by iterators are immutable and remain valid
-//     indefinitely; callers must not modify them.
+//   - Record slices handed out by backend iterators are immutable and
+//     remain valid indefinitely; callers must not modify them. Streamed
+//     files (CreateStream) relax this: their iterators reuse a scratch
+//     buffer, so a record is valid only until the iterator's next Next
+//     call, and AllRecords copies. See stream.go.
 package dfs
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrCompressionRatio reports a compression ratio outside (0, 1] passed to
@@ -84,6 +88,9 @@ type File struct {
 	bytes int64
 	ratio float64
 	src   recordSource
+	// volatile marks sources whose iterators reuse their record buffer
+	// (stream-backed files); AllRecords copies for such files.
+	volatile bool
 }
 
 // Name returns the file's name.
@@ -107,11 +114,17 @@ func (f *File) Records(start int) RecordIterator { return f.src.iterate(start) }
 
 // AllRecords materialises the whole snapshot. Prefer Records for
 // record-at-a-time consumers; this is for side inputs and small files.
+// The returned slices are always stable: volatile (stream-backed) sources
+// are copied record by record.
 func (f *File) AllRecords() ([][]byte, error) {
 	recs := make([][]byte, 0, f.nrec)
 	it := f.Records(0)
 	for it.Next() {
-		recs = append(recs, it.Record())
+		rec := it.Record()
+		if f.volatile {
+			rec = append([]byte(nil), rec...)
+		}
+		recs = append(recs, rec)
 	}
 	return recs, it.Err()
 }
@@ -131,6 +144,11 @@ func storedSize(bytes int64, ratio float64) int64 {
 // are safe for concurrent use.
 type FS struct {
 	b Backend
+
+	// mu guards streams, the registry of live streamed files (CreateStream)
+	// that Open and Exists consult before the backend.
+	mu      sync.Mutex
+	streams map[string]*streamFile
 }
 
 // New returns an FS over a fresh in-memory backend.
@@ -155,6 +173,8 @@ func (fs *FS) Backend() Backend { return fs.b }
 // Create creates (or truncates) a file with the given compression ratio
 // and returns a writer for it. The ratio must be in (0, 1] — pass 1 for
 // uncompressed data — otherwise Create fails with ErrCompressionRatio.
+// Creating over a streamed name drops the stream (truncate semantics);
+// snapshots already taken stay readable.
 func (fs *FS) Create(name string, ratio float64) (*Writer, error) {
 	if ratio <= 0 || ratio > 1 {
 		return nil, fmt.Errorf("%w: %g for %q", ErrCompressionRatio, ratio, name)
@@ -163,21 +183,43 @@ func (fs *FS) Create(name string, ratio float64) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
+	fs.dropStream(name)
 	return &Writer{fw: fw, name: name, ratio: ratio}, nil
 }
 
-// Open returns a snapshot of the named file.
-func (fs *FS) Open(name string) (*File, error) { return fs.b.Open(name) }
+// Open returns a snapshot of the named file. Streamed files are served
+// from the stream registry with identical snapshot semantics and
+// metadata; see stream.go for the record-volatility caveat.
+func (fs *FS) Open(name string) (*File, error) {
+	if sf := fs.stream(name); sf != nil {
+		return fs.openStream(name, sf), nil
+	}
+	return fs.b.Open(name)
+}
 
-// Exists reports whether the named file exists.
-func (fs *FS) Exists(name string) bool { return fs.b.Exists(name) }
+// Exists reports whether the named file exists (streamed or stored).
+func (fs *FS) Exists(name string) bool {
+	if fs.stream(name) != nil {
+		return true
+	}
+	return fs.b.Exists(name)
+}
 
-// Delete removes the named file. Deleting a missing file is a no-op,
-// matching `hadoop fs -rm -f`. Snapshots stay readable.
-func (fs *FS) Delete(name string) { fs.b.Delete(name) }
+// Delete removes the named file — the stream registry entry, the backend
+// file, or both. Deleting a missing file is a no-op, matching
+// `hadoop fs -rm -f`. Snapshots stay readable. The returned error is the
+// backend's: on the disk backend a failed segment delete leaks storage,
+// which callers (e.g. the engine's spill cleanup) must surface.
+func (fs *FS) Delete(name string) error {
+	fs.dropStream(name)
+	return fs.b.Delete(name)
+}
 
-// List returns the names of all files with the given prefix, sorted.
+// List returns the names of all stored files with the given prefix,
+// sorted. Streamed files are excluded: they have no storage footprint.
 func (fs *FS) List(prefix string) []string { return fs.b.List(prefix) }
 
 // TotalStoredBytes sums the stored size of all files with the prefix.
+// Streamed files contribute nothing — their materialisation was elided —
+// so this is the measure the streaming experiment compares across modes.
 func (fs *FS) TotalStoredBytes(prefix string) int64 { return fs.b.TotalStoredBytes(prefix) }

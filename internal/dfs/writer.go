@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rapidanalytics/internal/obs"
+	"rapidanalytics/internal/vec"
 )
 
 // Writer appends records to a file and commits them at Close. Writes are
@@ -53,6 +54,64 @@ func (w *Writer) WriteOwned(record []byte) {
 	w.span.AddRecords(1)
 	w.span.AddBytes(int64(len(record)))
 }
+
+// batchAppender is implemented by file writers that accept sealed batches
+// wholesale (the stream writer); others take the row-at-a-time fallback.
+type batchAppender interface {
+	AppendBatch(b *vec.Batch) error
+}
+
+// WriteBatch appends every row of a sealed batch. On a streamed file the
+// batch transfers as-is — the vectorized path reduce output uses, with no
+// per-record re-encoding — while backend files receive the rows encoded
+// one by one. Volume and span accounting match row-at-a-time writes
+// exactly. The batch must be sealed; the writer takes it over.
+func (w *Writer) WriteBatch(b *vec.Batch) {
+	rows, bytes := int64(b.Rows()), b.Bytes()
+	w.mu.Lock()
+	if w.err == nil && !w.closed {
+		err := func() error {
+			if ba, ok := w.fw.(batchAppender); ok {
+				return ba.AppendBatch(b)
+			}
+			var scratch []byte
+			for r := 0; r < b.Rows(); r++ {
+				scratch = b.AppendRecord(scratch[:0], r)
+				rec := make([]byte, len(scratch))
+				copy(rec, scratch)
+				if err := w.fw.Append(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			w.err = err
+		} else {
+			w.records += rows
+			w.bytes += bytes
+		}
+	}
+	w.mu.Unlock()
+	w.span.AddRecords(rows)
+	w.span.AddBytes(bytes)
+}
+
+// StreamedBatches returns the number of batches committed to a live
+// stream: zero for backend writers and for streams that overflowed to the
+// backend (their output materialised after all).
+func (w *Writer) StreamedBatches() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if sw, ok := w.fw.(*streamWriter); ok {
+		return sw.streamedBatches()
+	}
+	return 0
+}
+
+// Streamed reports whether the writer's output stayed in the stream
+// registry (true) rather than materialising into the backend.
+func (w *Writer) Streamed() bool { return w.StreamedBatches() > 0 }
 
 // Close commits the file, returning the first error of any write or of the
 // commit itself. Close is idempotent.

@@ -269,12 +269,12 @@ func TestStarJoinDuplicateFileRejected(t *testing.T) {
 	}
 	r := newRunner(c, "tmp/t")
 	conf := Config{MapJoinBytes: 0} // force reduce-side
-	if _, err := r.starJoin(conf, "sj", inputs, nil, "out"); err == nil {
+	if _, err := r.starJoin(conf, "sj", inputs, nil, "out", false); err == nil {
 		t.Error("duplicate-file reduce-side star join accepted")
 	}
 	// The map-join path handles shared files fine.
 	conf = Config{MapJoinBytes: 1 << 40}
-	if _, err := r.starJoin(conf, "sj2", inputs, nil, "out2"); err != nil {
+	if _, err := r.starJoin(conf, "sj2", inputs, nil, "out2", false); err != nil {
 		t.Errorf("map-join path rejected shared files: %v", err)
 	}
 }

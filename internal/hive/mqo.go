@@ -124,7 +124,10 @@ func (h *MQO) evalComposite(run *runner, ds *engine.Dataset, cp *algebra.Composi
 			starRels[i] = inputs[0].rel
 			continue
 		}
-		out, err := run.starJoin(h.Conf, fmt.Sprintf("comp-star%d", i), inputs, nil, run.path(fmt.Sprintf("comp-star%d", i)))
+		// A composite star output streams when a join chain follows (its
+		// single consumer); with no joins it *is* the composite relation,
+		// read by every aggregatePattern, and must stay materialised.
+		out, err := run.starJoin(h.Conf, fmt.Sprintf("comp-star%d", i), inputs, nil, run.path(fmt.Sprintf("comp-star%d", i)), len(cp.Joins) > 0)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +140,10 @@ func (h *MQO) evalComposite(run *runner, ds *engine.Dataset, cp *algebra.Composi
 	acc := starRels[0]
 	for i, edge := range order {
 		out := run.path(fmt.Sprintf("comp-join%d", i))
-		acc, err = run.join(h.Conf, fmt.Sprintf("comp-join%d", i), acc, starRels[edge.Right], edge.Var, edge.Var, nil, out)
+		// Intermediate composite joins stream; the final one produces the
+		// composite relation — the MQO materialisation boundary every
+		// aggregatePattern reads — which keeps the real DFS write.
+		acc, err = run.join(h.Conf, fmt.Sprintf("comp-join%d", i), acc, starRels[edge.Right], edge.Var, edge.Var, nil, out, i < len(order)-1)
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +170,8 @@ func (h *MQO) aggregatePattern(run *runner, cp *algebra.CompositePattern, cols [
 		distinctCols := patternColumns(cp, cols, k)
 		job, out := distinctJob(fmt.Sprintf("gp%d-distinct", k), compRel, distinctCols, valid,
 			run.path(fmt.Sprintf("gp%d-distinct", k)))
+		// Consumed only by this pattern's grouping-aggregation below.
+		job.StreamOutput = true
 		if err := run.exec(job); err != nil {
 			return "", err
 		}

@@ -72,7 +72,9 @@ func (h *Naive) evalPattern(run *runner, ds *engine.Dataset, sq *algebra.Subquer
 		right := starRels[edge.Right]
 		out := run.path(fmt.Sprintf("%s-join%d", tag, i))
 		keepJoin := keepWithJoins(keep, order[i+1:])
-		acc, err = run.join(h.Conf, fmt.Sprintf("%s-join%d", tag, i), acc, right, edge.Var, edge.Var, keepJoin, out)
+		// Join intermediates are each consumed by exactly one later cycle
+		// (the next join or the grouping-aggregation), so they stream.
+		acc, err = run.join(h.Conf, fmt.Sprintf("%s-join%d", tag, i), acc, right, edge.Var, edge.Var, keepJoin, out, true)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +92,9 @@ func (h *Naive) evalStar(run *runner, ds *engine.Dataset, st *algebra.StarPatter
 	if len(inputs) == 1 {
 		return inputs[0].rel, nil
 	}
-	return run.starJoin(h.Conf, tag, inputs, keepWithVar(keep, st.SubjectVar), run.path(tag))
+	// A star output feeds exactly one consumer (its join edge, or the
+	// grouping-aggregation for single-star patterns), so it streams.
+	return run.starJoin(h.Conf, tag, inputs, keepWithVar(keep, st.SubjectVar), run.path(tag), true)
 }
 
 // starScanInputs builds one scan input per triple pattern of a star over
@@ -253,8 +257,11 @@ func (r *runner) emptyFile(oneCol bool) (string, error) {
 }
 
 // starJoin runs a star join, choosing a map join when all inputs but the
-// largest fit the broadcast budget.
-func (r *runner) starJoin(conf Config, name string, inputs []*starInput, keep map[string]bool, output string) (*rel, error) {
+// largest fit the broadcast budget. stream marks the output as
+// single-consumer intermediate state eligible for the DFS stream registry
+// (Job.StreamOutput); pass false when the output is a checkpoint read by
+// more than one downstream cycle.
+func (r *runner) starJoin(conf Config, name string, inputs []*starInput, keep map[string]bool, output string, stream bool) (*rel, error) {
 	driving, sideSum := 0, int64(0)
 	var total int64
 	largest := int64(-1)
@@ -284,6 +291,7 @@ func (r *runner) starJoin(conf Config, name string, inputs []*starInput, keep ma
 		}
 		job, out = starJoinJob(name, inputs, keep, output, store.ORCCompressionRatio)
 	}
+	job.StreamOutput = stream
 	if err := r.exec(job); err != nil {
 		return nil, err
 	}
@@ -291,7 +299,8 @@ func (r *runner) starJoin(conf Config, name string, inputs []*starInput, keep ma
 }
 
 // join runs a binary join, broadcasting whichever side fits the budget.
-func (r *runner) join(conf Config, name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string) (*rel, error) {
+// stream is as in starJoin.
+func (r *runner) join(conf Config, name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string, stream bool) (*rel, error) {
 	leftSize := conf.storedSize(r.C, left.file)
 	rightSize := conf.storedSize(r.C, right.file)
 	var job *mapred.Job
@@ -304,6 +313,7 @@ func (r *runner) join(conf Config, name string, left, right *rel, leftCol, right
 	default:
 		job, out = joinJob(name, left, right, leftCol, rightCol, keep, output, store.ORCCompressionRatio)
 	}
+	job.StreamOutput = stream
 	if err := r.exec(job); err != nil {
 		return nil, err
 	}

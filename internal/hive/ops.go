@@ -465,26 +465,7 @@ func joinJob(name string, left, right *rel, leftCol, rightCol string, keep map[s
 			})
 		},
 		NewReducer: func() mapred.Reducer {
-			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
-				var ls, rs []codec.Tuple
-				for _, v := range values {
-					t, err := left.decode(v[1:])
-					if err != nil {
-						return err
-					}
-					if v[0] == 0 {
-						ls = append(ls, t)
-					} else {
-						rs = append(rs, t)
-					}
-				}
-				for _, l := range ls {
-					for _, rr := range rs {
-						emit("", planeEncode(d, mergeJoinRow(left, right, leftCol, rightCol, keep, l, rr)))
-					}
-				}
-				return nil
-			})
+			return symJoinReducer(left, right, leftCol, rightCol, keep, d)
 		},
 	}
 	return job, materialized(output, outCols, d)

@@ -95,6 +95,13 @@ type Job struct {
 	// ReduceOperator labels the reduce phase's logical operator (e.g.
 	// TG_AlphaJoin, group-agg). Empty defaults to "reduce".
 	ReduceOperator string
+	// StreamOutput marks the job's output as safe to stream: when the
+	// cluster's ClusterConfig.Streaming is also on, the output stays in
+	// the DFS stream registry as columnar batches instead of
+	// materialising, because every consumer runs in the same job chain.
+	// Leave false for checkpointed or multi-consumer outputs and for
+	// files later rewritten in place — those need the real DFS boundary.
+	StreamOutput bool
 }
 
 // MapOnly reports whether the job has no reduce phase.
@@ -141,10 +148,20 @@ type Metrics struct {
 	// SpillBytes counts the logical key+value bytes written to spill runs.
 	SpillBytes int64
 
-	ReduceGroups      int64   // distinct reduce keys
-	OutputRecords     int64   // records written to the DFS
-	OutputBytes       int64   // uncompressed logical bytes written
-	OutputStoredBytes int64   // stored bytes written
+	ReduceGroups      int64 // distinct reduce keys
+	OutputRecords     int64 // records written to the DFS
+	OutputBytes       int64 // uncompressed logical bytes written
+	OutputStoredBytes int64 // stored bytes written (notional for streamed output)
+
+	// StreamedRecords counts output records that stayed in the stream
+	// registry rather than materialising: equal to OutputRecords when the
+	// job streamed, 0 when it wrote a backend file (streaming off, job not
+	// marked StreamOutput, or the stream overflowed to the backend). Like
+	// every volume field it is deterministic for a given configuration.
+	StreamedRecords int64
+	// StreamedBatches counts the columnar batches committed to the live
+	// stream (0 after an overflow).
+	StreamedBatches   int64
 	SimulatedMapTasks int     // from the cost model's block math
 	SimulatedRedTasks int     // reduce tasks the cost model schedules
 	SimSeconds        float64 // the cost model's cluster-time estimate
@@ -227,6 +244,40 @@ func (w *WorkflowMetrics) MaterializedBytes() int64 {
 	var b int64
 	for _, m := range w.Jobs {
 		b += m.OutputBytes
+	}
+	return b
+}
+
+// StreamedRecords returns the total output records that stayed in the DFS
+// stream registry across all cycles (0 when streaming was off everywhere).
+func (w *WorkflowMetrics) StreamedRecords() int64 {
+	var n int64
+	for _, m := range w.Jobs {
+		n += m.StreamedRecords
+	}
+	return n
+}
+
+// StreamedBatches returns the total columnar batches committed to live
+// streams across all cycles.
+func (w *WorkflowMetrics) StreamedBatches() int64 {
+	var n int64
+	for _, m := range w.Jobs {
+		n += m.StreamedBatches
+	}
+	return n
+}
+
+// MaterializedStoredBytes returns the stored bytes of outputs that really
+// reached the storage backend — the quantity streaming reduces. Streamed
+// cycles (StreamedRecords > 0) contribute nothing; their OutputStoredBytes
+// is notional.
+func (w *WorkflowMetrics) MaterializedStoredBytes() int64 {
+	var b int64
+	for _, m := range w.Jobs {
+		if m.StreamedRecords == 0 {
+			b += m.OutputStoredBytes
+		}
 	}
 	return b
 }

@@ -10,6 +10,7 @@ import (
 
 	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/obs"
+	"rapidanalytics/internal/vec"
 )
 
 // kv is a key/value pair in flight between map and reduce.
@@ -74,12 +75,14 @@ type taskResult struct {
 }
 
 // partState carries one reduce partition through shuffle-sort and reduce:
-// the sorted key groups, the buffered reducer output, and the partition's
+// the sorted key groups, the buffered reducer output (raw records, or
+// sealed columnar batches when the job streams), and the partition's
 // share of the volume metrics, merged into Metrics in partition order so
 // parallel execution is indistinguishable from sequential.
 type partState struct {
-	groups []group
-	out    [][]byte
+	groups  []group
+	out     [][]byte
+	batches []*vec.Batch
 
 	mapOutRecords int64
 	mapOutBytes   int64
@@ -98,7 +101,7 @@ type partState struct {
 // written to the DFS in partition order — so output bytes, record order
 // and all volume metrics are identical whether the phases run on one
 // worker or many, and identical across storage backends.
-func (c *Cluster) Run(job *Job) (*Metrics, error) {
+func (c *Cluster) Run(job *Job) (metrics *Metrics, err error) {
 	if err := c.err(); err != nil {
 		return nil, fmt.Errorf("mapred: job %s aborted: %w", job.Name, err)
 	}
@@ -118,7 +121,14 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		return nil, err
 	}
 	if c.Config.SpillThresholdBytes > 0 && !job.MapOnly() {
-		defer c.cleanupSpills(job.Output)
+		// A failed spill delete leaks backend storage; it fails the job
+		// unless the job already failed for a more fundamental reason.
+		defer func() {
+			if cerr := c.cleanupSpills(job.Output); cerr != nil && err == nil {
+				metrics = nil
+				err = fmt.Errorf("%w: job %s: %w", ErrSpillCleanup, job.Name, cerr)
+			}
+		}()
 	}
 
 	partitions := job.Partitions
@@ -157,18 +167,31 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 	if ratio <= 0 || ratio > 1 {
 		ratio = 1
 	}
+	// Streamed output: the job opted in and the cluster allows it. The
+	// write loops below are identical either way — only the writer's
+	// destination (stream registry vs backend) and span name differ.
+	streaming := c.streamOutput(job)
 
 	if job.MapOnly() {
 		// Map-only output is written directly from the (single-partition)
 		// map buffers in task order, as Hadoop map tasks would; the write is
 		// part of the map phase, there is no shuffle or reduce.
 		wstart := time.Now()
-		out, err := c.FS.Create(job.Output, ratio)
+		out, err := c.createOutput(job, ratio, streaming)
 		if err != nil {
 			return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
 		}
-		ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
+		ioSpan := cycle.StartChild(obs.KindIO, writeSpanName(streaming))
 		out.SetSpan(ioSpan)
+		write := out.Write
+		if streaming {
+			// The stream copies records into batches and never retains the
+			// slice, so the emit buffers can transfer without a copy. (After
+			// an overflow the backend writer does retain, which is equally
+			// safe: map emit values are owned by the task's buffers and
+			// never reused.)
+			write = out.WriteOwned
+		}
 		werr := func() error {
 			for i := range results {
 				for ri, e := range results[i].parts[0] {
@@ -179,7 +202,7 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 					}
 					m.MapOutputRecords++
 					m.MapOutputBytes += int64(len(e.key) + len(e.value))
-					out.Write(e.value)
+					write(e.value)
 					m.OutputRecords++
 					m.OutputBytes += int64(len(e.value))
 				}
@@ -194,6 +217,7 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 			return nil, werr
 		}
 		m.OutputStoredBytes = out.StoredBytes()
+		m.noteStreamed(out)
 		m.MapWallNs += time.Since(wstart).Nanoseconds()
 		mapPhase.EndWith(time.Duration(m.MapWallNs))
 		cycle.AddRecords(m.OutputRecords)
@@ -303,17 +327,28 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		}
 	}
 
-	// Materialise buffered partition outputs in partition order — the byte
-	// stream a single sequential reducer loop would have produced.
-	out, err := c.FS.Create(job.Output, ratio)
+	// Commit buffered partition outputs in partition order — the byte
+	// stream a single sequential reducer loop would have produced. Streamed
+	// jobs transfer each partition's sealed batches wholesale (no
+	// per-record re-encode); materialised jobs write record by record.
+	out, err := c.createOutput(job, ratio, streaming)
 	if err != nil {
 		return nil, fmt.Errorf("mapred: job %s: %w", job.Name, err)
 	}
-	ioSpan := cycle.StartChild(obs.KindIO, "dfs-write")
+	ioSpan := cycle.StartChild(obs.KindIO, writeSpanName(streaming))
 	out.SetSpan(ioSpan)
 	werr := func() error {
 		for p := range states {
 			st := &states[p]
+			// Each batch holds at most StreamBatchRows (~ctxCheckInterval)
+			// records, so a per-batch poll matches the record loop's
+			// cancellation density.
+			for _, b := range st.batches {
+				if err := c.err(); err != nil {
+					return fmt.Errorf("mapred: job %s aborted writing reduce output: %w", job.Name, err)
+				}
+				out.WriteBatch(b)
+			}
 			for ri, rec := range st.out {
 				if ri%ctxCheckInterval == 0 {
 					if err := c.err(); err != nil {
@@ -336,6 +371,7 @@ func (c *Cluster) Run(job *Job) (*Metrics, error) {
 		return nil, werr
 	}
 	m.OutputStoredBytes = out.StoredBytes()
+	m.noteStreamed(out)
 	m.ReduceWallNs = time.Since(reduceStart).Nanoseconds()
 	reduceOp.AddRecords(m.ReduceGroups)
 	reducePhase.AddRecords(m.OutputRecords)
@@ -447,13 +483,18 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][][]byte
 
 // reducePartition sorts nothing (the groups are prepared by the shuffle
 // phase); it runs the reducer over one partition's groups, buffering output
-// records and volume counts into st.
+// records and volume counts into st. Streamed jobs buffer sealed columnar
+// batches instead of raw record slices; record order is identical.
 func (c *Cluster) reducePartition(job *Job, st *partState, abort *abortSignal) error {
 	if err := c.err(); err != nil {
 		return err
 	}
 	if abort.aborted() {
 		return errSiblingAborted
+	}
+	var bu *vec.Builder
+	if c.streamOutput(job) {
+		bu = vec.NewBuilder(c.Config.StreamBatchRows)
 	}
 	red := job.NewReducer()
 	for gi, g := range st.groups {
@@ -467,11 +508,19 @@ func (c *Cluster) reducePartition(job *Job, st *partState, abort *abortSignal) e
 		}
 		st.reduceGroups++
 		err := red.Reduce(g.key, g.values, func(_ string, value []byte) {
-			// Copy: reducers may reuse the emitted slice, and the write to
-			// the DFS happens only after every partition finishes.
-			rec := make([]byte, len(value))
-			copy(rec, value)
-			st.out = append(st.out, rec)
+			// Reducers may reuse the emitted slice and the write to the DFS
+			// happens only after every partition finishes, so the value must
+			// be copied here: into the batch builder (which always copies)
+			// or into a fresh record slice.
+			if bu != nil {
+				if b := bu.Append(value); b != nil {
+					st.batches = append(st.batches, b)
+				}
+			} else {
+				rec := make([]byte, len(value))
+				copy(rec, value)
+				st.out = append(st.out, rec)
+			}
 			st.outputRecords++
 			st.outputBytes += int64(len(value))
 		})
@@ -479,7 +528,43 @@ func (c *Cluster) reducePartition(job *Job, st *partState, abort *abortSignal) e
 			return fmt.Errorf("reduce key %q: %w", g.key, err)
 		}
 	}
+	if bu != nil {
+		if b := bu.Flush(); b != nil {
+			st.batches = append(st.batches, b)
+		}
+	}
 	return nil
+}
+
+// streamOutput reports whether a job's output takes the streamed path.
+func (c *Cluster) streamOutput(job *Job) bool {
+	return job.StreamOutput && c.Config.Streaming
+}
+
+// createOutput opens the job's output writer on the streamed or
+// materialised path.
+func (c *Cluster) createOutput(job *Job, ratio float64, streaming bool) (*dfs.Writer, error) {
+	if streaming {
+		return c.FS.CreateStream(job.Output, ratio, c.Config.StreamBatchRows, c.Config.StreamSpillBytes)
+	}
+	return c.FS.Create(job.Output, ratio)
+}
+
+// writeSpanName labels the output io span by destination.
+func writeSpanName(streaming bool) string {
+	if streaming {
+		return "stream-write"
+	}
+	return "dfs-write"
+}
+
+// noteStreamed records whether the job's output stayed in the stream
+// registry (after Close, so overflow demotions are final).
+func (m *Metrics) noteStreamed(out *dfs.Writer) {
+	m.StreamedBatches = out.StreamedBatches()
+	if m.StreamedBatches > 0 {
+		m.StreamedRecords = m.OutputRecords
+	}
 }
 
 // runPartitions applies f to every partition index on a pool of workers.

@@ -3,8 +3,10 @@ package mapred
 import (
 	"container/heap"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"rapidanalytics/internal/dfs"
@@ -31,16 +33,49 @@ type spillRef struct {
 }
 
 // spillRunName places task t's run r for partition p under a job-unique
-// prefix, so concurrent queries on one cluster never collide.
+// prefix, so concurrent queries on one cluster never collide. It runs once
+// per spilled partition on the map task's record loop, so the name builds
+// into one pre-sized buffer instead of going through fmt.
+//
+//rapid:hot
 func spillRunName(output string, task, run, part int) string {
-	return fmt.Sprintf("_spill/%s/t%04d-r%04d-p%04d", output, task, run, part)
+	buf := make([]byte, 0, len("_spill/")+len(output)+len("/t0000-r0000-p0000")+3*binary.MaxVarintLen16)
+	buf = append(buf, "_spill/"...)
+	buf = append(buf, output...)
+	buf = append(buf, "/t"...)
+	buf = appendPadded(buf, task)
+	buf = append(buf, "-r"...)
+	buf = appendPadded(buf, run)
+	buf = append(buf, "-p"...)
+	buf = appendPadded(buf, part)
+	//lint:alloc the name escapes into spillRef and FS.Create; one string allocation is the floor
+	return string(buf)
 }
 
-// cleanupSpills removes every spill run a job left behind.
-func (c *Cluster) cleanupSpills(output string) {
-	for _, name := range c.FS.List("_spill/" + output + "/") {
-		c.FS.Delete(name)
+// appendPadded appends n zero-padded to at least four digits (the %04d the
+// name format always used; wider values print unpadded).
+func appendPadded(buf []byte, n int) []byte {
+	for lim := 1000; lim > 1 && n < lim; lim /= 10 {
+		buf = append(buf, '0')
 	}
+	return strconv.AppendInt(buf, int64(n), 10)
+}
+
+// ErrSpillCleanup marks a job whose spill runs could not be deleted after
+// the run — leaked backend storage, surfaced on the job's error path.
+// Test with errors.Is.
+var ErrSpillCleanup = errors.New("mapred: spill cleanup failed")
+
+// cleanupSpills removes every spill run a job left behind, returning the
+// first delete failure (with the file named) after attempting the rest.
+func (c *Cluster) cleanupSpills(output string) error {
+	var first error
+	for _, name := range c.FS.List("_spill/" + output + "/") {
+		if err := c.FS.Delete(name); err != nil && first == nil {
+			first = fmt.Errorf("deleting %s: %w", name, err)
+		}
+	}
+	return first
 }
 
 // spillMaxBuffered tracks the high-water mark of per-task buffered kv
@@ -68,14 +103,20 @@ func encodeKV(e kv) []byte {
 	return buf
 }
 
-// decodeKV parses a spill record. The returned value aliases rec.
+// decodeKV parses a spill record. The returned value is a copy: merge
+// consumers retain values in reduce groups long past the source iterator's
+// next advance, and while backend iterators hand out stable records today,
+// an aliased value would silently corrupt groups the moment spill reads
+// flow through a buffer-reusing source (as streamed files do).
 func decodeKV(rec []byte) (kv, error) {
 	kl, n := binary.Uvarint(rec)
 	if n <= 0 || kl > uint64(len(rec)-n) {
 		return kv{}, fmt.Errorf("mapred: corrupt spill record")
 	}
 	end := n + int(kl)
-	return kv{key: string(rec[n:end]), value: rec[end:]}, nil
+	val := make([]byte, len(rec)-end)
+	copy(val, rec[end:])
+	return kv{key: string(rec[n:end]), value: val}, nil
 }
 
 // sortStableByKey sorts kvs by key, preserving emission order within a

@@ -91,14 +91,19 @@ func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPatte
 	if err != nil {
 		return tgops.Source{}, err
 	}
-	return JoinChain(run, scans, order, tag, ntga.ResolveAlpha(cp, ds.Dict))
+	// The matched source feeds exactly one TG_AgJ cycle per subquery chain,
+	// so even the final join output streams.
+	return JoinChain(run, scans, order, tag, ntga.ResolveAlpha(cp, ds.Dict), true)
 }
 
 // JoinChain executes the ordered TG (α-)join cycles; the accumulated side
 // starts from star 0 (the JoinOrder contract). Exported for the
 // RAPIDAnalytics planner, which drives the same physical joins over a
-// composite pattern.
-func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, alpha *ntga.AlphaTable) (tgops.Source, error) {
+// composite pattern. Non-final join outputs always stream — each feeds
+// only the next cycle of the chain; streamFinal extends that to the last
+// output, and must be false when the chain's result is read by more than
+// one downstream cycle (sequential aggregation over shared matches).
+func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, alpha *ntga.AlphaTable, streamFinal bool) (tgops.Source, error) {
 	acc := scans[0]
 	for i, edge := range order {
 		leftEp := tgops.Endpoint{Star: edge.Left, Role: edge.LeftRole, Props: edge.LeftProps}
@@ -109,6 +114,7 @@ func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, t
 			tgops.JoinSide{Src: acc, Ep: leftEp},
 			tgops.JoinSide{Src: scans[edge.Right], Ep: rightEp},
 			alpha, out)
+		job.StreamOutput = streamFinal || i < len(order)-1
 		if err := run.Exec(job); err != nil {
 			return tgops.Source{}, err
 		}

@@ -328,6 +328,19 @@ func AlphaJoinJob(name string, left, right JoinSide, alpha *ntga.AlphaTable, out
 				}
 				return ntga.DecodeAnnTG(buf)
 			}
+			// Symmetric (streaming) formulation: one pass over the group,
+			// pairing each arriving triplegroup with every earlier arrival
+			// of the other side, so merged groups are emitted as soon as
+			// the later element arrives instead of after buffering the
+			// whole group. Each (l, r) pair is emitted exactly once;
+			// deterministic given the shuffle's fixed value order, and
+			// downstream TG_AgJ aggregation is order-insensitive.
+			pair := func(l, r *ntga.AnnTG, emit mapred.Emit) {
+				merged := ntga.Merge(*l, *r)
+				if alpha.SatisfiesAny(&merged) {
+					emit("", encodeAnnTG(&merged, nil))
+				}
+			}
 			return mapred.ReducerFunc(func(key string, values [][]byte, emit mapred.Emit) error {
 				var ls, rs []ntga.AnnTG
 				for _, v := range values {
@@ -339,17 +352,15 @@ func AlphaJoinJob(name string, left, right JoinSide, alpha *ntga.AlphaTable, out
 						return err
 					}
 					if v[0] == 0 {
+						for j := range rs {
+							pair(&a, &rs[j], emit)
+						}
 						ls = append(ls, a)
 					} else {
-						rs = append(rs, a)
-					}
-				}
-				for i := range ls {
-					for j := range rs {
-						merged := ntga.Merge(ls[i], rs[j])
-						if alpha.SatisfiesAny(&merged) {
-							emit("", encodeAnnTG(&merged, nil))
+						for i := range ls {
+							pair(&ls[i], &a, emit)
 						}
+						rs = append(rs, a)
 					}
 				}
 				return nil

@@ -1,0 +1,79 @@
+package vec
+
+// Iterator is the pull-based batch stream composed through the operator
+// pipeline: scan sources, the dfs stream registry and join emitters all
+// speak it. Implementations are not safe for concurrent use; create one
+// iterator per consumer.
+//
+// Lifecycle contract (exercised by the lifecycle tests): Next returns nil
+// at end of stream or after Close; Close may be called at any point,
+// including mid-stream, and is idempotent; Next must never be called
+// concurrently with Close from another goroutine.
+type Iterator interface {
+	// Next returns the next batch, or nil at end of stream (check Err via
+	// the error return: a nil batch with nil error is a clean end).
+	Next() (*Batch, error)
+	// Close releases the iterator's resources. Idempotent; Next returns
+	// nil after Close.
+	Close() error
+}
+
+// SliceIterator streams a fixed slice of sealed batches.
+type SliceIterator struct {
+	batches []*Batch
+	pos     int
+	closed  bool
+}
+
+// NewSliceIterator returns an iterator over batches (not copied; callers
+// must not mutate the slice while iterating).
+func NewSliceIterator(batches []*Batch) *SliceIterator {
+	return &SliceIterator{batches: batches}
+}
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() (*Batch, error) {
+	if it.closed || it.pos >= len(it.batches) {
+		return nil, nil
+	}
+	b := it.batches[it.pos]
+	it.pos++
+	return b, nil
+}
+
+// Close implements Iterator. It drops the batch references so an
+// early-closed iterator does not pin the stream's memory.
+func (it *SliceIterator) Close() error {
+	it.closed = true
+	it.batches = nil
+	return nil
+}
+
+// checkIterator wraps an iterator with a cancellation poll between
+// batches — the batch-granular analogue of the engine's ctxCheckInterval
+// record polls (a batch holds at most ~DefaultBatchRows records, so the
+// poll density matches the record-at-a-time loops rapidlint's ctxloop
+// analyzer checks).
+type checkIterator struct {
+	it    Iterator
+	check func() error
+}
+
+// WithCheck returns an iterator that calls check before every Next,
+// surfacing its error instead of the batch. A nil check returns it
+// unchanged.
+func WithCheck(it Iterator, check func() error) Iterator {
+	if check == nil {
+		return it
+	}
+	return &checkIterator{it: it, check: check}
+}
+
+func (ci *checkIterator) Next() (*Batch, error) {
+	if err := ci.check(); err != nil {
+		return nil, err
+	}
+	return ci.it.Next()
+}
+
+func (ci *checkIterator) Close() error { return ci.it.Close() }

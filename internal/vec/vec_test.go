@@ -1,0 +1,300 @@
+package vec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// encodeTuple builds the canonical uvarint ID-tuple encoding the dict
+// plane uses (codec.EncodeIDs without the codec dependency).
+func encodeTuple(ids ...uint64) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return buf
+}
+
+// drain seals the builder and re-encodes every row of every batch,
+// returning the records in order.
+func drain(bu *Builder, sealed []*Batch) [][]byte {
+	if b := bu.Flush(); b != nil {
+		sealed = append(sealed, b)
+	}
+	var out [][]byte
+	for _, b := range sealed {
+		for r := 0; r < b.Rows(); r++ {
+			out = append(out, b.AppendRecord(nil, r))
+		}
+	}
+	return out
+}
+
+func TestBuilderRoundTripColumnar(t *testing.T) {
+	bu := NewBuilder(4)
+	var sealed []*Batch
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		rec := encodeTuple(uint64(i), uint64(i)*300, 0)
+		want = append(want, rec)
+		if b := bu.Append(rec); b != nil {
+			sealed = append(sealed, b)
+		}
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("sealed %d batches mid-stream, want 2", len(sealed))
+	}
+	got := drain(bu, sealed)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("row %d = %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchColumnsAndValidity(t *testing.T) {
+	bu := NewBuilder(8)
+	bu.Append(encodeTuple(7, 0, 9))
+	bu.Append(encodeTuple(0, 5, 1))
+	b := bu.Flush()
+	if !b.Columnar() || b.Arity() != 3 || b.Rows() != 2 {
+		t.Fatalf("batch shape = columnar %v arity %d rows %d", b.Columnar(), b.Arity(), b.Rows())
+	}
+	if b.ID(0, 0) != 7 || b.ID(1, 1) != 5 || b.ID(2, 0) != 9 {
+		t.Fatalf("ID values wrong: %d %d %d", b.ID(0, 0), b.ID(1, 1), b.ID(2, 0))
+	}
+	wantNull := [][]bool{{false, true}, {true, false}, {false, false}}
+	for c := range wantNull {
+		for r, null := range wantNull[c] {
+			if b.Null(c, r) != null {
+				t.Errorf("Null(%d,%d) = %v, want %v", c, r, b.Null(c, r), null)
+			}
+		}
+	}
+	wantBytes := int64(len(encodeTuple(7, 0, 9)) + len(encodeTuple(0, 5, 1)))
+	if b.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, want %d", b.Bytes(), wantBytes)
+	}
+	if n := b.RecordLen(0); n != len(encodeTuple(7, 0, 9)) {
+		t.Errorf("RecordLen(0) = %d, want %d", n, len(encodeTuple(7, 0, 9)))
+	}
+}
+
+// TestBuilderRawFallback checks that non-tuple records — lexical rows,
+// truncated and non-canonical encodings — round-trip verbatim through raw
+// batches.
+func TestBuilderRawFallback(t *testing.T) {
+	raws := [][]byte{
+		[]byte("lexical\x1frow"),
+		{0x81},             // truncated uvarint
+		{0x80, 0x00},       // non-canonical zero: must not merge with canonical tuples
+		{0x01, 0x80, 0x01}, // non-canonical value encoding
+		{0x02, 0x01},       // arity 2, one value: truncated tuple
+		{0x00, 0x00},       // trailing byte after empty tuple
+		{},                 // empty record
+	}
+	bu := NewBuilder(DefaultBatchRows)
+	var sealed []*Batch
+	for _, rec := range raws {
+		if b := bu.Append(rec); b != nil {
+			sealed = append(sealed, b)
+		}
+	}
+	got := drain(bu, sealed)
+	if len(got) != len(raws) {
+		t.Fatalf("rows = %d, want %d", len(got), len(raws))
+	}
+	for i := range raws {
+		if !bytes.Equal(got[i], raws[i]) {
+			t.Fatalf("row %d = %x, want %x", i, got[i], raws[i])
+		}
+	}
+}
+
+// TestBuilderShapeChangesSealBatches interleaves arities and raw records;
+// order must be preserved exactly across the seals.
+func TestBuilderShapeChangesSealBatches(t *testing.T) {
+	recs := [][]byte{
+		encodeTuple(1, 2),
+		encodeTuple(3, 4),
+		encodeTuple(5, 6, 7), // arity change seals
+		[]byte("raw"),        // raw seals
+		encodeTuple(8),       // back to columnar
+		{},                   // raw again
+		encodeTuple(0),       // empty/zero id tuple
+	}
+	bu := NewBuilder(DefaultBatchRows)
+	var sealed []*Batch
+	for _, rec := range recs {
+		if b := bu.Append(rec); b != nil {
+			sealed = append(sealed, b)
+		}
+	}
+	got := drain(bu, sealed)
+	if len(got) != len(recs) {
+		t.Fatalf("rows = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("row %d = %x, want %x", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestBuilderRandomRoundTrip drives random mixtures of canonical tuples
+// and raw bytes through small batches; the reassembled stream must be
+// byte-identical. Determinism: fixed seed.
+func TestBuilderRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bu := NewBuilder(3)
+	var sealed []*Batch
+	var want [][]byte
+	for i := 0; i < 500; i++ {
+		var rec []byte
+		switch rng.Intn(3) {
+		case 0:
+			rec = encodeTuple(uint64(rng.Intn(1 << 20)))
+		case 1:
+			rec = encodeTuple(uint64(rng.Intn(5)), uint64(rng.Uint32()), uint64(rng.Intn(2)))
+		default:
+			rec = make([]byte, rng.Intn(9))
+			rng.Read(rec)
+		}
+		want = append(want, rec)
+		if b := bu.Append(rec); b != nil {
+			sealed = append(sealed, b)
+		}
+	}
+	got := drain(bu, sealed)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("row %d = %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBuilderCopiesRecord mutates the appended slice afterwards; the batch
+// must hold its own copy (raw arena and columnar values alike).
+func TestBuilderCopiesRecord(t *testing.T) {
+	bu := NewBuilder(8)
+	var sealed []*Batch
+	raw := []byte{0xff, 0xfe}
+	bu.Append(raw)
+	raw[0] = 0
+	tup := encodeTuple(42)
+	if b := bu.Append(tup); b != nil { // shape change seals the raw batch
+		sealed = append(sealed, b)
+	}
+	tup[1] = 0
+	got := drain(bu, sealed)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	if !bytes.Equal(got[0], []byte{0xff, 0xfe}) {
+		t.Errorf("raw row aliased the appended slice: %x", got[0])
+	}
+	if !bytes.Equal(got[1], encodeTuple(42)) {
+		t.Errorf("tuple row aliased the appended slice: %x", got[1])
+	}
+}
+
+func TestSliceIterator(t *testing.T) {
+	bu := NewBuilder(2)
+	var sealed []*Batch
+	for i := 0; i < 5; i++ {
+		if b := bu.Append(encodeTuple(uint64(i))); b != nil {
+			sealed = append(sealed, b)
+		}
+	}
+	if b := bu.Flush(); b != nil {
+		sealed = append(sealed, b)
+	}
+	it := NewSliceIterator(sealed)
+	var rows int
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		rows += b.Rows()
+	}
+	if rows != 5 {
+		t.Fatalf("rows = %d, want 5", rows)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Iterator lifecycle (the BatchIterator contract) ---
+
+func TestSliceIteratorEarlyCloseMidStream(t *testing.T) {
+	it := NewSliceIterator([]*Batch{{rows: 1}, {rows: 1}, {rows: 1}})
+	if b, err := it.Next(); b == nil || err != nil {
+		t.Fatalf("first Next = %v, %v", b, err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("early Close: %v", err)
+	}
+	if b, err := it.Next(); b != nil || err != nil {
+		t.Fatalf("Next after Close = %v, %v; want nil, nil", b, err)
+	}
+}
+
+func TestSliceIteratorDoubleClose(t *testing.T) {
+	it := NewSliceIterator([]*Batch{{rows: 1}})
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestWithCheckCancelsBetweenBatches models the ctxloop contract at batch
+// granularity: a check that starts failing stops the stream at the next
+// batch boundary with the check's error.
+func TestWithCheckCancelsBetweenBatches(t *testing.T) {
+	wantErr := errors.New("cancelled")
+	var fail bool
+	it := WithCheck(
+		NewSliceIterator([]*Batch{{rows: 1}, {rows: 1}}),
+		func() error {
+			if fail {
+				return wantErr
+			}
+			return nil
+		})
+	if b, err := it.Next(); b == nil || err != nil {
+		t.Fatalf("first Next = %v, %v", b, err)
+	}
+	fail = true
+	if _, err := it.Next(); !errors.Is(err, wantErr) {
+		t.Fatalf("Next after cancel = %v, want %v", err, wantErr)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("double Close through WithCheck: %v", err)
+	}
+}
+
+func TestWithCheckNilCheckPassthrough(t *testing.T) {
+	base := NewSliceIterator(nil)
+	if it := WithCheck(base, nil); it != Iterator(base) {
+		t.Fatal("WithCheck(nil) wrapped the iterator")
+	}
+}

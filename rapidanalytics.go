@@ -113,6 +113,17 @@ type Options struct {
 	// DFS and merged back during the shuffle. 0 disables spilling. Query
 	// results and output bytes are identical for every setting.
 	SpillThresholdBytes int64
+	// Streaming keeps eligible intermediate job outputs in the DFS stream
+	// registry as columnar term-ID batches instead of materialising them
+	// into the storage backend — the vectorized streaming plane. Only
+	// single-consumer outputs of one job chain stream; checkpointed and
+	// multi-consumer outputs keep the real DFS boundary. Query results,
+	// volume metrics and simulated seconds are byte-identical either way.
+	// Enabled by DefaultOptions.
+	Streaming bool
+	// StreamBatchRows is the row capacity of streamed columnar batches;
+	// <= 0 selects the vec package default (1024).
+	StreamBatchRows int
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
 }
@@ -138,7 +149,7 @@ const (
 // DefaultOptions returns a 10-node cluster with no data-scale
 // extrapolation.
 func DefaultOptions() Options {
-	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20, DictionaryEncoding: true}
+	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20, DictionaryEncoding: true, Streaming: true}
 }
 
 // Term is an RDF term accepted by Store.Add.
@@ -276,6 +287,8 @@ func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset, error) {
 		cfg := mapred.VCL10(s.opts.DataScale)
 		cfg.Nodes = s.opts.Nodes
 		cfg.SpillThresholdBytes = s.opts.SpillThresholdBytes
+		cfg.Streaming = s.opts.Streaming
+		cfg.StreamBatchRows = s.opts.StreamBatchRows
 		s.loads++
 		fs, err := s.newFS()
 		if err != nil {
