@@ -17,7 +17,9 @@
 // writes BENCH_dict.json), disk (in-memory vs disk-backed DFS over the
 // full MG catalog, writes BENCH_disk.json), stream (streaming vs
 // materialised intermediates over the full MG catalog, writes
-// BENCH_stream.json), all.
+// BENCH_stream.json), planner (heuristic vs statistics-driven cost-based
+// planner over the BSBM MG queries and the adversarially skewed SK
+// stressors, writes BENCH_planner.json), all.
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, stream, all")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, stream, planner, all")
 		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
@@ -65,6 +67,7 @@ func main() {
 	run("dict", Dict)
 	run("disk", Disk)
 	run("stream", Stream)
+	run("planner", Planner)
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(h, *traceOut); err != nil {

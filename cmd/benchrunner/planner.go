@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rapidanalytics/internal/bench"
+)
+
+// Planner benchmarks the statistics-driven cost-based planner against the
+// fixed star-0-first heuristic over the BSBM multi-grouping queries (on the
+// uniform graph) and the SK stressors (on both adversarially skewed
+// graphs). Every run is verified against the in-memory oracle; the report
+// additionally gates on the cost-based plans being strictly cheaper in
+// simulated seconds on the skewed datasets, and on at least one mid-query
+// re-plan having fired (visible as a "re-plan" planner span). Results go
+// to stdout and BENCH_planner.json; any gate failure is an error, so CI
+// fails when the planner drifts. The harness's SizeMult carries over for
+// reduced-scale CI smoke runs.
+func Planner(h *bench.Harness) (string, error) {
+	rep, err := bench.ComparePlannerModes(bench.PlannerCatalog(), h.Loader.SizeMult)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_planner.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if !rep.AllRowsIdentical {
+		return "", fmt.Errorf("heuristic and cost-based planners returned different rows (see BENCH_planner.json)")
+	}
+	if !rep.SkewFaster {
+		return "", fmt.Errorf("cost-based plans not cheaper than heuristic on the skewed datasets (see BENCH_planner.json)")
+	}
+	if !rep.ReplanObserved {
+		return "", fmt.Errorf("no mid-query re-plan fired across the catalog (see BENCH_planner.json)")
+	}
+	return bench.RenderPlanner(rep) + "(wrote BENCH_planner.json)\n", nil
+}

@@ -20,7 +20,9 @@ import (
 	"time"
 
 	"rapidanalytics/internal/bench"
+	"rapidanalytics/internal/core"
 	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/rapid"
 
 	ra "rapidanalytics"
 )
@@ -43,9 +45,11 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "root directory for -storage disk (empty = fresh temp dir)")
 		shards   = flag.Int("shards", 0, "disk backend shard directory count (0 = default)")
 		spill    = flag.Int64("spill-threshold", 0, "map-side spill threshold in bytes (0 disables spilling)")
+		costPlan = flag.Bool("cost-planner", true, "statistics-driven join ordering, map-join sizing and re-planning (false = fixed heuristic)")
+		replan   = flag.Float64("replan-ratio", 0, "mid-query re-plan trigger: estimate/observed mismatch ratio (0 = default 4, negative disables re-planning)")
 	)
 	flag.Parse()
-	st := storageOpts{storage: *storage, dataDir: *dataDir, shards: *shards, spill: *spill}
+	st := storageOpts{storage: *storage, dataDir: *dataDir, shards: *shards, spill: *spill, costPlanner: *costPlan, replanRatio: *replan}
 	if *trace != "" && *trace != "table" && *trace != "spans" {
 		fatal(fmt.Errorf("-trace must be empty, %q or %q", "table", "spans"))
 	}
@@ -70,12 +74,15 @@ func main() {
 	runOnCatalogDataset(query, *queryID, *dataset, *system, *all, *verify, *rows, *trace, *traceOut, st)
 }
 
-// storageOpts carries the storage-backend flags into both run paths.
+// storageOpts carries the storage-backend and planner flags into both run
+// paths.
 type storageOpts struct {
-	storage string
-	dataDir string
-	shards  int
-	spill   int64
+	storage     string
+	dataDir     string
+	shards      int
+	spill       int64
+	costPlanner bool
+	replanRatio float64
 }
 
 func resolveQuery(queryID, file string) (string, error) {
@@ -108,6 +115,10 @@ func runOnFile(query, dataFile, system string, all, verify bool, rows int, trace
 	opts.DataDir = st.dataDir
 	opts.StorageShards = st.shards
 	opts.SpillThresholdBytes = st.spill
+	opts.CostBasedPlanner = st.costPlanner
+	if st.replanRatio != 0 {
+		opts.ReplanRatio = st.replanRatio
+	}
 	store := ra.NewStore(opts)
 	if err := store.LoadNTriples(f); err != nil {
 		fatal(err)
@@ -168,6 +179,19 @@ func runOnCatalogDataset(query, queryID, dataset, system string, all, verify boo
 	h.Loader.Shards = st.shards
 	h.Loader.SpillThresholdBytes = st.spill
 	engines := bench.Engines()
+	if !st.costPlanner {
+		engines = bench.HeuristicEngines()
+	}
+	if st.replanRatio != 0 {
+		for _, e := range engines {
+			switch t := e.(type) {
+			case *rapid.Engine:
+				t.ReplanRatio = st.replanRatio
+			case *core.Engine:
+				t.Opts.ReplanRatio = st.replanRatio
+			}
+		}
+	}
 	if !all {
 		var filtered []engine.Engine
 		for _, e := range engines {

@@ -287,3 +287,37 @@ func TestConcurrentParallelReduceStableStats(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPrepareInvalidatedByMutation: plan-cache keys fold in the store's
+// data version, so a Prepare after any mutation can never serve a plan
+// built against the pre-mutation layouts and statistics — the old entry
+// simply stops being addressable.
+func TestPrepareInvalidatedByMutation(t *testing.T) {
+	store := buildShop()
+	if _, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pq.CacheHit() {
+		t.Fatal("repeated Prepare must hit before the mutation")
+	}
+	store.Add("http://example.org/pq", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+		ra.IRI("http://example.org/Phone"))
+	pq2, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq2.CacheHit() {
+		t.Fatal("Prepare after Add must not reuse the stale plan")
+	}
+	pq3, err := store.Prepare(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pq3.CacheHit() {
+		t.Fatal("Prepare must hit again once a plan exists for the new version")
+	}
+}

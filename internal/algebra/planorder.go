@@ -8,6 +8,9 @@ import "fmt"
 // walk this order to chain binary join cycles. Redundant edges (closing
 // cycles in the join graph) are rejected — the analytical workloads are
 // acyclic.
+//
+// This is the fixed heuristic order (query order, star 0 first); planners
+// with a statistics catalog use JoinOrderCost instead.
 func JoinOrder(numStars int, joins []Join) ([]Join, error) {
 	if numStars <= 1 {
 		return nil, nil
@@ -44,4 +47,127 @@ func JoinOrder(numStars int, joins []Join) ([]Join, error) {
 		}
 	}
 	return order, nil
+}
+
+// CardEstimator supplies predicted cardinalities to cost-based join
+// ordering and to the adaptive re-plan hook. stats.Estimator is the
+// production implementation; tests substitute fakes to force mispredictions.
+type CardEstimator interface {
+	// StarCard returns the predicted cardinality of one star's scan output
+	// (triplegroups or rows, depending on the engine's data model).
+	StarCard(star int) float64
+	// JoinCard returns the predicted output cardinality of joining inputs
+	// of cardinality left and right along edge j.
+	JoinCard(left, right float64, j Join) float64
+}
+
+// JoinOrderCost linearises the join edges like JoinOrder, but greedily
+// picks the next edge (and the starting star) to minimise the predicted
+// intermediate cardinality at every step. The returned order satisfies the
+// same chaining contract — each edge's Left endpoint is already covered,
+// each Right is new — except that the chain may start at any star:
+// consumers seed their accumulator from order[0].Left rather than star 0.
+// Ties break toward the earlier edge in query order, keeping plans
+// deterministic. A nil estimator falls back to the heuristic JoinOrder.
+func JoinOrderCost(numStars int, joins []Join, est CardEstimator) ([]Join, error) {
+	if numStars <= 1 || est == nil {
+		return JoinOrder(numStars, joins)
+	}
+	// Validate connectivity and acyclicity with the heuristic walk first so
+	// both planners reject malformed graphs with identical errors.
+	if _, err := JoinOrder(numStars, joins); err != nil {
+		return nil, err
+	}
+	covered := make([]bool, numStars)
+	used := make([]bool, len(joins))
+	order := make([]Join, 0, numStars-1)
+	var acc float64
+	for len(order) < numStars-1 {
+		best := -1
+		var bestEdge Join
+		var bestCard float64
+		for i, j := range joins {
+			if used[i] {
+				continue
+			}
+			var cands []Join
+			switch {
+			case len(order) == 0:
+				cands = []Join{j, j.flip()}
+			case covered[j.Left] && !covered[j.Right]:
+				cands = []Join{j}
+			case covered[j.Right] && !covered[j.Left]:
+				cands = []Join{j.flip()}
+			default:
+				continue
+			}
+			for _, c := range cands {
+				left := acc
+				if len(order) == 0 {
+					left = est.StarCard(c.Left)
+				}
+				out := est.JoinCard(left, est.StarCard(c.Right), c)
+				if best < 0 || out < bestCard {
+					best, bestEdge, bestCard = i, c, out
+				}
+			}
+		}
+		used[best] = true
+		covered[bestEdge.Left] = true
+		covered[bestEdge.Right] = true
+		order = append(order, bestEdge)
+		acc = bestCard
+	}
+	return order, nil
+}
+
+// ReorderRemaining re-plans the tail of an executing join chain: given the
+// stars already folded into the accumulator (covered), the not-yet-executed
+// edges, and the observed accumulator cardinality accCard, it returns the
+// remaining edges re-ordered greedily by predicted intermediate
+// cardinality, re-oriented so each edge's Left endpoint is covered when it
+// executes. The input slice is not modified.
+func ReorderRemaining(covered []bool, remaining []Join, accCard float64, est CardEstimator) []Join {
+	if est == nil || len(remaining) < 2 {
+		return remaining
+	}
+	cov := make([]bool, len(covered))
+	copy(cov, covered)
+	used := make([]bool, len(remaining))
+	order := make([]Join, 0, len(remaining))
+	acc := accCard
+	for len(order) < len(remaining) {
+		best := -1
+		var bestEdge Join
+		var bestCard float64
+		for i, j := range remaining {
+			if used[i] {
+				continue
+			}
+			var cand Join
+			switch {
+			case cov[j.Left] && !cov[j.Right]:
+				cand = j
+			case cov[j.Right] && !cov[j.Left]:
+				cand = j.flip()
+			default:
+				continue
+			}
+			out := est.JoinCard(acc, est.StarCard(cand.Right), cand)
+			if best < 0 || out < bestCard {
+				best, bestEdge, bestCard = i, cand, out
+			}
+		}
+		if best < 0 {
+			// The tail no longer connects from the covered set (cannot
+			// happen for orders produced by JoinOrder/JoinOrderCost); keep
+			// the original order rather than guess.
+			return remaining
+		}
+		used[best] = true
+		cov[bestEdge.Right] = true
+		order = append(order, bestEdge)
+		acc = bestCard
+	}
+	return order
 }

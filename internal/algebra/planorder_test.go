@@ -75,3 +75,96 @@ func TestJoinOrderSingleStar(t *testing.T) {
 		t.Fatalf("single star: %v, %v", order, err)
 	}
 }
+
+// fakeEst drives JoinOrderCost/ReorderRemaining in tests: fixed per-star
+// cardinalities, joins estimated as the plain cross product (so greedy
+// choices follow the star sizes alone).
+type fakeEst struct {
+	stars []float64
+}
+
+func (f fakeEst) StarCard(i int) float64                { return f.stars[i] }
+func (f fakeEst) JoinCard(l, r float64, _ Join) float64 { return l * r }
+
+func TestJoinOrderCostPicksSelectiveEdgeFirst(t *testing.T) {
+	// Star 0 is the big hub; star 2 is tiny. The heuristic starts with
+	// (0,1); the cost order must join the tiny star first.
+	gp := mustGP(t, prefix+`SELECT ?c {
+  ?off e:product ?p ; e:vendor ?v .
+  ?p e:label ?l .
+  ?v e:country ?c .
+}`)
+	order, err := JoinOrderCost(len(gp.Stars), gp.Joins, fakeEst{stars: []float64{1000, 100, 2}})
+	if err != nil {
+		t.Fatalf("JoinOrderCost: %v", err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %+v", order)
+	}
+	first := map[int]bool{order[0].Left: true, order[0].Right: true}
+	if !first[0] || !first[2] {
+		t.Errorf("first edge joins stars %d-%d, want the 0-2 edge", order[0].Left, order[0].Right)
+	}
+	// The chain must stay valid: each later edge extends the covered set.
+	covered := map[int]bool{order[0].Left: true, order[0].Right: true}
+	for _, e := range order[1:] {
+		if !covered[e.Left] || covered[e.Right] {
+			t.Errorf("edge %+v breaks chain coverage", e)
+		}
+		covered[e.Right] = true
+	}
+}
+
+func TestJoinOrderCostNilEstimatorFallsBack(t *testing.T) {
+	gp := mustGP(t, prefix+`SELECT ?a {
+  ?a e:p ?b . ?b e:q ?c . ?c e:r ?d .
+}`)
+	heur, err := JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := JoinOrderCost(len(gp.Stars), gp.Joins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heur) != len(cost) {
+		t.Fatalf("fallback order differs in length: %d vs %d", len(cost), len(heur))
+	}
+	for i := range heur {
+		if heur[i].Left != cost[i].Left || heur[i].Right != cost[i].Right {
+			t.Errorf("edge %d: fallback %d-%d vs heuristic %d-%d",
+				i, cost[i].Left, cost[i].Right, heur[i].Left, heur[i].Right)
+		}
+	}
+}
+
+func TestReorderRemainingPrefersSmallTail(t *testing.T) {
+	// Branching pattern: star 1 connects to both 2 (huge) and 3 (tiny).
+	gp := mustGP(t, prefix+`SELECT ?d {
+  ?a e:p ?b .
+  ?b e:q ?c ; e:r ?d .
+  ?c e:s ?x .
+  ?d e:t ?y .
+}`)
+	order, err := JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0].Right != 1 {
+		t.Fatalf("heuristic order = %+v", order)
+	}
+	covered := []bool{true, true, false, false}
+	remaining := append([]Join(nil), order[1:]...)
+	est := fakeEst{stars: []float64{10, 10, 1000, 2}}
+	got := ReorderRemaining(covered, remaining, 50, est)
+	if len(got) != 2 || got[0].Right != 3 || got[1].Right != 2 {
+		t.Errorf("reordered tail = %+v, want the tiny star 3 joined first", got)
+	}
+	// A nil estimator must leave the tail untouched.
+	same := ReorderRemaining(covered, remaining, 50, nil)
+	for i := range same {
+		if same[i].Right != remaining[i].Right {
+			t.Errorf("nil estimator changed the tail: %+v", same)
+		}
+	}
+}

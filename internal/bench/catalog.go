@@ -292,6 +292,24 @@ SELECT ?c ?a ?perAC ?perC {
       ?off1 bsbm:product ?p1 ; bsbm:price ?pr ; bsbm:validTo ?vt .
     } GROUP BY ?vt }
 }`},
+
+	// ——— Extension (not in the paper): planner stressors, run only by the
+	// planner experiment's skewed datasets (bsbm-zipf, bsbm-supernode). Both
+	// are written with the offer star FIRST, so the fixed star-0-first
+	// heuristic leads with the largest relation while the cost-based order
+	// can start from a selective star instead. "IN" is the rare country the
+	// skewed generators pin to exactly two vendors.
+	{"SK1", "bsbm-skew", "(extension) offer stats for rare-country vendors of ProductType1 — heuristic leads with the offer star", bsbmPrefix + `SELECT ?vl (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {
+  ?off bsbm:product ?p ; bsbm:price ?pr ; bsbm:vendor ?v .
+  ?p a bsbm:ProductType1 ; bsbm:label ?l .
+  ?v bsbm:country "IN" ; bsbm:label ?vl .
+} GROUP BY ?vl`},
+	{"SK2", "bsbm-skew", "(extension) offers per country for ProductType9 with producer labels — the super-node graph makes the type9 estimate wrong by >10x, forcing a mid-query re-plan", bsbmPrefix + `SELECT ?c (COUNT(?pr) AS ?cnt) {
+  ?off bsbm:product ?p ; bsbm:price ?pr ; bsbm:vendor ?v .
+  ?p a bsbm:ProductType9 ; bsbm:label ?l ; bsbm:producer ?mk .
+  ?v bsbm:country ?c .
+  ?mk bsbm:label ?ml .
+} GROUP BY ?c`},
 }
 
 // Get returns the catalog query with the given id.

@@ -60,6 +60,30 @@ func Specs() []DatasetSpec {
 			PaperTriples: 700e6,
 		},
 		{
+			ID:          "bsbm-zipf",
+			CatalogName: "bsbm-skew",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.BSBMZipf()
+				cfg.Products = scaled(cfg.Products, m)
+				return datagen.GenerateBSBMZipf(cfg)
+			},
+			Cluster: mapred.VCL10,
+			// Same deployment as BSBM-500K; the skew, not the size, is the
+			// point of this dataset.
+			PaperTriples: 175e6,
+		},
+		{
+			ID:          "bsbm-supernode",
+			CatalogName: "bsbm-skew",
+			Generate: func(m float64) *rdf.Graph {
+				cfg := datagen.BSBMSupernode()
+				cfg.Products = scaled(cfg.Products, m)
+				return datagen.GenerateBSBMSupernode(cfg)
+			},
+			Cluster:      mapred.VCL10,
+			PaperTriples: 175e6,
+		},
+		{
 			ID:          "chem",
 			CatalogName: "chem",
 			Generate: func(m float64) *rdf.Graph {
@@ -206,16 +230,16 @@ func (l *Loader) newCluster(cfg mapred.ClusterConfig, id string) (*mapred.Cluste
 	}
 }
 
-// DatasetsFor returns the spec ids a catalog query runs on: BSBM queries
-// run at both scales, the others on their single deployment.
+// DatasetsFor returns the spec ids a catalog query runs on: every spec
+// whose CatalogName matches the query's dataset (BSBM queries run at both
+// scales, skew queries on both skewed graphs, the others on their single
+// deployment).
 func DatasetsFor(q Query) []string {
-	if q.Dataset == "bsbm" {
-		return []string{"bsbm-500k", "bsbm-2m"}
-	}
+	var ids []string
 	for _, s := range Specs() {
 		if s.CatalogName == q.Dataset {
-			return []string{s.ID}
+			ids = append(ids, s.ID)
 		}
 	}
-	return nil
+	return ids
 }

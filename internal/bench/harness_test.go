@@ -10,8 +10,8 @@ import (
 
 // TestCatalogParses ensures every catalog query parses and builds.
 func TestCatalogParses(t *testing.T) {
-	if len(Catalog) != 27 {
-		t.Errorf("catalog has %d queries, want 27 (G1-G9, MG1-MG4, MG6-MG18, MGA)", len(Catalog))
+	if len(Catalog) != 29 {
+		t.Errorf("catalog has %d queries, want 29 (G1-G9, MG1-MG4, MG6-MG18, MGA, SK1-SK2)", len(Catalog))
 	}
 	for _, q := range Catalog {
 		parsed, err := sparql.Parse(q.SPARQL)

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/core"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/hive"
+	"rapidanalytics/internal/obs"
+	"rapidanalytics/internal/rapid"
+	"rapidanalytics/internal/sparql"
+	"rapidanalytics/internal/stats"
+)
+
+// PlannerCatalog returns the planner experiment's workload: the BSBM
+// multi-grouping queries on the uniform BSBM-500K graph (the regression
+// half — cost-based ordering must not lose ground where the heuristic's
+// uniformity assumption holds) and the SK stressors on both adversarially
+// skewed graphs (the half the statistics exist for).
+func PlannerCatalog() []DictCatalogEntry {
+	return []DictCatalogEntry{
+		{Dataset: "bsbm-500k", Queries: []string{"MG1", "MG2", "MG3", "MG4"}},
+		{Dataset: "bsbm-zipf", Queries: []string{"SK1", "SK2"}},
+		{Dataset: "bsbm-supernode", Queries: []string{"SK1", "SK2"}},
+	}
+}
+
+// HeuristicEngines returns the four engines with the cost-based planner
+// switched off: fixed star-0-first join orders, measured map-join sizing,
+// default reduce parallelism, no mid-query re-planning.
+func HeuristicEngines() []engine.Engine {
+	hc := hive.DefaultConfig()
+	hc.CostPlanner = false
+	r := rapid.New()
+	r.CostPlanner = false
+	c := core.New()
+	c.Opts.CostPlanner = false
+	return []engine.Engine{&hive.Naive{Conf: hc}, &hive.MQO{Conf: hc}, r, c}
+}
+
+// PlannerRun compares one (query, dataset, engine) triple between the
+// heuristic and the cost-based planner.
+type PlannerRun struct {
+	Query   string `json:"query"`
+	Dataset string `json:"dataset"`
+	Engine  string `json:"engine"`
+	// RowsIdentical reports that both planner modes returned result rows
+	// matching the in-memory oracle (and hence each other) — join order
+	// must be invisible in results.
+	RowsIdentical bool `json:"rowsIdentical"`
+	// Skewed marks runs on the adversarial datasets; the plan-quality gate
+	// sums simulated seconds over these runs only.
+	Skewed bool `json:"skewed"`
+	// Simulated seconds are the deterministic cost-model estimates at paper
+	// scale under each planner mode.
+	HeurSimSeconds float64 `json:"heurSimSeconds"`
+	CostSimSeconds float64 `json:"costSimSeconds"`
+	SimSpeedup     float64 `json:"simSpeedup"`
+	// Cycle counts under each mode (map-join promotion from estimated sizes
+	// can change them).
+	HeurCycles int `json:"heurCycles"`
+	CostCycles int `json:"costCycles"`
+	// Replans counts the mid-query "re-plan" planner spans the cost-based
+	// run emitted.
+	Replans int `json:"replans"`
+}
+
+// PlanCapture records the two join orders for one skewed (query, dataset)
+// pair, with the estimator's predicted intermediate cardinalities inline —
+// the before/after evidence PLANNER.md quotes.
+type PlanCapture struct {
+	Query   string `json:"query"`
+	Dataset string `json:"dataset"`
+	// HeuristicOrder and CostOrder render each join chain as
+	// "?acc ⋈ ?star on ?var (est N)" steps.
+	HeuristicOrder string `json:"heuristicOrder"`
+	CostOrder      string `json:"costOrder"`
+}
+
+// PlannerReport is the result of ComparePlannerModes, serialised to
+// BENCH_planner.json by benchrunner -exp planner.
+type PlannerReport struct {
+	Runs  []PlannerRun  `json:"runs"`
+	Plans []PlanCapture `json:"plans"`
+	// AllRowsIdentical is the conjunction of every run's RowsIdentical —
+	// the experiment's correctness gate.
+	AllRowsIdentical bool `json:"allRowsIdentical"`
+	// Skew totals sum simulated seconds over the skewed runs; the
+	// plan-quality gate requires the cost-based total to be strictly lower.
+	SkewHeurSimSeconds float64 `json:"skewHeurSimSeconds"`
+	SkewCostSimSeconds float64 `json:"skewCostSimSeconds"`
+	SkewImprovementPct float64 `json:"skewImprovementPct"`
+	SkewFaster         bool    `json:"skewFaster"`
+	// TotalReplans counts mid-query re-plans across all cost-based runs;
+	// ReplanObserved is the adaptivity gate (at least one fired).
+	TotalReplans   int  `json:"totalReplans"`
+	ReplanObserved bool `json:"replanObserved"`
+}
+
+// ComparePlannerModes runs the planner catalog through all four engines
+// twice — once with the fixed heuristic planner and once with the
+// statistics-driven cost-based planner — over the same loaded datasets.
+// Every run is verified against the in-memory oracle (divergence is an
+// error, so RowsIdentical doubles as an oracle gate), simulated seconds are
+// compared per mode, and the cost-based runs' span trees are scanned for
+// mid-query "re-plan" planner spans.
+func ComparePlannerModes(catalog []DictCatalogEntry, sizeMult float64) (*PlannerReport, error) {
+	h := NewHarness(true)
+	if sizeMult > 0 {
+		h.Loader.SizeMult = sizeMult
+	}
+
+	report := &PlannerReport{AllRowsIdentical: true}
+	for _, entry := range catalog {
+		skewed := entry.Dataset != "bsbm-500k" && entry.Dataset != "bsbm-2m"
+		for _, id := range entry.Queries {
+			heurRS, err := h.RunTraced(id, entry.Dataset, HeuristicEngines())
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s (heuristic): %w", id, entry.Dataset, err)
+			}
+			costRS, err := h.RunTraced(id, entry.Dataset, Engines())
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s (cost): %w", id, entry.Dataset, err)
+			}
+			if len(heurRS) != len(costRS) {
+				return nil, fmt.Errorf("bench: %s on %s: engine set mismatch", id, entry.Dataset)
+			}
+			for i := range heurRS {
+				hr, cr := heurRS[i], costRS[i]
+				run := PlannerRun{
+					Query:          id,
+					Dataset:        entry.Dataset,
+					Engine:         cr.Engine,
+					RowsIdentical:  hr.Verified && cr.Verified && hr.Rows == cr.Rows,
+					Skewed:         skewed,
+					HeurSimSeconds: hr.SimSeconds,
+					CostSimSeconds: cr.SimSeconds,
+					HeurCycles:     hr.Cycles,
+					CostCycles:     cr.Cycles,
+					Replans:        countReplans(cr.Span),
+				}
+				if run.CostSimSeconds > 0 {
+					run.SimSpeedup = run.HeurSimSeconds / run.CostSimSeconds
+				}
+				report.AllRowsIdentical = report.AllRowsIdentical && run.RowsIdentical
+				if skewed {
+					report.SkewHeurSimSeconds += run.HeurSimSeconds
+					report.SkewCostSimSeconds += run.CostSimSeconds
+				}
+				report.TotalReplans += run.Replans
+				report.Runs = append(report.Runs, run)
+			}
+			if skewed {
+				cap, err := capturePlan(h, id, entry.Dataset)
+				if err != nil {
+					return nil, err
+				}
+				report.Plans = append(report.Plans, cap)
+			}
+		}
+	}
+	report.SkewFaster = report.SkewCostSimSeconds < report.SkewHeurSimSeconds
+	if report.SkewHeurSimSeconds > 0 {
+		report.SkewImprovementPct = 100 * (1 - report.SkewCostSimSeconds/report.SkewHeurSimSeconds)
+	}
+	report.ReplanObserved = report.TotalReplans > 0
+	return report, nil
+}
+
+// countReplans counts the mid-query "re-plan" planner spans in a traced
+// run's span tree.
+func countReplans(sn *obs.Snapshot) int {
+	if sn == nil {
+		return 0
+	}
+	n := 0
+	sn.Walk(func(s *obs.Snapshot) {
+		if s.Kind == obs.KindPlanner && s.Name == "re-plan" {
+			n++
+		}
+	})
+	return n
+}
+
+// capturePlan renders the heuristic and cost-based join orders for one
+// query on one loaded dataset, annotated with the estimator's predicted
+// intermediate cardinalities.
+func capturePlan(h *Harness, queryID, dsID string) (PlanCapture, error) {
+	q, ok := Get(queryID)
+	if !ok {
+		return PlanCapture{}, fmt.Errorf("bench: unknown query %q", queryID)
+	}
+	parsed, err := sparql.Parse(q.SPARQL)
+	if err != nil {
+		return PlanCapture{}, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	aq, err := algebra.Build(parsed)
+	if err != nil {
+		return PlanCapture{}, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	_, ds, err := h.Loader.Load(dsID)
+	if err != nil {
+		return PlanCapture{}, err
+	}
+	gp := aq.Subqueries[0].Pattern
+	refs := make([][]algebra.PropRef, len(gp.Stars))
+	for i, st := range gp.Stars {
+		refs[i] = st.Props()
+	}
+	est := stats.NewEstimator(ds.Stats, refs, false)
+	heur, err := algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	if err != nil {
+		return PlanCapture{}, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	cost, err := algebra.JoinOrderCost(len(gp.Stars), gp.Joins, est)
+	if err != nil {
+		return PlanCapture{}, fmt.Errorf("bench: %s: %w", queryID, err)
+	}
+	return PlanCapture{
+		Query:          queryID,
+		Dataset:        dsID,
+		HeuristicOrder: formatOrder(gp, heur, est),
+		CostOrder:      formatOrder(gp, cost, est),
+	}, nil
+}
+
+// formatOrder renders a join chain as "?acc ⋈ ?star on ?v (est N)" steps,
+// threading the estimator's predicted cardinality through the chain.
+func formatOrder(gp *algebra.GraphPattern, order []algebra.Join, est *stats.Estimator) string {
+	if len(order) == 0 {
+		return "(single star)"
+	}
+	var b strings.Builder
+	acc := est.StarCard(order[0].Left)
+	fmt.Fprintf(&b, "?%s (est %.0f)", gp.Stars[order[0].Left].SubjectVar, acc)
+	for _, e := range order {
+		acc = est.JoinCard(acc, est.StarCard(e.Right), e)
+		fmt.Fprintf(&b, " ⋈ ?%s on ?%s (est %.0f)", gp.Stars[e.Right].SubjectVar, e.Var, acc)
+	}
+	return b.String()
+}
+
+// RenderPlanner renders a PlannerReport as an aligned table.
+func RenderPlanner(rep *PlannerReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heuristic vs cost-based planner\n")
+	fmt.Fprintf(&b, "%-6s %-14s %-22s %12s %12s %8s %7s %7s %8s %6s\n",
+		"query", "dataset", "engine", "heur sim s", "cost sim s", "sim x", "cyc(h)", "cyc(c)", "replans", "rows=")
+	for _, r := range rep.Runs {
+		fmt.Fprintf(&b, "%-6s %-14s %-22s %12.1f %12.1f %7.2fx %7d %7d %8d %6v\n",
+			r.Query, r.Dataset, r.Engine, r.HeurSimSeconds, r.CostSimSeconds,
+			r.SimSpeedup, r.HeurCycles, r.CostCycles, r.Replans, r.RowsIdentical)
+	}
+	for _, p := range rep.Plans {
+		fmt.Fprintf(&b, "%s on %s:\n  heuristic: %s\n  cost:      %s\n",
+			p.Query, p.Dataset, p.HeuristicOrder, p.CostOrder)
+	}
+	fmt.Fprintf(&b, "skew sim seconds: %.1f heuristic vs %.1f cost (%.1f%% better, faster: %v); re-plans: %d; rows identical: %v\n",
+		rep.SkewHeurSimSeconds, rep.SkewCostSimSeconds, rep.SkewImprovementPct,
+		rep.SkewFaster, rep.TotalReplans, rep.AllRowsIdentical)
+	return b.String()
+}

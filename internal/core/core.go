@@ -29,6 +29,7 @@ import (
 	"rapidanalytics/internal/ntga"
 	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/rapid"
+	"rapidanalytics/internal/stats"
 	"rapidanalytics/internal/tgops"
 )
 
@@ -61,11 +62,27 @@ type Options struct {
 	// loaders honour it), and at query time every engine follows the plane
 	// the dataset was materialised in (Dataset.Dict).
 	DictionaryEncoding bool
+	// CostPlanner orders join chains by predicted cardinality from the
+	// dataset's statistics catalog (internal/stats) and sizes reduce
+	// partitions from the predictions, with a mid-query re-plan hook;
+	// disabled, join order falls back to the star-0-first heuristic.
+	CostPlanner bool
+	// ReplanRatio is the estimate-vs-observed error ratio that triggers a
+	// mid-query re-plan of the remaining join chain; <= 0 never re-plans.
+	ReplanRatio float64
 }
 
 // DefaultOptions is the configuration evaluated in the paper.
 func DefaultOptions() Options {
-	return Options{ParallelAggregation: true, AlphaFiltering: true, HashAggregation: true, InputPruning: true, DictionaryEncoding: true}
+	return Options{
+		ParallelAggregation: true,
+		AlphaFiltering:      true,
+		HashAggregation:     true,
+		InputPruning:        true,
+		DictionaryEncoding:  true,
+		CostPlanner:         true,
+		ReplanRatio:         rapid.DefaultReplanRatio,
+	}
 }
 
 // Engine is the RAPIDAnalytics engine.
@@ -130,7 +147,7 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 func (e *Engine) executeSequential(run *engine.Runner, ds *engine.Dataset, aq *algebra.AnalyticalQuery) (*engine.Result, *mapred.WorkflowMetrics, error) {
 	var aggFiles []string
 	for k, sq := range aq.Subqueries {
-		file, err := rapid.EvalSubquery(run, ds, sq, k, e.Opts.HashAggregation, e.Opts.InputPruning)
+		file, err := rapid.EvalSubquery(run, ds, sq, k, e.Opts.HashAggregation, e.Opts.InputPruning, e.Opts.CostPlanner, e.Opts.ReplanRatio)
 		if err != nil {
 			return nil, run.WM, err
 		}
@@ -146,8 +163,21 @@ func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algeb
 	for i, cs := range cp.Stars {
 		scans[i] = compositeStarScan(ds, i, cs, cp, e.Opts.InputPruning)
 	}
+	var ad *rapid.Adaptive
 	ps := obs.StartChild(run.C.Context(), obs.KindPlanner, "join-order")
-	order, err := algebra.JoinOrder(len(cp.Stars), cp.Joins)
+	var order []algebra.Join
+	var err error
+	if e.Opts.CostPlanner && ds.Stats != nil {
+		refs := make([][]algebra.PropRef, len(cp.Stars))
+		for i, cs := range cp.Stars {
+			refs[i] = cs.PrimaryRefs()
+		}
+		est := stats.NewEstimator(ds.Stats, refs, false)
+		order, err = algebra.JoinOrderCost(len(cp.Stars), cp.Joins, est)
+		ad = &rapid.Adaptive{Est: est, ReplanRatio: e.Opts.ReplanRatio}
+	} else {
+		order, err = algebra.JoinOrder(len(cp.Stars), cp.Joins)
+	}
 	ps.End()
 	if err != nil {
 		return tgops.Source{}, err
@@ -160,7 +190,7 @@ func (e *Engine) evalComposite(run *engine.Runner, ds *engine.Dataset, cp *algeb
 	// matches, so the final join streams too; sequential aggregation runs
 	// one TG_AgJ per subquery over the shared matches, which need the real
 	// DFS checkpoint.
-	return rapid.JoinChain(run, scans, order, "composite", ntga.ResolveAlpha(alphaCP, ds.Dict), e.Opts.ParallelAggregation)
+	return rapid.JoinChain(run, scans, order, "composite", ntga.ResolveAlpha(alphaCP, ds.Dict), e.Opts.ParallelAggregation, ad)
 }
 
 // compositeStarScan builds the scan for one composite star: primary

@@ -15,6 +15,7 @@ import (
 	"rapidanalytics/internal/dfs"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/rdf"
+	"rapidanalytics/internal/stats"
 	"rapidanalytics/internal/store"
 )
 
@@ -30,6 +31,10 @@ type Dataset struct {
 	// compact ID plane and engines decode back to lexical form only at the
 	// final aggregation boundary. Nil means the lexical plane.
 	Dict *rdf.Dict
+	// Stats is the load-time statistics catalog the cost-based planner
+	// consumes (predicate counts, characteristic sets). Always collected by
+	// LoadWith; engines with the cost planner disabled ignore it.
+	Stats *stats.Catalog
 }
 
 // LoadOptions configures dataset materialisation.
@@ -64,12 +69,20 @@ func LoadWith(c *mapred.Cluster, name string, g *rdf.Graph, opts LoadOptions) (*
 	if err != nil {
 		return nil, fmt.Errorf("engine: loading %s: %w", name, err)
 	}
+	// The statistics catalog is collected in the same load pass and
+	// serialised next to the physical layouts, so the disk backend persists
+	// it through the blockstore like any other dataset file.
+	st := stats.Collect(g)
+	if err := stats.Write(c.FS, name, st); err != nil {
+		return nil, fmt.Errorf("engine: loading %s: %w", name, err)
+	}
 	return &Dataset{
 		Name:  name,
 		Graph: g,
 		VP:    vp,
 		TG:    tg,
 		Dict:  d,
+		Stats: st,
 	}, nil
 }
 

@@ -133,17 +133,22 @@ func (h *MQO) evalComposite(run *runner, ds *engine.Dataset, cp *algebra.Composi
 		}
 		starRels[i] = out
 	}
-	order, err := algebra.JoinOrder(len(cp.Stars), cp.Joins)
+	est := compositeEstimator(h.Conf, ds, cp)
+	order, err := chainOrder(len(cp.Stars), cp.Joins, est)
 	if err != nil {
 		return nil, err
 	}
-	acc := starRels[0]
+	acc := starRels[chainStart(order)]
+	accRows := 0.0
+	if est != nil {
+		accRows = est.StarCard(chainStart(order))
+	}
 	for i, edge := range order {
 		out := run.path(fmt.Sprintf("comp-join%d", i))
 		// Intermediate composite joins stream; the final one produces the
 		// composite relation — the MQO materialisation boundary every
 		// aggregatePattern reads — which keeps the real DFS write.
-		acc, err = run.join(h.Conf, fmt.Sprintf("comp-join%d", i), acc, starRels[edge.Right], edge.Var, edge.Var, nil, out, i < len(order)-1)
+		acc, err = run.join(h.Conf, fmt.Sprintf("comp-join%d", i), acc, starRels[edge.Right], edge.Var, edge.Var, nil, out, i < len(order)-1, edgeEstimate(est, &accRows, edge))
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"rapidanalytics/internal/engine"
 	"rapidanalytics/internal/mapred"
 	"rapidanalytics/internal/sparql"
+	"rapidanalytics/internal/stats"
 	"rapidanalytics/internal/store"
 )
 
@@ -63,18 +64,23 @@ func (h *Naive) evalPattern(run *runner, ds *engine.Dataset, sq *algebra.Subquer
 		}
 		starRels[i] = r
 	}
-	order, err := algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	est := patternEstimator(h.Conf, ds, gp)
+	order, err := chainOrder(len(gp.Stars), gp.Joins, est)
 	if err != nil {
 		return nil, err
 	}
-	acc := starRels[0]
+	acc := starRels[chainStart(order)]
+	accRows := 0.0
+	if est != nil {
+		accRows = est.StarCard(chainStart(order))
+	}
 	for i, edge := range order {
 		right := starRels[edge.Right]
 		out := run.path(fmt.Sprintf("%s-join%d", tag, i))
 		keepJoin := keepWithJoins(keep, order[i+1:])
 		// Join intermediates are each consumed by exactly one later cycle
 		// (the next join or the grouping-aggregation), so they stream.
-		acc, err = run.join(h.Conf, fmt.Sprintf("%s-join%d", tag, i), acc, right, edge.Var, edge.Var, keepJoin, out, true)
+		acc, err = run.join(h.Conf, fmt.Sprintf("%s-join%d", tag, i), acc, right, edge.Var, edge.Var, keepJoin, out, true, edgeEstimate(est, &accRows, edge))
 		if err != nil {
 			return nil, err
 		}
@@ -299,10 +305,19 @@ func (r *runner) starJoin(conf Config, name string, inputs []*starInput, keep ma
 }
 
 // join runs a binary join, broadcasting whichever side fits the budget.
-// stream is as in starJoin.
-func (r *runner) join(conf Config, name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string, stream bool) (*rel, error) {
-	leftSize := conf.storedSize(r.C, left.file)
-	rightSize := conf.storedSize(r.C, right.file)
+// stream is as in starJoin. With est, the map-join-site decision sizes
+// both sides from the planner's predicted rows instead of measured files —
+// what a plan-time optimizer has to work with — and the reduce partition
+// count comes from the predicted output cardinality.
+func (r *runner) join(conf Config, name string, left, right *rel, leftCol, rightCol string, keep map[string]bool, output string, stream bool, est *joinEst) (*rel, error) {
+	var leftSize, rightSize int64
+	if est != nil {
+		leftSize = conf.estimatedSize(r.C, est.leftRows, len(left.cols))
+		rightSize = conf.estimatedSize(r.C, est.rightRows, len(right.cols))
+	} else {
+		leftSize = conf.storedSize(r.C, left.file)
+		rightSize = conf.storedSize(r.C, right.file)
+	}
 	var job *mapred.Job
 	var out *rel
 	switch {
@@ -312,6 +327,9 @@ func (r *runner) join(conf Config, name string, left, right *rel, leftCol, right
 		job, out = mapJoinJob(name, right, left, rightCol, leftCol, keep, output, store.ORCCompressionRatio)
 	default:
 		job, out = joinJob(name, left, right, leftCol, rightCol, keep, output, store.ORCCompressionRatio)
+		if est != nil {
+			job.Partitions = stats.PartitionsFor(est.outRows)
+		}
 	}
 	job.StreamOutput = stream
 	if err := r.exec(job); err != nil {

@@ -32,10 +32,41 @@ type Config struct {
 	// original datasets. The default is Hive's
 	// hive.mapjoin.smalltable.filesize (25MB).
 	MapJoinBytes int64
+	// CostPlanner orders the inter-star join chain by predicted cardinality
+	// from the dataset's statistics catalog (internal/stats), sizes the
+	// map-join-site decision for chain inputs from predicted rows — real
+	// Hive compiles the whole plan before execution and cannot measure
+	// intermediates — and sizes reduce partitions from predicted output
+	// rows. Disabled, the chain runs star-0-first with measured sizes.
+	CostPlanner bool
 }
 
-// DefaultConfig mirrors Hive 0.12 defaults.
-func DefaultConfig() Config { return Config{MapJoinBytes: 25 << 20} }
+// DefaultConfig mirrors Hive 0.12 defaults, with the cost-based planner on.
+func DefaultConfig() Config { return Config{MapJoinBytes: 25 << 20, CostPlanner: true} }
+
+// EstBytesPerField is the planner's calibrated stored size per tuple field
+// when converting predicted row counts into bytes for the map-join budget:
+// compact dictionary-plane fields at ORC-like compression.
+const EstBytesPerField = 4
+
+// estimatedSize converts a predicted row count for a cols-wide relation
+// into paper-scale stored bytes, the estimate-driven counterpart of
+// storedSize for intermediates whose size the plan-time optimizer cannot
+// measure.
+func (c Config) estimatedSize(cl *mapred.Cluster, rows float64, cols int) int64 {
+	scale := cl.Config.DataScale
+	if scale < 1 {
+		scale = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	sz := int64(rows * float64(cols*EstBytesPerField) * scale)
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
 
 // rel describes a relation as a scan specification: a DFS file of raw
 // tuples plus the transformations applied lazily by whichever job scans it

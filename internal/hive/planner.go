@@ -1,0 +1,76 @@
+package hive
+
+import (
+	"rapidanalytics/internal/algebra"
+	"rapidanalytics/internal/engine"
+	"rapidanalytics/internal/stats"
+)
+
+// joinEst carries the planner's predicted cardinalities for one chain join:
+// rows of the accumulated left input, of the right star relation, and of
+// the join output. A nil *joinEst means the heuristic (measured-size) path.
+type joinEst struct {
+	leftRows  float64
+	rightRows float64
+	outRows   float64
+}
+
+// patternEstimator builds the relational-row-mode estimator for a plain
+// graph pattern over the dataset's statistics catalog. Nil when the
+// dataset has no catalog or the planner is off.
+func patternEstimator(conf Config, ds *engine.Dataset, gp *algebra.GraphPattern) *stats.Estimator {
+	if !conf.CostPlanner || ds.Stats == nil {
+		return nil
+	}
+	refs := make([][]algebra.PropRef, len(gp.Stars))
+	for i, st := range gp.Stars {
+		refs[i] = st.Props()
+	}
+	return stats.NewEstimator(ds.Stats, refs, true)
+}
+
+// compositeEstimator builds the relational-row-mode estimator for a
+// composite pattern: each star is estimated from its primary (required)
+// references; secondary LEFT-OUTER properties keep all rows and are
+// approximated as fan-out 1.
+func compositeEstimator(conf Config, ds *engine.Dataset, cp *algebra.CompositePattern) *stats.Estimator {
+	if !conf.CostPlanner || ds.Stats == nil {
+		return nil
+	}
+	refs := make([][]algebra.PropRef, len(cp.Stars))
+	for i, cs := range cp.Stars {
+		refs[i] = cs.PrimaryRefs()
+	}
+	return stats.NewEstimator(ds.Stats, refs, true)
+}
+
+// chainOrder linearises a pattern's join edges: cost-based when the
+// estimator is present, the star-0-first heuristic otherwise.
+func chainOrder(numStars int, joins []algebra.Join, est *stats.Estimator) ([]algebra.Join, error) {
+	if est == nil {
+		return algebra.JoinOrder(numStars, joins)
+	}
+	return algebra.JoinOrderCost(numStars, joins, est)
+}
+
+// chainStart returns the star the accumulated side starts from: order[0]'s
+// Left endpoint, star 0 for edge-less patterns.
+func chainStart(order []algebra.Join) int {
+	if len(order) == 0 {
+		return 0
+	}
+	return order[0].Left
+}
+
+// edgeEstimate predicts one chain join's cardinalities and advances the
+// accumulated row count. Nil estimator returns nil and leaves acc alone.
+func edgeEstimate(est *stats.Estimator, acc *float64, edge algebra.Join) *joinEst {
+	if est == nil {
+		return nil
+	}
+	rr := est.StarCard(edge.Right)
+	out := est.JoinCard(*acc, rr, edge)
+	je := &joinEst{leftRows: *acc, rightRows: rr, outRows: out}
+	*acc = out
+	return je
+}

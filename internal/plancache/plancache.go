@@ -12,6 +12,7 @@ package plancache
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 )
 
@@ -19,6 +20,16 @@ import (
 // The NUL separator cannot occur in either component, so keys are
 // collision-free.
 func Key(system, query string) string { return system + "\x00" + query }
+
+// VersionedKey builds a cache key additionally scoped by a store data
+// version (the counter a store bumps on every mutation-triggered layout
+// invalidation, which also rebuilds the statistics catalog). Including the
+// version in the key means a plan cached before a reload can never be
+// served against drifted statistics: the old entries simply stop being
+// addressable and age out of the LRU.
+func VersionedKey(system string, version uint64, query string) string {
+	return system + "\x00" + strconv.FormatUint(version, 10) + "\x00" + query
+}
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {

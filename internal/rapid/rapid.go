@@ -11,6 +11,7 @@ package rapid
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"rapidanalytics/internal/algebra"
@@ -19,16 +20,29 @@ import (
 	"rapidanalytics/internal/ntga"
 	"rapidanalytics/internal/obs"
 	"rapidanalytics/internal/sparql"
+	"rapidanalytics/internal/stats"
 	"rapidanalytics/internal/tgops"
 )
 
 var runSeq atomic.Int64
 
-// Engine is the RAPID+ (Naive) engine.
-type Engine struct{}
+// DefaultReplanRatio is the estimate-vs-observed cardinality error ratio
+// above which an executing join chain re-plans its remaining edges.
+const DefaultReplanRatio = 4
 
-// New returns the engine.
-func New() *Engine { return &Engine{} }
+// Engine is the RAPID+ (Naive) engine.
+type Engine struct {
+	// CostPlanner orders join chains by predicted cardinality from the
+	// dataset's statistics catalog (and enables the adaptive re-plan hook)
+	// instead of the fixed star-0-first heuristic.
+	CostPlanner bool
+	// ReplanRatio is the error ratio that triggers a mid-query re-plan;
+	// <= 0 disables re-planning (ordering stays cost-based).
+	ReplanRatio float64
+}
+
+// New returns the engine with the cost-based planner enabled.
+func New() *Engine { return &Engine{CostPlanner: true, ReplanRatio: DefaultReplanRatio} }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "RAPID+ (Naive)" }
@@ -38,7 +52,7 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 	run := engine.NewRunner(c, fmt.Sprintf("tmp/rapid/%d", runSeq.Add(1)))
 	var aggFiles []string
 	for k, sq := range aq.Subqueries {
-		file, err := evalSubquery(run, ds, sq, k, false, true)
+		file, err := evalSubquery(run, ds, sq, k, false, true, e.CostPlanner, e.ReplanRatio)
 		if err != nil {
 			return nil, run.WM, err
 		}
@@ -50,10 +64,11 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 // evalSubquery evaluates one subquery over the triplegroup store: pattern
 // matching via TG joins, then one grouping-aggregation cycle. hashAgg
 // selects map-side hash pre-aggregation (RAPIDAnalytics' single-grouping
-// path) over the plain combiner (RAPID+).
-func evalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune bool) (string, error) {
+// path) over the plain combiner (RAPID+). cost and ratio configure the
+// cost-based planner and its re-plan trigger.
+func evalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune, cost bool, ratio float64) (string, error) {
 	gp := sq.Pattern
-	src, err := matchPattern(run, ds, gp, fmt.Sprintf("gp%d", k), nil, prune)
+	src, err := matchPattern(run, ds, gp, fmt.Sprintf("gp%d", k), nil, prune, cost, ratio)
 	if err != nil {
 		return "", err
 	}
@@ -79,33 +94,78 @@ func evalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, 
 // single-star pattern needs no join cycle: the filtered scan feeds the next
 // operator directly. cp, when non-nil, enables α filtering during joins
 // (used by RAPIDAnalytics; nil here); the α table is resolved into the
-// dataset's data plane.
-func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPattern, tag string, cp *algebra.CompositePattern, prune bool) (tgops.Source, error) {
+// dataset's data plane. With cost (and a statistics catalog on the
+// dataset), the join order comes from predicted cardinalities and the
+// chain executes adaptively.
+func matchPattern(run *engine.Runner, ds *engine.Dataset, gp *algebra.GraphPattern, tag string, cp *algebra.CompositePattern, prune, cost bool, ratio float64) (tgops.Source, error) {
 	scans := make([]tgops.Source, len(gp.Stars))
 	for i, st := range gp.Stars {
 		scans[i] = starScan(ds, i, st, gp.Filters, prune)
 	}
+	var ad *Adaptive
 	ps := obs.StartChild(run.C.Context(), obs.KindPlanner, "join-order")
-	order, err := algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	var order []algebra.Join
+	var err error
+	if cost && ds.Stats != nil {
+		refs := make([][]algebra.PropRef, len(gp.Stars))
+		for i, st := range gp.Stars {
+			refs[i] = st.Props()
+		}
+		est := stats.NewEstimator(ds.Stats, refs, false)
+		order, err = algebra.JoinOrderCost(len(gp.Stars), gp.Joins, est)
+		ad = &Adaptive{Est: est, ReplanRatio: ratio}
+	} else {
+		order, err = algebra.JoinOrder(len(gp.Stars), gp.Joins)
+	}
 	ps.End()
 	if err != nil {
 		return tgops.Source{}, err
 	}
 	// The matched source feeds exactly one TG_AgJ cycle per subquery chain,
 	// so even the final join output streams.
-	return JoinChain(run, scans, order, tag, ntga.ResolveAlpha(cp, ds.Dict), true)
+	return JoinChain(run, scans, order, tag, ntga.ResolveAlpha(cp, ds.Dict), true, ad)
+}
+
+// Adaptive configures cost-based execution of a join chain: the estimator
+// that ordered the edges, and the estimate-vs-observed error ratio above
+// which the remaining edges re-order mid-query (<= 0 never re-plans).
+type Adaptive struct {
+	Est         algebra.CardEstimator
+	ReplanRatio float64
 }
 
 // JoinChain executes the ordered TG (α-)join cycles; the accumulated side
-// starts from star 0 (the JoinOrder contract). Exported for the
-// RAPIDAnalytics planner, which drives the same physical joins over a
+// starts from order[0].Left (star 0 when there are no edges). Exported for
+// the RAPIDAnalytics planner, which drives the same physical joins over a
 // composite pattern. Non-final join outputs always stream — each feeds
 // only the next cycle of the chain; streamFinal extends that to the last
 // output, and must be false when the chain's result is read by more than
 // one downstream cycle (sequential aggregation over shared matches).
-func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, alpha *ntga.AlphaTable, streamFinal bool) (tgops.Source, error) {
-	acc := scans[0]
-	for i, edge := range order {
+//
+// A non-nil ad makes the chain adaptive: each cycle's reduce partition
+// count comes from the predicted output cardinality, and after each cycle
+// the observed output cardinality (the job's OutputRecords — the obs
+// per-operator counter source) is compared against the estimate; when the
+// error ratio exceeds ad.ReplanRatio with edges still to run, the
+// remaining edges re-order around the observed cardinality and the
+// decision is logged as a planner span named "re-plan".
+func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, tag string, alpha *ntga.AlphaTable, streamFinal bool, ad *Adaptive) (tgops.Source, error) {
+	start := 0
+	if len(order) > 0 {
+		start = order[0].Left
+	}
+	acc := scans[start]
+	var accCard float64
+	var covered []bool
+	if ad != nil {
+		// The tail may re-order in place; never mutate the caller's slice.
+		order = append([]algebra.Join(nil), order...)
+		accCard = ad.Est.StarCard(start)
+		covered = make([]bool, len(scans))
+		covered[start] = true
+	}
+	for i := 0; i < len(order); i++ {
+		edge := order[i]
 		leftEp := tgops.Endpoint{Star: edge.Left, Role: edge.LeftRole, Props: edge.LeftProps}
 		rightEp := tgops.Endpoint{Star: edge.Right, Role: edge.RightRole, Props: edge.RightProps}
 		out := run.Path(fmt.Sprintf("%s-join%d", tag, i))
@@ -115,12 +175,43 @@ func JoinChain(run *engine.Runner, scans []tgops.Source, order []algebra.Join, t
 			tgops.JoinSide{Src: scans[edge.Right], Ep: rightEp},
 			alpha, out)
 		job.StreamOutput = streamFinal || i < len(order)-1
+		var predicted float64
+		if ad != nil {
+			predicted = ad.Est.JoinCard(accCard, ad.Est.StarCard(edge.Right), edge)
+			job.Partitions = stats.PartitionsFor(predicted)
+		}
 		if err := run.Exec(job); err != nil {
 			return tgops.Source{}, err
 		}
 		acc = tgops.Source{Files: []string{out}, Dict: acc.Dict}
+		if ad != nil {
+			covered[edge.Right] = true
+			observed := float64(run.WM.Jobs[len(run.WM.Jobs)-1].OutputRecords)
+			if i < len(order)-1 && replanNeeded(predicted, observed, ad.ReplanRatio) {
+				rs := obs.StartChild(run.C.Context(), obs.KindPlanner, "re-plan")
+				rs.AddRecords(int64(observed))
+				tail := algebra.ReorderRemaining(covered, order[i+1:], math.Max(1, observed), ad.Est)
+				copy(order[i+1:], tail)
+				rs.End()
+			}
+			accCard = math.Max(1, observed)
+		}
 	}
 	return acc, nil
+}
+
+// replanNeeded reports whether the estimate-vs-observed error ratio
+// exceeds the configured threshold (in either direction; both cardinalities
+// clamp to 1 so empty intermediates compare cleanly).
+//
+//rapid:hot
+func replanNeeded(predicted, observed, ratio float64) bool {
+	if ratio <= 0 {
+		return false
+	}
+	p := math.Max(1, predicted)
+	o := math.Max(1, observed)
+	return p/o > ratio || o/p > ratio
 }
 
 // starScan builds the TG_OptGrpFilter-fused scan for one star of a plain
@@ -217,8 +308,8 @@ func GroupedHaving(sq *algebra.Subquery) func([]string) bool {
 }
 
 // EvalSubquery exposes the single-subquery path for RAPIDAnalytics'
-// single-grouping queries (identical workflow, hash aggregation and input
-// pruning configurable).
-func EvalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune bool) (string, error) {
-	return evalSubquery(run, ds, sq, k, hashAgg, prune)
+// single-grouping queries (identical workflow; hash aggregation, input
+// pruning and the cost-based planner configurable).
+func EvalSubquery(run *engine.Runner, ds *engine.Dataset, sq *algebra.Subquery, k int, hashAgg, prune, cost bool, ratio float64) (string, error) {
+	return evalSubquery(run, ds, sq, k, hashAgg, prune, cost, ratio)
 }

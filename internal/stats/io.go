@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rapidanalytics/internal/dfs"
+)
+
+// FileName returns the DFS file a dataset's catalog is serialised to,
+// alongside the dataset's vp/ and tg/ layouts.
+func FileName(dataset string) string { return dataset + "/stats" }
+
+// Write serialises the catalog to the DFS as a single JSON record, so the
+// disk backend persists statistics with the physical layouts (uncompressed:
+// the catalog is metadata, not table data).
+func Write(fs *dfs.FS, dataset string, c *Catalog) error {
+	rec, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("stats: encoding catalog for %s: %w", dataset, err)
+	}
+	w, err := fs.Create(FileName(dataset), 1)
+	if err != nil {
+		return fmt.Errorf("stats: writing catalog for %s: %w", dataset, err)
+	}
+	w.WriteOwned(rec)
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("stats: writing catalog for %s: %w", dataset, err)
+	}
+	return nil
+}
+
+// Read loads a catalog previously serialised with Write.
+func Read(fs *dfs.FS, dataset string) (*Catalog, error) {
+	f, err := fs.Open(FileName(dataset))
+	if err != nil {
+		return nil, fmt.Errorf("stats: opening catalog for %s: %w", dataset, err)
+	}
+	defer f.Close()
+	recs, err := f.AllRecords()
+	if err != nil {
+		return nil, fmt.Errorf("stats: reading catalog for %s: %w", dataset, err)
+	}
+	if len(recs) != 1 {
+		return nil, fmt.Errorf("stats: catalog for %s has %d records, want 1", dataset, len(recs))
+	}
+	c := &Catalog{}
+	if err := json.Unmarshal(recs[0], c); err != nil {
+		return nil, fmt.Errorf("stats: decoding catalog for %s: %w", dataset, err)
+	}
+	return c, nil
+}

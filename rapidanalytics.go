@@ -124,6 +124,18 @@ type Options struct {
 	// StreamBatchRows is the row capacity of streamed columnar batches;
 	// <= 0 selects the vec package default (1024).
 	StreamBatchRows int
+	// CostBasedPlanner drives every engine's join ordering, the Hive
+	// map-join-site decision for intermediates, and reduce partition counts
+	// from the load-time statistics catalog (internal/stats), and enables
+	// the NTGA engines' mid-query re-plan hook. Enabled by DefaultOptions;
+	// false reverts to the fixed star-0-first heuristic with measured
+	// sizes. Results are identical either way.
+	CostBasedPlanner bool
+	// ReplanRatio is the estimate-vs-observed cardinality error ratio above
+	// which an executing join chain re-orders its remaining joins. 0 selects
+	// the default of 4; negative disables re-planning while keeping
+	// cost-based ordering.
+	ReplanRatio float64
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
 }
@@ -149,7 +161,15 @@ const (
 // DefaultOptions returns a 10-node cluster with no data-scale
 // extrapolation.
 func DefaultOptions() Options {
-	return Options{Nodes: 10, DataScale: 1, MapJoinBytes: 25 << 20, DictionaryEncoding: true, Streaming: true}
+	return Options{
+		Nodes:              10,
+		DataScale:          1,
+		MapJoinBytes:       25 << 20,
+		DictionaryEncoding: true,
+		Streaming:          true,
+		CostBasedPlanner:   true,
+		ReplanRatio:        rapid.DefaultReplanRatio,
+	}
 }
 
 // Term is an RDF term accepted by Store.Add.
@@ -189,10 +209,16 @@ type Store struct {
 	cluster *mapred.Cluster
 	ds      *engine.Dataset
 	loads   int
+	// dataVersion counts mutation-triggered layout invalidations. It is
+	// folded into every plan-cache key, so a plan cached before a reload —
+	// against the previous statistics catalog — can never be served after
+	// one (guarded by loadMu, like the state it versions).
+	dataVersion uint64
 
-	// plans caches compiled plans; nil when disabled. Cached plans are
-	// data-independent (parse + overlap detection + composite rewrite), so
-	// mutations never invalidate them.
+	// plans caches compiled plans; nil when disabled. Compilation itself is
+	// data-independent (parse + overlap detection + composite rewrite), but
+	// keys include dataVersion so entries from before a mutation cannot
+	// outlive the statistics they were cached alongside.
 	plans *plancache.Cache
 }
 
@@ -212,6 +238,9 @@ func NewStore(opts Options) *Store {
 	}
 	if opts.MapJoinBytes <= 0 {
 		opts.MapJoinBytes = 25 << 20
+	}
+	if opts.ReplanRatio == 0 {
+		opts.ReplanRatio = rapid.DefaultReplanRatio
 	}
 	var plans *plancache.Cache
 	if opts.PlanCacheSize >= 0 {
@@ -246,11 +275,20 @@ func (s *Store) addGraph(g *rdf.Graph) {
 }
 
 // invalidateLayouts drops the materialised storage layouts after a
-// mutation. Callers hold s.mu.
+// mutation and bumps the data version plan-cache keys are scoped by.
+// Callers hold s.mu.
 func (s *Store) invalidateLayouts() {
 	s.loadMu.Lock()
 	s.ds = nil
+	s.dataVersion++
 	s.loadMu.Unlock()
+}
+
+// currentDataVersion reads the mutation counter under loadMu.
+func (s *Store) currentDataVersion() uint64 {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	return s.dataVersion
 }
 
 // LoadNTriples reads an N-Triples document into the store.
@@ -449,6 +487,7 @@ func (r *Result) Len() int { return len(r.rows) }
 func (r *Result) String() string { return r.raw.Pretty() }
 
 func (s *Store) engineFor(sys System) (engine.Engine, error) {
+	hiveConf := hive.Config{MapJoinBytes: s.opts.MapJoinBytes, CostPlanner: s.opts.CostBasedPlanner}
 	switch sys {
 	case RAPIDAnalytics:
 		e := core.New()
@@ -461,13 +500,15 @@ func (s *Store) engineFor(sys System) (engine.Engine, error) {
 				DictionaryEncoding:  s.opts.DictionaryEncoding,
 			}
 		}
+		e.Opts.CostPlanner = s.opts.CostBasedPlanner
+		e.Opts.ReplanRatio = s.opts.ReplanRatio
 		return e, nil
 	case RAPIDPlus:
-		return rapid.New(), nil
+		return &rapid.Engine{CostPlanner: s.opts.CostBasedPlanner, ReplanRatio: s.opts.ReplanRatio}, nil
 	case HiveNaive:
-		return &hive.Naive{Conf: hive.Config{MapJoinBytes: s.opts.MapJoinBytes}}, nil
+		return &hive.Naive{Conf: hiveConf}, nil
 	case HiveMQO:
-		return &hive.MQO{Conf: hive.Config{MapJoinBytes: s.opts.MapJoinBytes}}, nil
+		return &hive.MQO{Conf: hiveConf}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSystem, sys)
 	}
@@ -512,8 +553,11 @@ type PreparedQuery struct {
 
 // Prepare parses, validates and plans a query for the chosen system,
 // consulting the store's LRU plan cache first. The cache is keyed by
-// (system, query text) and additionally by (system, canonicalized text), so
-// differently-formatted spellings of one query share a plan. Errors match
+// (system, data version, query text) and additionally by (system, data
+// version, canonicalized text), so differently-formatted spellings of one
+// query share a plan but no entry survives a mutation of the store: a
+// reload after Add rebuilds the statistics catalog, and plans cached
+// against the previous version simply stop being addressable. Errors match
 // ErrParse, ErrUnsupported or ErrUnknownSystem.
 func (s *Store) Prepare(sys System, query string) (*PreparedQuery, error) {
 	if !validSystem(sys) {
@@ -526,7 +570,8 @@ func (s *Store) Prepare(sys System, query string) (*PreparedQuery, error) {
 		}
 		return &PreparedQuery{store: s, sys: sys, q: c}, nil
 	}
-	rawKey := plancache.Key(string(sys), query)
+	version := s.currentDataVersion()
+	rawKey := plancache.VersionedKey(string(sys), version, query)
 	if v, ok := s.plans.Get(rawKey); ok {
 		return &PreparedQuery{store: s, sys: sys, q: v.(*Compiled), cacheHit: true}, nil
 	}
@@ -534,7 +579,7 @@ func (s *Store) Prepare(sys System, query string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	canonKey := plancache.Key(string(sys), c.Normalized())
+	canonKey := plancache.VersionedKey(string(sys), version, c.Normalized())
 	if canonKey != rawKey {
 		if v, ok := s.plans.Get(canonKey); ok {
 			// Another spelling of the same query is already planned; alias
