@@ -19,7 +19,9 @@
 // materialised intermediates over the full MG catalog, writes
 // BENCH_stream.json), planner (heuristic vs statistics-driven cost-based
 // planner over the BSBM MG queries and the adversarially skewed SK
-// stressors, writes BENCH_planner.json), all.
+// stressors, writes BENCH_planner.json), serve (log-realistic concurrent
+// HTTP workload against the serving layer: baseline vs cross-query shared
+// scans + versioned result cache, writes BENCH_serve.json), all.
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, stream, planner, all")
+		exp      = flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, table4, cycles, ablation, prepared, parallel, dict, disk, stream, planner, serve, all")
 		verify   = flag.Bool("verify", false, "cross-check every engine result against the in-memory oracle")
 		scale    = flag.Float64("scale", 1, "dataset size multiplier (1 = default laptop scale)")
 		traceOut = flag.String("trace-out", "", "write span trees of a traced MG1 run (all engines, bsbm-500k) as JSON to this file")
@@ -68,6 +70,7 @@ func main() {
 	run("disk", Disk)
 	run("stream", Stream)
 	run("planner", Planner)
+	run("serve", Serve)
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(h, *traceOut); err != nil {

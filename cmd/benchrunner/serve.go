@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rapidanalytics/internal/bench"
+	"rapidanalytics/internal/loadgen"
+)
+
+// Serve benchmarks the serving layer under a log-realistic concurrent
+// workload (Zipf-skewed template repetition with hot-template bursts over
+// the full query catalog): a baseline server against one with cross-query
+// shared scans and the versioned result cache. Results go to stdout and
+// BENCH_serve.json. The run fails when any request errors, when any
+// template's rows diverge between configurations (or within one), when the
+// optimized configuration never shared a scan cycle, or when the result
+// cache never hit — so CI catches both correctness drift and the
+// optimizations silently disengaging. The QPS speedup is reported but not
+// gated: at reduced -scale the work per query is too small for the ratio
+// to be stable.
+func Serve(h *bench.Harness) (string, error) {
+	rep, err := loadgen.CompareServing(h.Loader.SizeMult)
+	if err != nil {
+		return "", err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	for _, lv := range rep.Levels {
+		if lv.Metrics.Errors > 0 {
+			return "", fmt.Errorf("%s replay had %d failed requests (see BENCH_serve.json)", lv.Name, lv.Metrics.Errors)
+		}
+	}
+	if !rep.RowsIdentical {
+		return "", fmt.Errorf("row divergence between serving configurations (see BENCH_serve.json)")
+	}
+	opt := rep.Levels[len(rep.Levels)-1]
+	if opt.SharedScan.SharedCycles == 0 {
+		return "", fmt.Errorf("shared-scan scheduler never shared a cycle (see BENCH_serve.json)")
+	}
+	if opt.ResultCache.Hits == 0 {
+		return "", fmt.Errorf("result cache never hit (see BENCH_serve.json)")
+	}
+	return loadgen.RenderServe(rep) + "(wrote BENCH_serve.json)\n", nil
+}

@@ -57,6 +57,9 @@ func main() {
 		spill         = flag.Int64("spill-threshold", 0, "map-side spill threshold in bytes (0 disables spilling)")
 		costPlan      = flag.Bool("cost-planner", true, "statistics-driven join ordering, map-join sizing and re-planning (false = fixed heuristic)")
 		replan        = flag.Float64("replan-ratio", 0, "mid-query re-plan trigger: estimate/observed mismatch ratio (0 = default 4, negative disables re-planning)")
+		sharedScans   = flag.Bool("shared-scans", true, "batch concurrent queries scanning the same file range into one shared pass")
+		scanWindow    = flag.Duration("shared-scan-window", 0, "shared-scan cycle collection window (0 = default 2ms)")
+		resultCache   = flag.Int64("result-cache-bytes", 64<<20, "versioned result/sub-result cache byte budget (0 disables)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,9 @@ func main() {
 	if *replan != 0 {
 		opts.ReplanRatio = *replan
 	}
+	opts.SharedScans = *sharedScans
+	opts.SharedScanWindow = *scanWindow
+	opts.ResultCacheBytes = *resultCache
 
 	store, err := buildStore(*data, *gen, *size, opts)
 	if err != nil {

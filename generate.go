@@ -18,6 +18,34 @@ const (
 	PubMedNamespace = datagen.PubMed
 )
 
+// NewWorkloadStore returns a store holding all three generator graphs
+// (BSBM, Chem2Bio2RDF and PubMed) merged into one dataset. The vocabularies
+// are disjoint, so the full evaluation query catalog runs against a single
+// serving endpoint — this is the serving benchmark's dataset. sizeMult
+// scales every generator's primary entity count (<=0 selects 1).
+func NewWorkloadStore(sizeMult float64, opts Options) *Store {
+	if sizeMult <= 0 {
+		sizeMult = 1
+	}
+	scaled := func(n int) int {
+		if n = int(float64(n) * sizeMult); n < 1 {
+			return 1
+		}
+		return n
+	}
+	s := NewStore(opts)
+	b := datagen.BSBMSmall()
+	b.Products = scaled(b.Products)
+	s.addGraph(datagen.GenerateBSBM(b))
+	c := datagen.ChemDefault()
+	c.Compounds = scaled(c.Compounds)
+	s.addGraph(datagen.GenerateChem(c))
+	p := datagen.PubMedDefault()
+	p.Publications = scaled(p.Publications)
+	s.addGraph(datagen.GeneratePubMed(p))
+	return s
+}
+
 // NewBSBMStore returns a store filled with a deterministic Berlin SPARQL
 // Benchmark-like e-commerce graph of the given product count.
 func NewBSBMStore(products int, opts Options) *Store {

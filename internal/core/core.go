@@ -85,9 +85,27 @@ func DefaultOptions() Options {
 	}
 }
 
+// SubResultCache caches reusable composite-relation outputs across
+// queries: the serving layer plugs the store's byte-budget result cache in
+// here so concurrent and repeated queries over one dataset materialisation
+// skip the whole TG_OptGrpFilter + α-Join chain when an identical composite
+// pattern was already evaluated. Implementations must be safe for
+// concurrent use.
+type SubResultCache interface {
+	// Get returns the cached composite matches for a key.
+	Get(key string) (tgops.Source, bool)
+	// Put caches composite matches accounted at bytes.
+	Put(key string, src tgops.Source, bytes int64)
+}
+
 // Engine is the RAPIDAnalytics engine.
 type Engine struct {
 	Opts Options
+	// SubResults, when non-nil, caches composite-relation outputs across
+	// executions; see SubResultCache. Keys embed the dataset name (unique
+	// per materialisation), so entries from a superseded load are never
+	// addressable.
+	SubResults SubResultCache
 }
 
 // New returns the engine with the paper's default options.
@@ -109,7 +127,7 @@ func (e *Engine) Execute(c *mapred.Cluster, ds *engine.Dataset, aq *algebra.Anal
 		// Non-overlapping patterns: no composite rewriting applies.
 		return e.executeSequential(run, ds, aq)
 	}
-	matched, err := e.evalComposite(run, ds, cp)
+	matched, err := e.compositeMatches(run, ds, cp)
 	if err != nil {
 		return nil, run.WM, err
 	}
@@ -154,6 +172,55 @@ func (e *Engine) executeSequential(run *engine.Runner, ds *engine.Dataset, aq *a
 		aggFiles = append(aggFiles, file)
 	}
 	return engine.FinishQuery(run, aq, aggFiles)
+}
+
+// compositeMatches returns the composite pattern's matched triplegroups,
+// served from the sub-result cache when an identical composite evaluation
+// (same dataset materialisation, same pattern, filters and option flags)
+// already ran; otherwise it evaluates the pattern and caches the output.
+// Cached sources are reused read-only: DFS snapshots are immutable and
+// re-openable, so N queries can consume one materialised (or streamed)
+// match relation concurrently.
+func (e *Engine) compositeMatches(run *engine.Runner, ds *engine.Dataset, cp *algebra.CompositePattern) (tgops.Source, error) {
+	if e.SubResults == nil {
+		return e.evalComposite(run, ds, cp)
+	}
+	key := compositeKey(ds, cp, e.Opts)
+	if src, ok := e.SubResults.Get(key); ok {
+		sp := obs.StartChild(run.C.Context(), obs.KindPlanner, "cache-hit")
+		sp.End()
+		return src, nil
+	}
+	src, err := e.evalComposite(run, ds, cp)
+	if err != nil {
+		return src, err
+	}
+	e.SubResults.Put(key, src, sourceBytes(run, src))
+	return src, nil
+}
+
+// compositeKey identifies one composite evaluation. CompositePattern.String
+// renders stars and join structure but not the shared FILTER constraints,
+// so those are appended explicitly — two queries with the same pattern but
+// different filters must not collide. The option flags that change the
+// matched relation's content or record order (α filtering, input pruning,
+// cost-based join order) are folded in too, keeping cached reuse
+// byte-deterministic per configuration.
+func compositeKey(ds *engine.Dataset, cp *algebra.CompositePattern, o Options) string {
+	return fmt.Sprintf("%s\x00%s\x00%+v\x00%t|%t|%t|%t", ds.Name, cp.String(), cp.Filters,
+		o.AlphaFiltering, o.InputPruning, o.CostPlanner, o.ParallelAggregation)
+}
+
+// sourceBytes accounts a cached source at its logical DFS size.
+func sourceBytes(run *engine.Runner, src tgops.Source) int64 {
+	var n int64
+	for _, name := range src.Files {
+		if f, err := run.C.FS.Open(name); err == nil {
+			n += f.Bytes()
+			f.Close()
+		}
+	}
+	return n
 }
 
 // evalComposite evaluates the composite graph pattern: TG_OptGrpFilter

@@ -112,6 +112,11 @@ func (f *File) StoredBytes() int64 { return storedSize(f.bytes, f.ratio) }
 // streams the whole file). Many iterators may be drawn from one File.
 func (f *File) Records(start int) RecordIterator { return f.src.iterate(start) }
 
+// Volatile reports whether this file's iterators reuse their record buffer
+// (stream-backed files); consumers that retain records across Next must
+// copy them when it is true, exactly as AllRecords does.
+func (f *File) Volatile() bool { return f.volatile }
+
 // AllRecords materialises the whole snapshot. Prefer Records for
 // record-at-a-time consumers; this is for side inputs and small files.
 // The returned slices are always stable: volatile (stream-backed) sources

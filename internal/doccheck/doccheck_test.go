@@ -1,9 +1,10 @@
 // Package doccheck enforces godoc coverage on the packages whose exported
 // API the documentation walks: every exported type, function, method,
 // struct field and package-level var/const in internal/mapred,
-// internal/ntga, internal/vec, internal/blockstore and internal/stats must
-// carry a doc comment. It is a plain test — no
-// third-party linter — so it runs everywhere `go test ./...` does.
+// internal/ntga, internal/vec, internal/blockstore, internal/stats,
+// internal/share and internal/loadgen must carry a doc comment. It is a
+// plain test — no third-party linter — so it runs everywhere
+// `go test ./...` does.
 package doccheck
 
 import (
@@ -18,7 +19,7 @@ import (
 )
 
 // checkedPackages are the directories held to full godoc coverage.
-var checkedPackages = []string{"../mapred", "../ntga", "../vec", "../blockstore", "../stats"}
+var checkedPackages = []string{"../mapred", "../ntga", "../vec", "../blockstore", "../stats", "../share", "../loadgen"}
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {
 	for _, dir := range checkedPackages {

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DriverOptions configures a closed-loop replay.
+type DriverOptions struct {
+	// BaseURL is the server root (the driver appends /sparql).
+	BaseURL string
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+	// Concurrency is the closed-loop worker count (default 8): each worker
+	// issues its next request as soon as the previous response completes.
+	Concurrency int
+	// Format is the response serialisation requested (default "tsv", whose
+	// byte output makes row-divergence hashing exact).
+	Format string
+}
+
+// Metrics summarises one replay.
+type Metrics struct {
+	// Requests is how many requests completed (success or failure).
+	Requests int `json:"requests"`
+	// Errors counts transport failures and non-200 responses.
+	Errors int `json:"errors"`
+	// Divergent counts responses whose canonical row hash disagreed with an
+	// earlier response for the same template. Any non-zero value means the
+	// serving layer returned different rows for the same query text.
+	Divergent int `json:"divergent"`
+	// WallSeconds is the replay's end-to-end wall time.
+	WallSeconds float64 `json:"wallSeconds"`
+	// QPS is Requests / WallSeconds.
+	QPS float64 `json:"qps"`
+	// P50Millis is the median response latency over successful requests.
+	P50Millis float64 `json:"p50Millis"`
+	// P95Millis is the 95th-percentile response latency.
+	P95Millis float64 `json:"p95Millis"`
+	// P99Millis is the 99th-percentile response latency.
+	P99Millis float64 `json:"p99Millis"`
+	// StatusCounts histograms HTTP status codes.
+	StatusCounts map[int]int `json:"statusCounts"`
+	// Hashes maps each template id to its canonical response hash, for
+	// cross-replay row-identity checks.
+	Hashes map[string]string `json:"-"`
+}
+
+// Run replays the schedule closed-loop against the server and returns the
+// replay's metrics. Every 200 response is hashed canonically per template
+// (rows sorted, so engines that order unordered results differently still
+// compare equal); within-replay disagreements are counted in
+// Metrics.Divergent, and Metrics.Hashes supports cross-replay checks.
+func Run(reqs []Request, opts DriverOptions) Metrics {
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+	format := opts.Format
+	if format == "" {
+		format = "tsv"
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		m         = Metrics{StatusCounts: map[int]int{}, Hashes: map[string]string{}}
+	)
+	ch := make(chan Request)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range ch {
+				reqStart := time.Now()
+				status, body, err := do(client, opts.BaseURL, format, req)
+				elapsed := time.Since(reqStart)
+				mu.Lock()
+				m.Requests++
+				if err != nil || status != http.StatusOK {
+					m.Errors++
+					if err == nil {
+						m.StatusCounts[status]++
+					}
+				} else {
+					m.StatusCounts[status]++
+					latencies = append(latencies, elapsed)
+					h := canonHash(body)
+					if prev, ok := m.Hashes[req.TemplateID]; !ok {
+						m.Hashes[req.TemplateID] = h
+					} else if prev != h {
+						m.Divergent++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for _, r := range reqs {
+		ch <- r
+	}
+	close(ch)
+	wg.Wait()
+	m.WallSeconds = time.Since(start).Seconds()
+	if m.WallSeconds > 0 {
+		m.QPS = float64(m.Requests) / m.WallSeconds
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	m.P50Millis = quantile(latencies, 0.50)
+	m.P95Millis = quantile(latencies, 0.95)
+	m.P99Millis = quantile(latencies, 0.99)
+	return m
+}
+
+func do(client *http.Client, base, format string, req Request) (int, string, error) {
+	u := base + "/sparql?format=" + url.QueryEscape(format) +
+		"&system=" + url.QueryEscape(req.System) +
+		"&query=" + url.QueryEscape(req.SPARQL)
+	resp, err := client.Get(u)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(body), nil
+}
+
+// canonHash hashes a TSV body with its lines sorted, so responses whose
+// unordered rows arrive in different orders still hash equal.
+func canonHash(body string) string {
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of sorted durations in
+// milliseconds, 0 when empty.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}

@@ -1,0 +1,164 @@
+// Package loadgen builds log-realistic serving workloads over the
+// evaluation query catalog and drives them against the HTTP serving layer.
+//
+// Real SPARQL endpoint logs (DBpedia, Wikidata) are dominated by a small
+// set of hot query templates repeated with Zipfian frequency, punctuated
+// by bursts of one template arriving nearly simultaneously (dashboards
+// refreshing, retry storms). The generator reproduces that shape
+// deterministically: a seeded Zipf draw picks each slot's template, and
+// every BurstEvery slots a burst of BurstSize consecutive requests for one
+// of the hottest templates is injected. The driver replays a schedule
+// closed-loop at fixed concurrency and reports throughput and latency
+// quantiles, hashing every response so any row divergence between runs —
+// or between a cached and a recomputed response — is detected rather than
+// averaged away.
+package loadgen
+
+import (
+	"math/rand"
+
+	"rapidanalytics/internal/bench"
+)
+
+// Template is one workload query template.
+type Template struct {
+	// ID is the catalog identifier ("G1", "MG13", ...).
+	ID string
+	// SPARQL is the query text.
+	SPARQL string
+}
+
+// CatalogTemplates returns the full evaluation catalog as workload
+// templates, in catalog order (the Zipf draw makes earlier entries
+// hotter).
+func CatalogTemplates() []Template {
+	out := make([]Template, 0, len(bench.Catalog))
+	for _, q := range bench.Catalog {
+		out = append(out, Template{ID: q.ID, SPARQL: q.SPARQL})
+	}
+	return out
+}
+
+// SystemShare weights one engine in the workload's system mix.
+type SystemShare struct {
+	// System is the engine name requests target.
+	System string
+	// Weight is the system's relative draw weight.
+	Weight int
+}
+
+// ScheduleOptions tunes the workload generator. Zero fields select the
+// defaults.
+type ScheduleOptions struct {
+	// Seed seeds the deterministic draw; equal seeds give equal schedules.
+	Seed int64
+	// Requests is the total schedule length (default 200).
+	Requests int
+	// ZipfS is the Zipf skew exponent (default 1.1; must be > 1).
+	ZipfS float64
+	// ZipfV is the Zipf value offset (default 1; must be >= 1).
+	ZipfV float64
+	// BurstEvery injects a burst after every this many slots (default 40;
+	// negative disables bursts).
+	BurstEvery int
+	// BurstSize is how many consecutive requests a burst repeats one hot
+	// template for (default 8).
+	BurstSize int
+	// Systems is the engine mix the schedule draws from (default: 85%
+	// rapidanalytics, 15% rapid+).
+	Systems []SystemShare
+}
+
+func (o ScheduleOptions) withDefaults() ScheduleOptions {
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.1
+	}
+	if o.ZipfV < 1 {
+		o.ZipfV = 1
+	}
+	if o.BurstEvery == 0 {
+		o.BurstEvery = 40
+	}
+	if o.BurstSize <= 0 {
+		o.BurstSize = 8
+	}
+	if len(o.Systems) == 0 {
+		o.Systems = []SystemShare{
+			{System: "rapidanalytics", Weight: 17},
+			{System: "rapid+", Weight: 3},
+		}
+	}
+	return o
+}
+
+// Request is one scheduled query execution.
+type Request struct {
+	// Slot is the request's position in the schedule.
+	Slot int `json:"slot"`
+	// TemplateID names the catalog template.
+	TemplateID string `json:"templateId"`
+	// SPARQL is the query text.
+	SPARQL string `json:"-"`
+	// System is the engine the request targets.
+	System string `json:"system"`
+	// Burst marks requests injected as part of a burst.
+	Burst bool `json:"burst,omitempty"`
+}
+
+// Schedule generates a deterministic log-realistic request schedule over
+// the templates: Zipf-skewed repetition with periodic hot-template bursts.
+func Schedule(templates []Template, opts ScheduleOptions) []Request {
+	o := opts.withDefaults()
+	if len(templates) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var zipf *rand.Zipf
+	if len(templates) > 1 {
+		zipf = rand.NewZipf(rng, o.ZipfS, o.ZipfV, uint64(len(templates)-1))
+	}
+	pickSystem := func() string {
+		total := 0
+		for _, s := range o.Systems {
+			total += s.Weight
+		}
+		n := rng.Intn(total)
+		for _, s := range o.Systems {
+			if n -= s.Weight; n < 0 {
+				return s.System
+			}
+		}
+		return o.Systems[0].System
+	}
+
+	reqs := make([]Request, 0, o.Requests)
+	sinceBurst := 0
+	for len(reqs) < o.Requests {
+		if o.BurstEvery > 0 && sinceBurst >= o.BurstEvery {
+			sinceBurst = 0
+			hot := templates[rng.Intn(min(3, len(templates)))]
+			sys := pickSystem()
+			for i := 0; i < o.BurstSize && len(reqs) < o.Requests; i++ {
+				reqs = append(reqs, Request{
+					Slot: len(reqs), TemplateID: hot.ID, SPARQL: hot.SPARQL,
+					System: sys, Burst: true,
+				})
+			}
+			continue
+		}
+		idx := 0
+		if zipf != nil {
+			idx = int(zipf.Uint64())
+		}
+		t := templates[idx]
+		reqs = append(reqs, Request{
+			Slot: len(reqs), TemplateID: t.ID, SPARQL: t.SPARQL,
+			System: pickSystem(),
+		})
+		sinceBurst++
+	}
+	return reqs
+}

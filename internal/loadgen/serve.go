@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"rapidanalytics/internal/plancache"
+	"rapidanalytics/internal/server"
+	"rapidanalytics/internal/share"
+
+	ra "rapidanalytics"
+)
+
+// ServeLevel is one serving configuration's replay outcome.
+type ServeLevel struct {
+	// Name labels the configuration ("baseline", "shared+cached").
+	Name string `json:"name"`
+	// SharedScans echoes the store option under test.
+	SharedScans bool `json:"sharedScans"`
+	// ResultCacheBytes echoes the result cache budget under test.
+	ResultCacheBytes int64 `json:"resultCacheBytes"`
+	// Metrics is the replay's throughput/latency summary.
+	Metrics Metrics `json:"metrics"`
+	// PlanCache is the store's plan-cache counters after the replay.
+	PlanCache plancache.Stats `json:"planCache"`
+	// ResultCache is the store's result-cache counters after the replay.
+	ResultCache plancache.Stats `json:"resultCache"`
+	// SharedScan is the store's shared-scan counters after the replay.
+	SharedScan share.Stats `json:"sharedScan"`
+}
+
+// ServeReport compares the baseline serving configuration against shared
+// scans + result caching over one log-realistic replay of the catalog
+// workload.
+type ServeReport struct {
+	// Scale is the dataset size multiplier the stores were generated at.
+	Scale float64 `json:"scale"`
+	// Seed is the schedule's deterministic seed.
+	Seed int64 `json:"seed"`
+	// Requests is the schedule length.
+	Requests int `json:"requests"`
+	// Templates is how many distinct query templates the schedule draws
+	// from.
+	Templates int `json:"templates"`
+	// Concurrency is the closed-loop worker count of each replay.
+	Concurrency int `json:"concurrency"`
+	// Levels holds the per-configuration outcomes, baseline first.
+	Levels []ServeLevel `json:"levels"`
+	// RowsIdentical reports every template returned hash-identical rows in
+	// every configuration (and within each replay).
+	RowsIdentical bool `json:"rowsIdentical"`
+	// SpeedupQPS is optimized QPS / baseline QPS.
+	SpeedupQPS float64 `json:"speedupQPS"`
+}
+
+// serveConcurrency is the closed-loop worker count of the serving
+// benchmark; QPS is reported at this fixed concurrency.
+const serveConcurrency = 12
+
+// CompareServing generates the merged catalog store at the given size
+// multiplier, replays one deterministic log-realistic schedule against a
+// baseline server (no sharing, no result cache) and against a server with
+// shared scans and a 64MB result cache, and reports both replays plus the
+// cross-configuration row-identity verdict.
+func CompareServing(sizeMult float64) (*ServeReport, error) {
+	schedOpts := ScheduleOptions{Seed: 1}
+	reqs := Schedule(CatalogTemplates(), schedOpts)
+	rep := &ServeReport{
+		Scale:       sizeMult,
+		Seed:        schedOpts.Seed,
+		Requests:    len(reqs),
+		Templates:   len(CatalogTemplates()),
+		Concurrency: serveConcurrency,
+	}
+
+	levels := []struct {
+		name       string
+		shared     bool
+		cacheBytes int64
+	}{
+		{"baseline", false, 0},
+		{"shared+cached", true, 64 << 20},
+	}
+	for _, lv := range levels {
+		opts := ra.DefaultOptions()
+		opts.SharedScans = lv.shared
+		opts.ResultCacheBytes = lv.cacheBytes
+		store := ra.NewWorkloadStore(sizeMult, opts)
+		srv := server.New(store, server.Config{
+			MaxConcurrent: serveConcurrency,
+			QueueTimeout:  time.Minute,
+			QueryTimeout:  5 * time.Minute,
+		})
+		ts := httptest.NewServer(srv)
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        serveConcurrency,
+			MaxIdleConnsPerHost: serveConcurrency,
+		}}
+		met := Run(reqs, DriverOptions{
+			BaseURL:     ts.URL,
+			Client:      client,
+			Concurrency: serveConcurrency,
+		})
+		ts.Close()
+		rep.Levels = append(rep.Levels, ServeLevel{
+			Name:             lv.name,
+			SharedScans:      lv.shared,
+			ResultCacheBytes: lv.cacheBytes,
+			Metrics:          met,
+			PlanCache:        store.PlanCacheStats(),
+			ResultCache:      store.ResultCacheStats(),
+			SharedScan:       store.SharedScanStats(),
+		})
+	}
+
+	rep.RowsIdentical = hashesEqual(rep.Levels[0].Metrics, rep.Levels[1].Metrics)
+	if base := rep.Levels[0].Metrics.QPS; base > 0 {
+		rep.SpeedupQPS = rep.Levels[1].Metrics.QPS / base
+	}
+	return rep, nil
+}
+
+// hashesEqual reports whether two replays returned identical canonical
+// rows for every template, with no within-replay divergence either.
+func hashesEqual(a, b Metrics) bool {
+	if a.Divergent != 0 || b.Divergent != 0 || len(a.Hashes) != len(b.Hashes) {
+		return false
+	}
+	for id, h := range a.Hashes {
+		if b.Hashes[id] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderServe renders the report as a text table.
+func RenderServe(rep *ServeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving benchmark: %d requests over %d templates, concurrency %d, scale %g\n",
+		rep.Requests, rep.Templates, rep.Concurrency, rep.Scale)
+	fmt.Fprintf(&b, "%-14s %8s %9s %9s %9s %7s %9s %9s %8s\n",
+		"config", "qps", "p50ms", "p95ms", "p99ms", "errors", "cacheHit", "sharedCy", "rejected")
+	for _, lv := range rep.Levels {
+		m := lv.Metrics
+		fmt.Fprintf(&b, "%-14s %8.1f %9.2f %9.2f %9.2f %7d %9d %9d %8d\n",
+			lv.Name, m.QPS, m.P50Millis, m.P95Millis, m.P99Millis, m.Errors,
+			lv.ResultCache.Hits, lv.SharedScan.SharedCycles, m.StatusCounts[http.StatusServiceUnavailable])
+	}
+	fmt.Fprintf(&b, "rows identical: %v   QPS speedup: %.2fx\n", rep.RowsIdentical, rep.SpeedupQPS)
+	return b.String()
+}

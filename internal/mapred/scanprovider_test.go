@@ -1,0 +1,125 @@
+package mapred
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"rapidanalytics/internal/dfs"
+)
+
+// recordingProvider serves scans from the cluster's own FS while recording
+// which ranges were requested, optionally declining some names.
+type recordingProvider struct {
+	fs      *dfs.FS
+	decline string // name prefix to decline
+
+	mu    sync.Mutex
+	calls []string
+}
+
+type providedIterator struct {
+	dfs.RecordIterator
+	shared bool
+}
+
+func (p *providedIterator) Shared() bool { return p.shared }
+
+// Scan materialises the range eagerly (like share.Scheduler), so the file
+// can be closed before the engine iterates — lazy iteration over a closed
+// file breaks on the disk backend.
+func (r *recordingProvider) Scan(name string, start, n int) dfs.RecordIterator {
+	r.mu.Lock()
+	r.calls = append(r.calls, name)
+	r.mu.Unlock()
+	if r.decline != "" && strings.HasPrefix(name, r.decline) {
+		return nil
+	}
+	f, err := r.fs.Open(name)
+	if err != nil {
+		return &providedIterator{RecordIterator: errIterator{err}}
+	}
+	defer f.Close()
+	recs := make([][]byte, 0, n)
+	it := f.Records(start)
+	for i := 0; i < n && it.Next(); i++ {
+		recs = append(recs, append([]byte(nil), it.Record()...))
+	}
+	if err := it.Err(); err != nil {
+		return &providedIterator{RecordIterator: errIterator{err}}
+	}
+	return &providedIterator{RecordIterator: &sliceIterator{recs: recs}, shared: true}
+}
+
+type errIterator struct{ err error }
+
+func (e errIterator) Next() bool     { return false }
+func (e errIterator) Record() []byte { return nil }
+func (e errIterator) Err() error     { return e.err }
+
+type sliceIterator struct {
+	recs [][]byte
+	cur  []byte
+}
+
+func (s *sliceIterator) Next() bool {
+	if len(s.recs) == 0 {
+		return false
+	}
+	s.cur, s.recs = s.recs[0], s.recs[1:]
+	return true
+}
+func (s *sliceIterator) Record() []byte { return s.cur }
+func (s *sliceIterator) Err() error     { return nil }
+
+// TestScanProviderServesMapInputs runs word count through a ScanProvider
+// and checks the provider was consulted for every split while the output
+// stays identical to an unprovided run.
+func TestScanProviderServesMapInputs(t *testing.T) {
+	build := func(p ScanProvider) (*Cluster, *recordingProvider) {
+		c := newTestCluster()
+		writeLines(c, "in", 1, "a b a", "b b c", "c c c c")
+		rp := &recordingProvider{fs: c.FS}
+		if p == nil {
+			c.Scans = rp
+		}
+		return c, rp
+	}
+
+	plain := newTestCluster()
+	writeLines(plain, "in", 1, "a b a", "b b c", "c c c c")
+	if _, err := plain.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+	want := readLines(t, plain, "out")
+
+	c, rp := build(nil)
+	if _, err := c.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+	got := readLines(t, c, "out")
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("provided run diverged:\n got %q\nwant %q", got, want)
+	}
+	rp.mu.Lock()
+	calls := len(rp.calls)
+	rp.mu.Unlock()
+	if calls == 0 {
+		t.Fatal("ScanProvider was never consulted")
+	}
+}
+
+// TestScanProviderDeclineFallsBack checks a nil return from the provider
+// falls back to the task's own file snapshot.
+func TestScanProviderDeclineFallsBack(t *testing.T) {
+	c := newTestCluster()
+	writeLines(c, "in", 1, "a b a", "b b c")
+	c.Scans = &recordingProvider{fs: c.FS, decline: "in"}
+	if _, err := c.Run(wordCountJob("in", "out", false)); err != nil {
+		t.Fatal(err)
+	}
+	got := readLines(t, c, "out")
+	if len(got) != 3 { // a, b, c
+		t.Fatalf("got %d result lines (%q), want 3", len(got), got)
+	}
+}

@@ -34,15 +34,20 @@ func VersionedKey(system string, version uint64, query string) string {
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	// Hits and Misses count Get outcomes.
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped by the LRU policy (Remove and
 	// overwrites are not evictions).
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached plans.
-	Entries int
-	// Capacity is the configured maximum number of entries.
-	Capacity int
+	Entries int `json:"entries"`
+	// Capacity is the configured maximum number of entries (count-bounded
+	// caches only; zero for a SizedCache).
+	Capacity int `json:"capacity,omitempty"`
+	// Bytes and BudgetBytes describe a SizedCache: accounted bytes held
+	// and the configured byte budget. Zero for a count-bounded Cache.
+	Bytes       int64 `json:"bytes,omitempty"`
+	BudgetBytes int64 `json:"budgetBytes,omitempty"`
 }
 
 type entry struct {

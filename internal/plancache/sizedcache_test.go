@@ -1,0 +1,108 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSizedCacheEvictsByBytes(t *testing.T) {
+	c := NewSized(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	c.Put("c", 3, 40) // evicts a (LRU)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived past the byte budget")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("b = %v, %v; want 2, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %v, %v; want 3, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 || st.BudgetBytes != 100 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries, 80/100 bytes", st)
+	}
+}
+
+func TestSizedCacheLRUOrderFollowsGets(t *testing.T) {
+	c := NewSized(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	c.Get("a")        // a becomes MRU
+	c.Put("c", 3, 40) // evicts b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used a was evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU b survived")
+	}
+}
+
+func TestSizedCacheOverwriteAdjustsBytes(t *testing.T) {
+	c := NewSized(100)
+	c.Put("a", 1, 30)
+	c.Put("a", 2, 70)
+	if got := c.Bytes(); got != 70 {
+		t.Fatalf("Bytes = %d, want 70 after overwrite", got)
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("a = %v, want overwritten value 2", v)
+	}
+}
+
+func TestSizedCacheRejectsOverBudgetValues(t *testing.T) {
+	c := NewSized(50)
+	c.Put("small", 1, 10)
+	c.Put("huge", 2, 200)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("over-budget value was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("existing entry evicted for an uncacheable value")
+	}
+	// Overwriting an existing key with an over-budget value must not leave
+	// the stale value addressable.
+	c.Put("small", 3, 200)
+	if _, ok := c.Get("small"); ok {
+		t.Fatal("stale value survived an over-budget overwrite")
+	}
+}
+
+func TestSizedCacheRemoveAndClear(t *testing.T) {
+	c := NewSized(100)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+	if got := c.Bytes(); got != 10 {
+		t.Fatalf("Bytes = %d after Remove, want 10", got)
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("Len/Bytes = %d/%d after Clear, want 0/0", c.Len(), c.Bytes())
+	}
+}
+
+func TestSizedCacheConcurrent(t *testing.T) {
+	c := NewSized(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, i, int64(i%512))
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() < 0 {
+		t.Fatalf("Bytes went negative: %d", c.Bytes())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rapidanalytics/internal/plancache"
+	"rapidanalytics/internal/share"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the query latency
@@ -130,10 +131,10 @@ func (m *Metrics) TotalServed() int64 {
 	return m.latencyCount
 }
 
-// WriteTo renders the metrics (and the store's plan-cache counters) in
-// Prometheus text exposition format. Series are emitted in sorted label
-// order so scrapes are deterministic.
-func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
+// WriteTo renders the metrics (and the store's plan-cache, result-cache
+// and shared-scan counters) in Prometheus text exposition format. Series
+// are emitted in sorted label order so scrapes are deterministic.
+func (m *Metrics) WriteTo(w io.Writer, plan, result plancache.Stats, scans share.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -155,9 +156,9 @@ func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP rapidserver_admission_rejects_total Requests rejected by admission control.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_admission_rejects_total counter\n")
-	fmt.Fprintf(w, "rapidserver_admission_rejects_total %d\n", m.admissionRejects)
+	fmt.Fprintf(w, "# HELP rapidserver_rejected_total Requests rejected by admission control.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_rejected_total counter\n")
+	fmt.Fprintf(w, "rapidserver_rejected_total %d\n", m.admissionRejects)
 
 	fmt.Fprintf(w, "# HELP rapidserver_mr_cycles_total MapReduce cycles executed, by system.\n")
 	fmt.Fprintf(w, "# TYPE rapidserver_mr_cycles_total counter\n")
@@ -192,18 +193,29 @@ func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_hits_total Plan cache probe hits.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_hits_total counter\n")
-	fmt.Fprintf(w, "rapidserver_plan_cache_hits_total %d\n", plan.Hits)
-	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_misses_total Plan cache probe misses.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_misses_total counter\n")
-	fmt.Fprintf(w, "rapidserver_plan_cache_misses_total %d\n", plan.Misses)
-	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_evictions_total Plans evicted by the LRU policy.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_evictions_total counter\n")
-	fmt.Fprintf(w, "rapidserver_plan_cache_evictions_total %d\n", plan.Evictions)
-	fmt.Fprintf(w, "# HELP rapidserver_plan_cache_entries Plans currently cached.\n")
-	fmt.Fprintf(w, "# TYPE rapidserver_plan_cache_entries gauge\n")
-	fmt.Fprintf(w, "rapidserver_plan_cache_entries %d\n", plan.Entries)
+	writeCacheSeries(w, "plan_cache", "Plan", plan)
+	writeCacheSeries(w, "result_cache", "Result", result)
+	fmt.Fprintf(w, "# HELP rapidserver_result_cache_bytes Result cache bytes held.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_result_cache_bytes gauge\n")
+	fmt.Fprintf(w, "rapidserver_result_cache_bytes %d\n", result.Bytes)
+	fmt.Fprintf(w, "# HELP rapidserver_result_cache_budget_bytes Result cache byte budget.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_result_cache_budget_bytes gauge\n")
+	fmt.Fprintf(w, "rapidserver_result_cache_budget_bytes %d\n", result.BudgetBytes)
+
+	fmt.Fprintf(w, "# HELP rapidserver_shared_scan_cycles_total Shared-scan passes executed, by whether the pass served multiple queries.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_shared_scan_cycles_total counter\n")
+	fmt.Fprintf(w, "rapidserver_shared_scan_cycles_total{shared=\"true\"} %d\n", scans.SharedCycles)
+	fmt.Fprintf(w, "rapidserver_shared_scan_cycles_total{shared=\"false\"} %d\n", scans.Cycles-scans.SharedCycles)
+	fmt.Fprintf(w, "# HELP rapidserver_shared_scan_consumers_total Scan requests admitted to shared-scan cycles.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_shared_scan_consumers_total counter\n")
+	fmt.Fprintf(w, "rapidserver_shared_scan_consumers_total %d\n", scans.Consumers)
+	fmt.Fprintf(w, "# HELP rapidserver_shared_scan_records_total Records moved by the shared-scan scheduler, scanned from the DFS vs served to consumers.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_shared_scan_records_total counter\n")
+	fmt.Fprintf(w, "rapidserver_shared_scan_records_total{direction=\"scanned\"} %d\n", scans.RecordsScanned)
+	fmt.Fprintf(w, "rapidserver_shared_scan_records_total{direction=\"served\"} %d\n", scans.RecordsServed)
+	fmt.Fprintf(w, "# HELP rapidserver_shared_scan_errors_total Shared-scan passes that failed.\n")
+	fmt.Fprintf(w, "# TYPE rapidserver_shared_scan_errors_total counter\n")
+	fmt.Fprintf(w, "rapidserver_shared_scan_errors_total %d\n", scans.Errors)
 
 	fmt.Fprintf(w, "# HELP rapidserver_query_seconds Query latency histogram.\n")
 	fmt.Fprintf(w, "# TYPE rapidserver_query_seconds histogram\n")
@@ -216,6 +228,23 @@ func (m *Metrics) WriteTo(w io.Writer, plan plancache.Stats) {
 	fmt.Fprintf(w, "rapidserver_query_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "rapidserver_query_seconds_sum %g\n", m.latencySum)
 	fmt.Fprintf(w, "rapidserver_query_seconds_count %d\n", m.latencyCount)
+}
+
+// writeCacheSeries emits one cache's hit/miss/eviction counters and entry
+// gauge under rapidserver_<name>_*.
+func writeCacheSeries(w io.Writer, name, human string, st plancache.Stats) {
+	fmt.Fprintf(w, "# HELP rapidserver_%s_hits_total %s cache probe hits.\n", name, human)
+	fmt.Fprintf(w, "# TYPE rapidserver_%s_hits_total counter\n", name)
+	fmt.Fprintf(w, "rapidserver_%s_hits_total %d\n", name, st.Hits)
+	fmt.Fprintf(w, "# HELP rapidserver_%s_misses_total %s cache probe misses.\n", name, human)
+	fmt.Fprintf(w, "# TYPE rapidserver_%s_misses_total counter\n", name)
+	fmt.Fprintf(w, "rapidserver_%s_misses_total %d\n", name, st.Misses)
+	fmt.Fprintf(w, "# HELP rapidserver_%s_evictions_total %s cache entries evicted by the LRU policy.\n", name, human)
+	fmt.Fprintf(w, "# TYPE rapidserver_%s_evictions_total counter\n", name)
+	fmt.Fprintf(w, "rapidserver_%s_evictions_total %d\n", name, st.Evictions)
+	fmt.Fprintf(w, "# HELP rapidserver_%s_entries %s cache entries currently held.\n", name, human)
+	fmt.Fprintf(w, "# TYPE rapidserver_%s_entries gauge\n", name)
+	fmt.Fprintf(w, "rapidserver_%s_entries %d\n", name, st.Entries)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"rapidanalytics/internal/plancache"
+
 	ra "rapidanalytics"
 )
 
@@ -25,20 +27,27 @@ type resultStats struct {
 	ShuffleBytes     int64   `json:"shuffleBytes"`
 	// MaterializedBytes is the volume written to the simulated DFS across
 	// all cycles.
-	MaterializedBytes int64   `json:"materializedBytes"`
-	PlanCacheHit      bool    `json:"planCacheHit"`
-	WallMillis        float64 `json:"wallMillis"`
+	MaterializedBytes int64 `json:"materializedBytes"`
+	PlanCacheHit      bool  `json:"planCacheHit"`
+	// ResultCacheHit reports the response was served from the versioned
+	// result cache (no MapReduce cycles ran).
+	ResultCacheHit bool    `json:"resultCacheHit"`
+	WallMillis     float64 `json:"wallMillis"`
 	// Per-phase engine wall times for this query (map / shuffle-sort /
 	// reduce), measured in-process.
 	MapWallMillis         float64 `json:"mapWallMillis"`
 	ShuffleSortWallMillis float64 `json:"shuffleSortWallMillis"`
 	ReduceWallMillis      float64 `json:"reduceWallMillis"`
+	// PlanCache and ResultCache are the store-wide cache counters at
+	// response time.
+	PlanCache   plancache.Stats `json:"planCache"`
+	ResultCache plancache.Stats `json:"resultCache"`
 }
 
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // writeResult serialises a query result as JSON or TSV.
-func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra.Stats, cacheHit bool, elapsed time.Duration) {
+func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra.Stats, cacheHit bool, elapsed time.Duration, plan, result plancache.Stats) {
 	if format == "tsv" {
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 		var b strings.Builder
@@ -67,10 +76,13 @@ func writeResult(w http.ResponseWriter, format string, res *ra.Result, stats *ra
 			ShuffleBytes:          stats.ShuffleBytes,
 			MaterializedBytes:     stats.MaterializedBytes,
 			PlanCacheHit:          cacheHit,
+			ResultCacheHit:        stats.ResultCacheHit,
 			WallMillis:            millis(elapsed),
 			MapWallMillis:         millis(stats.MapWall),
 			ShuffleSortWallMillis: millis(stats.ShuffleSortWall),
 			ReduceWallMillis:      millis(stats.ReduceWall),
+			PlanCache:             plan,
+			ResultCache:           result,
 		},
 	})
 }

@@ -281,7 +281,8 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ObserveQuery(string(req.system), http.StatusOK, stats.MRCycles, elapsed)
 	s.observeOperators(string(req.system), stats.Span)
 	s.recordSlow(req, http.StatusOK, elapsed, stats)
-	writeResult(w, req.format, res, stats, pq.CacheHit(), elapsed)
+	writeResult(w, req.format, res, stats, pq.CacheHit(), elapsed,
+		s.store.PlanCacheStats(), s.store.ResultCacheStats())
 }
 
 // observeOperators folds a query's operator spans into the per-operator
@@ -312,6 +313,7 @@ func (s *Server) recordSlow(req sparqlRequest, status int, elapsed time.Duration
 	}
 	if stats != nil {
 		entry.MRCycles = stats.MRCycles
+		entry.CacheHit = stats.ResultCacheHit
 		entry.Trace = stats.Span
 	}
 	s.slow.Record(entry)
@@ -338,5 +340,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteTo(w, s.store.PlanCacheStats())
+	s.metrics.WriteTo(w, s.store.PlanCacheStats(), s.store.ResultCacheStats(), s.store.SharedScanStats())
 }

@@ -34,8 +34,10 @@ var wantRows = [][]string{
 	{"http://example.org/OLED", "2", "4"},
 }
 
-func shopStore() *ra.Store {
-	store := ra.NewStore(ra.DefaultOptions())
+func shopStore() *ra.Store { return shopStoreWith(ra.DefaultOptions()) }
+
+func shopStoreWith(opts ra.Options) *ra.Store {
+	store := ra.NewStore(opts)
 	ns := "http://example.org/"
 	typ := ns + "Phone"
 	add := func(s, p string, o ra.Term) { store.Add(ns+s, ns+p, o) }
@@ -217,7 +219,7 @@ func TestAdmissionOverflowReturns503(t *testing.T) {
 		t.Fatal("rejected request must not count as served")
 	}
 	metricsStatus, metricsBody := get(t, ts.URL+"/metrics")
-	if metricsStatus != http.StatusOK || !strings.Contains(metricsBody, "rapidserver_admission_rejects_total 1") {
+	if metricsStatus != http.StatusOK || !strings.Contains(metricsBody, "rapidserver_rejected_total 1") {
 		t.Fatalf("metrics missing admission reject: %s", metricsBody)
 	}
 }
@@ -279,7 +281,7 @@ func TestCancelledRequestAborts(t *testing.T) {
 	s.ServeHTTP(rec, req)
 
 	var metrics strings.Builder
-	s.metrics.WriteTo(&metrics, s.store.PlanCacheStats())
+	s.metrics.WriteTo(&metrics, s.store.PlanCacheStats(), s.store.ResultCacheStats(), s.store.SharedScanStats())
 	body := metrics.String()
 	if !strings.Contains(body, fmt.Sprintf("code=\"%d\"", statusClientClosedRequest)) {
 		t.Fatalf("cancelled query not recorded as client-closed:\n%s", body)
@@ -315,6 +317,88 @@ func TestPlanCacheHitVisibleInMetrics(t *testing.T) {
 	}
 	if !strings.Contains(metrics, `rapidserver_queries_total{system="rapidanalytics",code="200"} 2`) {
 		t.Fatalf("metrics missing served counter:\n%s", metrics)
+	}
+}
+
+// TestResultCacheInvalidatedOverHTTP is the end-to-end half of the
+// mutation-invalidation regression (the store-level half lives in the root
+// package): a result served from the versioned cache through the HTTP path
+// must stop being addressable once Store.Add bumps the data version, and
+// the fresh rows must reflect the mutation.
+func TestResultCacheInvalidatedOverHTTP(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.ResultCacheBytes = 1 << 20
+	store := shopStoreWith(opts)
+	s := New(store, Config{SlowQueryThreshold: time.Nanosecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	u := ts.URL + "/sparql?query=" + url.QueryEscape(testQuery)
+	status, body := get(t, u)
+	if status != http.StatusOK {
+		t.Fatalf("first run: %d %s", status, body)
+	}
+	if rb := decodeResult(t, body); rb.Stats.ResultCacheHit {
+		t.Fatal("first execution must miss the result cache")
+	}
+	status, body = get(t, u)
+	if status != http.StatusOK {
+		t.Fatalf("second run: %d %s", status, body)
+	}
+	rb := decodeResult(t, body)
+	if !rb.Stats.ResultCacheHit || rb.Stats.MRCycles != 0 {
+		t.Fatalf("second run not served from cache: %+v", rb.Stats)
+	}
+	checkRows(t, rb)
+	if rb.Stats.ResultCache.Hits < 1 || rb.Stats.ResultCache.Entries < 1 || rb.Stats.ResultCache.Bytes <= 0 {
+		t.Fatalf("stats block missing result-cache counters: %+v", rb.Stats.ResultCache)
+	}
+
+	// Mutate: a new offer on px changes every grouping's count and bumps
+	// the data version, stranding the cached entry under the old key.
+	ns := "http://example.org/"
+	store.Add(ns+"o9", ns+"product", ra.IRI(ns+"px"))
+	store.Add(ns+"o9", ns+"price", ra.Literal("777"))
+
+	status, body = get(t, u)
+	if status != http.StatusOK {
+		t.Fatalf("post-mutation run: %d %s", status, body)
+	}
+	rb = decodeResult(t, body)
+	if rb.Stats.ResultCacheHit {
+		t.Fatal("stale cached result served after mutation")
+	}
+	want := [][]string{
+		{"http://example.org/5G", "4", "5"},
+		{"http://example.org/OLED", "3", "5"},
+	}
+	if len(rb.Rows) != len(want) {
+		t.Fatalf("post-mutation rows = %v; want %v", rb.Rows, want)
+	}
+	for i := range want {
+		if strings.Join(rb.Rows[i], "|") != strings.Join(want[i], "|") {
+			t.Fatalf("post-mutation row %d = %v; want %v", i, rb.Rows[i], want[i])
+		}
+	}
+
+	// The hit shows up on /metrics and as cacheHit in the slow-query log.
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "rapidserver_result_cache_hits_total 1") {
+		t.Fatalf("metrics missing result cache hit:\n%s", metrics)
+	}
+	var dbg struct {
+		Queries []SlowQuery `json:"queries"`
+	}
+	_, body = get(t, ts.URL+"/debug/queries")
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Queries) != 3 { // newest first: miss, hit, miss
+		t.Fatalf("slow-query entries = %d; want 3", len(dbg.Queries))
+	}
+	if dbg.Queries[0].CacheHit || !dbg.Queries[1].CacheHit || dbg.Queries[2].CacheHit {
+		t.Fatalf("cacheHit flags = %v %v %v; want false true false",
+			dbg.Queries[0].CacheHit, dbg.Queries[1].CacheHit, dbg.Queries[2].CacheHit)
 	}
 }
 

@@ -23,6 +23,8 @@ type SlowQuery struct {
 	// MRCycles is the number of MapReduce cycles the query ran (0 on
 	// failure before execution).
 	MRCycles int `json:"mrCycles"`
+	// CacheHit reports the response was served from the result cache.
+	CacheHit bool `json:"cacheHit"`
 	// Trace is the query's hierarchical span tree, when one was captured.
 	Trace *ra.TraceSpan `json:"trace,omitempty"`
 }

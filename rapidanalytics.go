@@ -43,7 +43,9 @@ import (
 	"rapidanalytics/internal/rapid"
 	"rapidanalytics/internal/rdf"
 	"rapidanalytics/internal/refimpl"
+	"rapidanalytics/internal/share"
 	"rapidanalytics/internal/sparql"
+	"rapidanalytics/internal/tgops"
 )
 
 // System identifies one of the four evaluated engines, plus the in-memory
@@ -138,6 +140,21 @@ type Options struct {
 	ReplanRatio float64
 	// RAPIDAnalyticsOptions toggles the optimizer's features (ablations).
 	RAPIDAnalyticsOptions *EngineFeatures
+	// SharedScans batches concurrent in-flight queries' scans of identical
+	// base-layout file ranges into one shared pass per cycle window
+	// (internal/share) — serving-time MQO across query boundaries. Results
+	// are identical either way. Disabled by DefaultOptions; the serving
+	// layer (cmd/rapidserver) enables it.
+	SharedScans bool
+	// SharedScanWindow is how long the first scanner of a range waits for
+	// concurrent queries to join its cycle. 0 selects share.DefaultWindow;
+	// negative shares only exactly-simultaneous arrivals.
+	SharedScanWindow time.Duration
+	// ResultCacheBytes bounds a byte-budget LRU caching final query results
+	// and reusable composite sub-relations, keyed by (system, canonical
+	// query form, statistics-catalog version) so no entry survives a data
+	// mutation. 0 disables result caching (the default).
+	ResultCacheBytes int64
 }
 
 // EngineFeatures mirrors the RAPIDAnalytics design choices (all enabled in
@@ -220,6 +237,20 @@ type Store struct {
 	// keys include dataVersion so entries from before a mutation cannot
 	// outlive the statistics they were cached alongside.
 	plans *plancache.Cache
+
+	// results caches final result tables and composite sub-relations under
+	// one byte budget; nil when disabled. Keys embed the statistics-catalog
+	// version (final results) or the load-numbered dataset name (sub-
+	// relations), so entries from before a mutation stop being addressable
+	// and age out of the LRU.
+	results *plancache.SizedCache
+
+	// scans is the current load's shared-scan scheduler (nil unless
+	// Options.SharedScans); scanStatsBase accumulates counters from
+	// superseded loads so SharedScanStats stays monotonic across reloads.
+	// Both are guarded by loadMu.
+	scans         *share.Scheduler
+	scanStatsBase share.Stats
 }
 
 // NewStore returns an empty store.
@@ -250,7 +281,11 @@ func NewStore(opts Options) *Store {
 		}
 		plans = plancache.New(size)
 	}
-	return &Store{opts: opts, graph: &rdf.Graph{}, plans: plans}
+	var results *plancache.SizedCache
+	if opts.ResultCacheBytes > 0 {
+		results = plancache.NewSized(opts.ResultCacheBytes)
+	}
+	return &Store{opts: opts, graph: &rdf.Graph{}, plans: plans, results: results}
 }
 
 // Add appends one triple. The subject and property are IRIs. Add blocks
@@ -281,6 +316,10 @@ func (s *Store) invalidateLayouts() {
 	s.loadMu.Lock()
 	s.ds = nil
 	s.dataVersion++
+	if s.scans != nil {
+		s.scanStatsBase = s.scanStatsBase.Add(s.scans.Stats())
+		s.scans = nil
+	}
 	s.loadMu.Unlock()
 }
 
@@ -333,6 +372,15 @@ func (s *Store) ensureLoaded() (*mapred.Cluster, *engine.Dataset, error) {
 			return nil, nil, fmt.Errorf("%w: %w", ErrStorage, err)
 		}
 		cluster := mapred.NewClusterFS(cfg, fs)
+		if s.opts.SharedScans {
+			// Share only base-layout scans: per-query tmp/ intermediates
+			// have unique names and would pay the window for nothing.
+			s.scans = share.New(fs, share.Options{
+				Window: s.opts.SharedScanWindow,
+				Prefix: "store/",
+			})
+			cluster.Scans = s.scans
+		}
 		ds, err := engine.LoadWith(cluster, fmt.Sprintf("store/%d", s.loads), s.graph,
 			engine.LoadOptions{DictionaryEncoding: s.opts.DictionaryEncoding})
 		if err != nil {
@@ -387,6 +435,10 @@ type Stats struct {
 	MapWall         time.Duration
 	ShuffleSortWall time.Duration
 	ReduceWall      time.Duration
+	// ResultCacheHit reports that the whole result table was served from
+	// the store's versioned result cache: no MapReduce cycles ran and the
+	// volume fields above are zero.
+	ResultCacheHit bool
 	// Jobs traces each MapReduce cycle in execution order.
 	Jobs []JobStats
 	// Span is the execution's hierarchical span tree (query → planner →
@@ -502,6 +554,9 @@ func (s *Store) engineFor(sys System) (engine.Engine, error) {
 		}
 		e.Opts.CostPlanner = s.opts.CostBasedPlanner
 		e.Opts.ReplanRatio = s.opts.ReplanRatio
+		if s.results != nil {
+			e.SubResults = subResultCache{c: s.results}
+		}
 		return e, nil
 	case RAPIDPlus:
 		return &rapid.Engine{CostPlanner: s.opts.CostBasedPlanner, ReplanRatio: s.opts.ReplanRatio}, nil
@@ -618,12 +673,36 @@ func (s *Store) PlanCacheStats() plancache.Stats {
 	return s.plans.Stats()
 }
 
+// ResultCacheStats returns a snapshot of the result/sub-relation cache
+// counters (zero when Options.ResultCacheBytes is 0).
+func (s *Store) ResultCacheStats() plancache.Stats {
+	if s.results == nil {
+		return plancache.Stats{}
+	}
+	return s.results.Stats()
+}
+
+// SharedScanStats returns the shared-scan scheduler counters, accumulated
+// across dataset rematerialisations (zero when Options.SharedScans is
+// off).
+func (s *Store) SharedScanStats() share.Stats {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if s.scans == nil {
+		return s.scanStatsBase
+	}
+	return s.scanStatsBase.Add(s.scans.Stats())
+}
+
 // Compiled is a parsed and validated analytical query, reusable across
 // stores and systems.
 type Compiled struct {
 	aq     *algebra.AnalyticalQuery
 	parsed *sparql.Query
 	src    string
+
+	normOnce sync.Once
+	norm     string
 }
 
 // Compile parses and validates a SPARQL analytical query. Syntax failures
@@ -642,8 +721,12 @@ func Compile(query string) (*Compiled, error) {
 }
 
 // Normalized renders the query in canonical SPARQL form (sorted prologue,
-// compacted IRIs, grouped predicate lists).
-func (c *Compiled) Normalized() string { return sparql.Format(c.parsed) }
+// compacted IRIs, grouped predicate lists). The rendering is memoised: the
+// serving layer calls this on every execution to key the result cache.
+func (c *Compiled) Normalized() string {
+	c.normOnce.Do(func() { c.norm = sparql.Format(c.parsed) })
+	return c.norm
+}
 
 // QueryCompiled runs a pre-compiled query, bypassing the plan cache.
 func (s *Store) QueryCompiled(sys System, q *Compiled) (*Result, *Stats, error) {
@@ -679,6 +762,26 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 	cluster, ds, err := s.ensureLoaded()
 	if err != nil {
 		return nil, nil, err
+	}
+	// Result cache: the key folds in the statistics-catalog version, so a
+	// mutation (which rebuilds the catalog) makes every prior entry
+	// unaddressable — stale results cannot be served.
+	var resultKey string
+	if s.results != nil {
+		version := s.currentDataVersion()
+		if ds.Stats != nil {
+			version = ds.Stats.Version
+		}
+		resultKey = "res\x00" + plancache.VersionedKey(string(sys), version, q.Normalized())
+		if v, ok := s.results.Get(resultKey); ok {
+			hit := v.(*Result)
+			sp := root.StartChild(obs.KindPlanner, "cache-hit")
+			sp.End()
+			root.End()
+			stats := &Stats{System: sys, ResultCacheHit: true}
+			stats.Span = root.Snapshot()
+			return hit, stats, nil
+		}
 	}
 	res, wm, err := eng.Execute(cluster.WithContext(ctx), ds, q.aq)
 	if err != nil {
@@ -720,7 +823,51 @@ func (s *Store) run(ctx context.Context, sys System, q *Compiled) (*Result, *Sta
 		})
 	}
 	stats.Span = root.Snapshot()
-	return wrapResult(res), stats, nil
+	result := wrapResult(res)
+	if resultKey != "" {
+		// Cached results are shared read-only across future executions;
+		// Result exposes no mutators, so sharing is safe.
+		s.results.Put(resultKey, result, resultBytes(result))
+	}
+	return result, stats, nil
+}
+
+// resultBytes accounts a cached result table: cell and column bytes plus
+// slice/string header overhead per row and cell.
+func resultBytes(r *Result) int64 {
+	const headerOverhead = 24
+	var n int64
+	for _, col := range r.Columns {
+		n += int64(len(col)) + headerOverhead
+	}
+	for _, row := range r.rows {
+		n += headerOverhead
+		for _, cell := range row {
+			n += int64(len(cell)) + headerOverhead
+		}
+	}
+	return n
+}
+
+// subResultCache adapts the store's byte-budget cache to the core engine's
+// composite sub-relation seam, prefix-separating its keys from final
+// results.
+type subResultCache struct {
+	c *plancache.SizedCache
+}
+
+// Get implements core.SubResultCache.
+func (a subResultCache) Get(key string) (tgops.Source, bool) {
+	v, ok := a.c.Get("comp\x00" + key)
+	if !ok {
+		return tgops.Source{}, false
+	}
+	return v.(tgops.Source), true
+}
+
+// Put implements core.SubResultCache.
+func (a subResultCache) Put(key string, src tgops.Source, bytes int64) {
+	a.c.Put("comp\x00"+key, src, bytes)
 }
 
 func wrapResult(res *engine.Result) *Result {

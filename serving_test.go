@@ -1,0 +1,227 @@
+package rapidanalytics_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	ra "rapidanalytics"
+)
+
+// buildShopWith rebuilds the shop fixture under custom options.
+func buildShopWith(t *testing.T, opts ra.Options) *ra.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := buildShop().WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := ra.NewStore(opts)
+	if err := s.LoadNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestResultCacheServesIdenticalResult(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.ResultCacheBytes = 1 << 20
+	store := buildShopWith(t, opts)
+
+	first, st1, err := store.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ResultCacheHit {
+		t.Fatal("first execution reported a result-cache hit")
+	}
+	second, st2, err := store.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.ResultCacheHit {
+		t.Fatal("second execution missed the result cache")
+	}
+	if st2.MRCycles != 0 {
+		t.Errorf("cache hit ran %d MR cycles, want 0", st2.MRCycles)
+	}
+	if canonRows(first) != canonRows(second) {
+		t.Fatalf("cached result diverged:\n%s\nvs\n%s", canonRows(first), canonRows(second))
+	}
+	cs := store.ResultCacheStats()
+	if cs.Hits < 1 || cs.Entries < 1 || cs.Bytes <= 0 {
+		t.Errorf("result cache stats look wrong: %+v", cs)
+	}
+
+	// A different system must not be served the rapidanalytics entry.
+	other, st3, err := store.Query(ra.HiveNaive, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ResultCacheHit {
+		t.Error("hive-naive hit a cache entry written by rapidanalytics")
+	}
+	if canonRows(other) != canonRows(first) {
+		t.Fatalf("engines disagree: %s vs %s", canonRows(other), canonRows(first))
+	}
+}
+
+// TestResultCacheHitTraced checks a WithTracing execution served from the
+// cache still captures a span tree, tagged with the cache-hit span.
+func TestResultCacheHitTraced(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.ResultCacheBytes = 1 << 20
+	store := buildShopWith(t, opts)
+	if _, _, err := store.Query(ra.RAPIDAnalytics, exampleQuery); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := store.QueryContext(ra.WithTracing(t.Context()), ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ResultCacheHit {
+		t.Fatal("expected a result-cache hit")
+	}
+	if st.Span == nil {
+		t.Fatal("traced cache hit captured no span tree")
+	}
+	found := false
+	for _, c := range st.Span.Children {
+		if c.Name == "cache-hit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("span tree lacks a cache-hit child: %s", st.Span.Tree())
+	}
+}
+
+// TestResultCacheInvalidatedByMutation is the store-level half of the
+// regression: Add bumps the data version (and rebuilds the statistics
+// catalog), so a cached result keyed under the old catalog version must
+// not be served.
+func TestResultCacheInvalidatedByMutation(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.ResultCacheBytes = 1 << 20
+	store := buildShopWith(t, opts)
+
+	before, _, err := store.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new offer for px changes both groupings' counts.
+	ns := "http://example.org/"
+	store.Add(ns+"o9", ns+"product", ra.IRI(ns+"px"))
+	store.Add(ns+"o9", ns+"price", ra.Literal("777"))
+
+	after, st, err := store.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultCacheHit {
+		t.Fatal("stale cached result served after mutation")
+	}
+	if canonRows(after) == canonRows(before) {
+		t.Fatal("result did not change after mutation (fixture broken?)")
+	}
+	oracle, _, err := store.Query(ra.Reference, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRows(after) != canonRows(oracle) {
+		t.Fatalf("post-mutation result diverged from oracle:\n%s\nvs\n%s", canonRows(after), canonRows(oracle))
+	}
+}
+
+// TestSubResultCacheReusesComposite runs two distinct query texts sharing
+// one composite pattern: the second must reuse the cached composite
+// matches (fewer MR cycles) and still agree with the oracle.
+func TestSubResultCacheReusesComposite(t *testing.T) {
+	opts := ra.DefaultOptions()
+	opts.ResultCacheBytes = 1 << 20
+	store := buildShopWith(t, opts)
+
+	// Same composite patterns as exampleQuery, different final ordering —
+	// a result-cache miss but a sub-result hit.
+	variant := `PREFIX e: <http://example.org/>
+SELECT ?feature ?cntF ?cntT {
+  { SELECT ?feature (COUNT(?pr2) AS ?cntF)
+    { ?p2 a e:Phone ; e:label ?l2 ; e:feature ?feature .
+      ?o2 e:product ?p2 ; e:price ?pr2 . } GROUP BY ?feature }
+  { SELECT (COUNT(?pr) AS ?cntT)
+    { ?p1 a e:Phone ; e:label ?l1 .
+      ?o1 e:product ?p1 ; e:price ?pr . } }
+}`
+
+	_, st1, err := store.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st2, err := store.Query(ra.RAPIDAnalytics, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ResultCacheHit {
+		t.Fatal("variant text unexpectedly hit the final-result cache")
+	}
+	if st2.MRCycles >= st1.MRCycles {
+		t.Errorf("composite reuse did not shrink the workflow: %d cycles vs %d on first run",
+			st2.MRCycles, st1.MRCycles)
+	}
+	oracle, _, err := store.Query(ra.Reference, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRows(res) != canonRows(oracle) {
+		t.Fatalf("composite-reusing result diverged from oracle:\n%s\nvs\n%s", canonRows(res), canonRows(oracle))
+	}
+}
+
+// TestSharedScansKeepResultsIdentical fires concurrent identical queries
+// at a shared-scan store and checks every result matches the unshared
+// baseline while at least one scan cycle was actually shared.
+func TestSharedScansKeepResultsIdentical(t *testing.T) {
+	baseline := buildShop()
+	want, _, err := baseline.Query(ra.RAPIDAnalytics, exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := ra.DefaultOptions()
+	opts.SharedScans = true
+	opts.SharedScanWindow = 100 * time.Millisecond // generous: coalesce the whole burst
+	store := buildShopWith(t, opts)
+
+	const concurrent = 6
+	var wg sync.WaitGroup
+	results := make([]*ra.Result, concurrent)
+	errs := make([]error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = store.Query(ra.RAPIDAnalytics, exampleQuery)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if canonRows(results[i]) != canonRows(want) {
+			t.Fatalf("query %d diverged under shared scans:\n%s\nvs\n%s",
+				i, canonRows(results[i]), canonRows(want))
+		}
+	}
+	st := store.SharedScanStats()
+	if st.Cycles == 0 {
+		t.Fatal("shared-scan scheduler never ran a cycle")
+	}
+	if st.SharedCycles == 0 {
+		t.Error("no scan cycle was shared across the concurrent burst")
+	}
+	if st.RecordsServed <= st.RecordsScanned {
+		t.Errorf("sharing saved nothing: served %d, scanned %d", st.RecordsServed, st.RecordsScanned)
+	}
+}
