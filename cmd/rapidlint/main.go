@@ -1,16 +1,25 @@
 // Command rapidlint runs the rapidanalytics invariant analyzers (maporder,
-// ctxloop, hotalloc, spansafe, errtyped — see DESIGN.md "Invariants") over
-// Go packages.
+// ctxloop, hotalloc, spansafe, errtyped, closecheck, lockorder, cachekey —
+// see DESIGN.md "Invariants") over Go packages.
 //
 // Standalone multichecker:
 //
 //	go run ./cmd/rapidlint ./...
 //
 // exits 0 when the tree is clean, 1 with one "file:line:col: analyzer:
-// message" line per finding otherwise.
+// message" line per finding otherwise. Flags:
+//
+//	-json    emit machine-readable diagnostics (a JSON array) on stdout
+//	-gha     emit GitHub Actions workflow annotations (::error lines)
+//	-tests   additionally analyze _test.go files with the lifecycle
+//	         analyzers (ctxloop, closecheck); the allocation/span/ordering
+//	         analyzers stay production-only
 //
 // As a vet tool, speaking go vet's unitchecker protocol (-V=full version
-// handshake, then one JSON .cfg per package):
+// handshake, then one JSON .cfg per package), including fact files: each
+// unit's exported interprocedural facts are serialized to its .vetx output
+// and dependency facts are read back from the .vetx files go vet lists in
+// the unit's PackageVetx map:
 //
 //	go build -o /tmp/rapidlint ./cmd/rapidlint
 //	go vet -vettool=/tmp/rapidlint ./...
@@ -18,6 +27,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -29,6 +39,7 @@ import (
 	"strings"
 
 	"rapidanalytics/internal/lint"
+	"rapidanalytics/internal/lint/analysis"
 	"rapidanalytics/internal/lint/driver"
 )
 
@@ -40,7 +51,7 @@ func run(args []string) int {
 	if len(args) == 1 && args[0] == "-V=full" {
 		// go vet fingerprints the tool for its action cache; the line must
 		// read "<name> version <buildid>".
-		fmt.Println("rapidlint version v1")
+		fmt.Println("rapidlint version v3")
 		return 0
 	}
 	if len(args) == 1 && args[0] == "-flags" {
@@ -52,17 +63,39 @@ func run(args []string) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return vetUnit(args[0])
 	}
-	if len(args) == 0 || args[0] == "-help" || args[0] == "--help" || args[0] == "help" {
+
+	fs := flag.NewFlagSet("rapidlint", flag.ContinueOnError)
+	fs.Usage = usage
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	ghaOut := fs.Bool("gha", false, "emit GitHub Actions ::error annotations")
+	tests := fs.Bool("tests", false, "also analyze _test.go files with the lifecycle analyzers")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
 		usage()
 		return 2
 	}
-	diags, err := driver.Run("", lint.Analyzers(), args...)
+	diags, err := driver.RunOpts("", driver.Options{Tests: *tests},
+		lint.Analyzers(), lint.TestAnalyzers(), fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rapidlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rapidlint:", err)
+			return 2
+		}
+	case *ghaOut:
+		for _, d := range diags {
+			fmt.Println(ghaAnnotation(d))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
@@ -71,22 +104,75 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rapidlint <packages>   (e.g. rapidlint ./...)")
+	fmt.Fprintln(os.Stderr, "usage: rapidlint [-json|-gha] [-tests] <packages>   (e.g. rapidlint ./...)")
 	fmt.Fprintln(os.Stderr, "\nanalyzers:")
 	for _, a := range lint.Analyzers() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 	}
+	fmt.Fprintln(os.Stderr, "\n-tests additionally applies to _test.go files:")
+	for _, a := range lint.TestAnalyzers() {
+		fmt.Fprintf(os.Stderr, "  %-10s\n", a.Name)
+	}
+}
+
+// jsonDiagnostic is the -json wire shape: one object per finding, stable
+// field names for CI tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []driver.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ghaAnnotation renders one finding as a GitHub Actions workflow command,
+// which the Actions runner turns into an inline PR annotation.
+func ghaAnnotation(d driver.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=rapidlint(%s)::%s",
+		ghaEscapeProp(d.Position.Filename), d.Position.Line, d.Position.Column,
+		ghaEscapeProp(d.Analyzer), ghaEscapeData(d.Message))
+}
+
+// ghaEscapeData escapes the message payload of a workflow command.
+func ghaEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// ghaEscapeProp escapes a workflow-command property value.
+func ghaEscapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 // vetConfig is the subset of go vet's unitchecker JSON config rapidlint
-// consumes: the unit's sources plus the import-path → export-file mapping
-// needed to type-check it.
+// consumes: the unit's sources, the import-path → export-file mapping
+// needed to type-check it, and the fact-file plumbing (PackageVetx in,
+// VetxOutput out).
 type vetConfig struct {
 	ImportPath                string
 	GoFiles                   []string
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
@@ -105,25 +191,43 @@ func vetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "rapidlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
+	for _, a := range lint.Analyzers() {
+		analysis.RegisterFactTypes(a.FactTypes...)
+	}
+	// Dependency facts: go vet hands over the .vetx file of every import;
+	// each embeds its own transitive closure, so decoding them all
+	// reconstructs the full interprocedural environment.
+	env := analysis.NewEnv()
+	for _, vetx := range cfg.PackageVetx {
+		fdata, err := os.ReadFile(vetx)
+		if err != nil || len(fdata) == 0 {
+			continue // a dependency exported no facts
+		}
+		if err := env.Decode(fdata); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidlint: facts %s: %v\n", vetx, err)
+			return 1
+		}
+	}
 
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		// go vet hands test variants of each package to the tool too;
-		// rapidlint's invariants are production-code properties, so test
-		// files stay out — matching the standalone driver.
+		// rapidlint's vet mode stays production-only, so test files are
+		// skipped — matching the standalone driver's default mode (use
+		// `rapidlint -tests` for _test.go coverage).
 		if strings.HasSuffix(name, "_test.go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return typecheckFailed(&cfg, err)
+			return typecheckFailed(&cfg, env, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
 		// An external test package (pkg_test) holds only test files.
-		if err := writeVetx(&cfg); err != nil {
+		if err := writeVetx(&cfg, env); err != nil {
 			fmt.Fprintln(os.Stderr, "rapidlint:", err)
 			return 1
 		}
@@ -149,23 +253,27 @@ func vetUnit(cfgPath string) int {
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return typecheckFailed(&cfg, err)
+		return typecheckFailed(&cfg, env, err)
 	}
 
 	diags, err := driver.Analyze(&driver.Package{
 		ImportPath: cfg.ImportPath,
+		BasePath:   cfg.ImportPath,
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,
 		Info:       info,
-	}, lint.Analyzers())
+	}, lint.Analyzers(), env)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rapidlint:", err)
 		return 1
 	}
-	if err := writeVetx(&cfg); err != nil {
+	if err := writeVetx(&cfg, env); err != nil {
 		fmt.Fprintln(os.Stderr, "rapidlint:", err)
 		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
@@ -178,9 +286,9 @@ func vetUnit(cfgPath string) int {
 
 // typecheckFailed honors SucceedOnTypecheckFailure: go vet sets it when the
 // compiler will report the same errors anyway, so the vettool stays quiet.
-func typecheckFailed(cfg *vetConfig, err error) int {
+func typecheckFailed(cfg *vetConfig, env *analysis.Env, err error) int {
 	if cfg.SucceedOnTypecheckFailure {
-		if werr := writeVetx(cfg); werr != nil {
+		if werr := writeVetx(cfg, env); werr != nil {
 			fmt.Fprintln(os.Stderr, "rapidlint:", werr)
 			return 1
 		}
@@ -190,11 +298,16 @@ func typecheckFailed(cfg *vetConfig, err error) int {
 	return 1
 }
 
-// writeVetx emits the (empty) serialized-facts file go vet requires every
-// vettool to produce; rapidlint's analyzers exchange no cross-package facts.
-func writeVetx(cfg *vetConfig) error {
+// writeVetx emits the serialized-facts file go vet requires every vettool
+// to produce: the unit's exported facts plus its dependencies' (so direct
+// importers see the transitive closure).
+func writeVetx(cfg *vetConfig, env *analysis.Env) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	data, err := env.EncodeAll()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
 }

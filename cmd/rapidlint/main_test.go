@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -48,6 +49,66 @@ func TestVettoolFindsViolations(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "maporder") {
 		t.Fatalf("vet output carries no maporder diagnostic:\n%s", out)
+	}
+}
+
+// TestJSONOutput: -json renders findings as a parseable array with file,
+// position, analyzer and message — the contract external tooling consumes.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and loads packages; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-json", "rapidanalytics/internal/lint/hotalloc/testdata/src/hotalloc_fx")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit status 1 on findings, got %v\n%s", err, out)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no findings on a violating fixture")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Fatalf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestGHAOutput: -gha emits one ::error workflow command per finding, with
+// escaped properties, so GitHub annotates the offending lines.
+func TestGHAOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and loads packages; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-gha", "rapidanalytics/internal/lint/hotalloc/testdata/src/hotalloc_fx")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit status 1 on findings, got %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("-gha emitted nothing on a violating fixture")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Fatalf("not a workflow command: %q", line)
+		}
+		if !strings.Contains(line, ",line=") || !strings.Contains(line, "title=rapidlint(") {
+			t.Fatalf("annotation missing position or title: %q", line)
+		}
 	}
 }
 

@@ -68,8 +68,12 @@ func TestConformanceCreateWriteRead(t *testing.T) {
 
 func TestConformanceBadRatio(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, fs *FS) {
-		if _, err := fs.Create("bad", 0); !errors.Is(err, ErrCompressionRatio) {
+		w, err := fs.Create("bad", 0)
+		if !errors.Is(err, ErrCompressionRatio) {
 			t.Errorf("err = %v, want ErrCompressionRatio", err)
+		}
+		if w != nil {
+			w.Close()
 		}
 		if fs.Exists("bad") {
 			t.Error("rejected Create left a file")
@@ -157,7 +161,8 @@ func TestConformanceDeleteMissing(t *testing.T) {
 
 func TestConformanceOpenMissing(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, fs *FS) {
-		if _, err := fs.Open("nope"); err == nil {
+		if f, err := fs.Open("nope"); err == nil {
+			f.Close()
 			t.Error("Open of missing file succeeded")
 		}
 	})

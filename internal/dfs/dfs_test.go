@@ -33,6 +33,7 @@ func TestCreateWriteOpen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
+	defer f.Close()
 	if f.Bytes() != 11 || f.NumRecords() != 2 {
 		t.Errorf("Bytes=%d NumRecords=%d", f.Bytes(), f.NumRecords())
 	}
@@ -45,6 +46,7 @@ func TestCompressionRatio(t *testing.T) {
 	fs := New()
 	writeFile(t, fs, "orc", 0.2, string(make([]byte, 1000)))
 	f, _ := fs.Open("orc")
+	defer f.Close()
 	if f.StoredBytes() != 200 {
 		t.Errorf("StoredBytes = %d, want 200", f.StoredBytes())
 	}
@@ -61,6 +63,7 @@ func TestCreateBadRatio(t *testing.T) {
 		}
 		if w != nil {
 			t.Errorf("Create(ratio=%g) returned a writer", ratio)
+			w.Close()
 		}
 	}
 	if fs.Exists("bad") {
@@ -76,6 +79,7 @@ func TestWriteCopies(t *testing.T) {
 	buf[0] = 'X'
 	w.Close()
 	f, _ := fs.Open("f")
+	defer f.Close()
 	recs, err := f.AllRecords()
 	if err != nil {
 		t.Fatalf("AllRecords: %v", err)
@@ -101,7 +105,8 @@ func TestListAndDelete(t *testing.T) {
 		t.Error("x/1 still exists after delete")
 	}
 	fs.Delete("x/1") // idempotent
-	if _, err := fs.Open("x/1"); err == nil {
+	if f, err := fs.Open("x/1"); err == nil {
+		f.Close()
 		t.Error("Open of deleted file succeeded")
 	}
 }
@@ -113,6 +118,7 @@ func TestRecordsFrom(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
+	defer f.Close()
 	it := f.Records(2)
 	var got []string
 	for it.Next() {

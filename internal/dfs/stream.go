@@ -185,6 +185,7 @@ func (w *streamWriter) overflow() error {
 	batches, _, _ := w.sf.snapshot()
 	for _, b := range batches {
 		if err := w.replay(bw, b); err != nil {
+			bw.Close() // abandon the half-replayed file; the replay error wins
 			return err
 		}
 	}

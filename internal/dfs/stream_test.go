@@ -95,6 +95,7 @@ func TestStreamRecordsFrom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	for _, start := range []int{0, 1, 3, 4, 7, 10, 11, 50} {
 		it := f.Records(start)
 		n := 0
@@ -124,6 +125,7 @@ func TestStreamVolatileRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	it := f.Records(0)
 	if !it.Next() {
 		t.Fatal("empty stream")
@@ -157,6 +159,7 @@ func TestStreamSnapshotSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer snap.Close()
 	// Create over the streamed name truncates to a backend file.
 	writeFile(t, fs, "f", 1, "v2")
 	got, err := snap.AllRecords()
@@ -170,6 +173,7 @@ func TestStreamSnapshotSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f2.Close()
 	if recs, _ := f2.AllRecords(); len(recs) != 1 || string(recs[0]) != "v2" {
 		t.Errorf("re-Open after truncate = %q", recs)
 	}
@@ -179,6 +183,7 @@ func TestStreamSnapshotSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer gsnap.Close()
 	if err := fs.Delete("g"); err != nil {
 		t.Fatal(err)
 	}
@@ -266,6 +271,7 @@ func TestStreamWriteBatchOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	got, err := f.AllRecords()
 	if err != nil {
 		t.Fatal(err)
@@ -302,6 +308,7 @@ func TestWriteBatchOnBackendFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	got, _ := f.AllRecords()
 	if len(got) != 2 || !bytes.Equal(got[0], idRec(5, 6)) || !bytes.Equal(got[1], idRec(7, 8)) {
 		t.Errorf("records = %x", got)
@@ -320,6 +327,7 @@ func TestStreamEmptyFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	if f.NumRecords() != 0 || f.Bytes() != 0 {
 		t.Errorf("empty stream metadata: %d recs %d bytes", f.NumRecords(), f.Bytes())
 	}
@@ -331,7 +339,8 @@ func TestStreamEmptyFile(t *testing.T) {
 // TestStreamBadRatio matches the Create contract.
 func TestStreamBadRatio(t *testing.T) {
 	fs := New()
-	if _, err := fs.CreateStream("bad", 0, 0, 0); err == nil {
+	if w, err := fs.CreateStream("bad", 0, 0, 0); err == nil {
+		w.Close()
 		t.Fatal("CreateStream accepted ratio 0")
 	}
 	if fs.Exists("bad") {
@@ -351,6 +360,7 @@ func TestStreamBatchIteratorLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	it, ok := f.Batches()
 	if !ok {
 		t.Fatal("stream-backed file has no batch iterator")
@@ -378,7 +388,12 @@ func TestStreamBatchIteratorLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := fm.Batches(); ok {
+	defer fm.Close()
+	mit, ok := fm.Batches()
+	if mit != nil {
+		mit.Close()
+	}
+	if ok {
 		t.Error("backend file claims a batch iterator")
 	}
 }
@@ -390,6 +405,7 @@ func TestStreamBatchIteratorCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	base, ok := f.Batches()
 	if !ok {
 		t.Fatal("no batch iterator")
@@ -435,6 +451,7 @@ func TestStreamConcurrentReaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	done := make(chan error, 8)
 	for r := 0; r < 8; r++ {
 		go func(start int) {

@@ -2,7 +2,10 @@
 // API the documentation walks: every exported type, function, method,
 // struct field and package-level var/const in internal/mapred,
 // internal/ntga, internal/vec, internal/blockstore, internal/stats,
-// internal/share and internal/loadgen must carry a doc comment. It is a
+// internal/share, internal/loadgen and the lint framework packages
+// (internal/lint/analysis, internal/lint/driver, internal/lint/leaktest,
+// and the interprocedural analyzers closecheck/lockorder/cachekey) must
+// carry a doc comment. It is a
 // plain test — no third-party linter — so it runs everywhere
 // `go test ./...` does.
 package doccheck
@@ -19,7 +22,12 @@ import (
 )
 
 // checkedPackages are the directories held to full godoc coverage.
-var checkedPackages = []string{"../mapred", "../ntga", "../vec", "../blockstore", "../stats", "../share", "../loadgen"}
+var checkedPackages = []string{
+	"../mapred", "../ntga", "../vec", "../blockstore", "../stats",
+	"../share", "../loadgen",
+	"../lint/analysis", "../lint/driver", "../lint/leaktest",
+	"../lint/closecheck", "../lint/lockorder", "../lint/cachekey",
+}
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {
 	for _, dir := range checkedPackages {

@@ -175,11 +175,13 @@ func TestEnsureDefaultRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	f0, _ := c2.FS.Open("sub0")
+	defer f0.Close()
 	if f0.NumRecords() != 0 {
 		t.Error("grouped subquery file repaired; should stay empty")
 	}
 	// Idempotent on non-empty files.
 	f1, _ := c2.FS.Open("sub1")
+	defer f1.Close()
 	if f1.NumRecords() != 1 {
 		t.Error("non-empty GROUP BY ALL file modified")
 	}

@@ -79,6 +79,7 @@ func TestCorruptTriplegroupDetected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		f.Close()
 		w, err := c.FS.Create(name, 1)
 		if err != nil {
 			t.Fatal(err)

@@ -21,6 +21,12 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by rapidlint -help.
 	Doc string
+	// FactTypes lists the analyzer's fact prototypes (pointer values). A
+	// non-empty list makes the analyzer interprocedural: the driver runs it
+	// over dependency packages too (facts only, diagnostics discarded) so
+	// summaries flow bottom-up through the import graph, and registers the
+	// types for serialization.
+	FactTypes []Fact
 	// Run analyzes one package via the pass and reports diagnostics.
 	Run func(*Pass) error
 }
@@ -42,6 +48,10 @@ type Pass struct {
 	// Report delivers one diagnostic (suppression is applied by the
 	// driver, not here).
 	Report func(Diagnostic)
+	// Facts is the fact environment: dependency facts decoded by the
+	// driver plus whatever this pass exports. Nil for fact-free runs — the
+	// fact methods then degrade to no-ops.
+	Facts *Env
 }
 
 // Diagnostic is one finding at a source position.

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Facts are the framework's interprocedural currency, mirroring
+// golang.org/x/tools/go/analysis: an analyzer computes per-function (or
+// per-package) summaries while analyzing one package, exports them as facts,
+// and analyses of downstream packages import them by object. Facts cross
+// package boundaries serialized (gob), exactly like the vet toolchain's
+// .vetx files, so the same machinery serves the in-process driver and the
+// go vet unitchecker protocol.
+
+// Fact is one exportable piece of analysis information. Implementations
+// must be gob-serializable pointer types registered via RegisterFactTypes;
+// the marker method keeps arbitrary values out of the fact maps.
+type Fact interface{ AFact() }
+
+// PackageFact pairs a package-level fact with the package it describes.
+type PackageFact struct {
+	// Path is the package's import path.
+	Path string
+	// Fact is the stored fact (read-only: callers must not mutate it).
+	Fact Fact
+}
+
+// wireFact is one serialized fact: Object is the in-package object key
+// (ObjectKey), or "" for a package-level fact.
+type wireFact struct {
+	Object string
+	Fact   Fact
+}
+
+// wirePackage is the serialization unit: every fact one package exports.
+type wirePackage struct {
+	Path  string
+	Facts []wireFact
+}
+
+var (
+	registerMu sync.Mutex
+	registered = map[reflect.Type]bool{}
+)
+
+// RegisterFactTypes registers the concrete fact types with gob so they can
+// cross the serialization boundary. Idempotent; drivers call it with every
+// analyzer's FactTypes before analysis starts.
+func RegisterFactTypes(facts ...Fact) {
+	registerMu.Lock()
+	defer registerMu.Unlock()
+	for _, f := range facts {
+		t := reflect.TypeOf(f)
+		if registered[t] {
+			continue
+		}
+		registered[t] = true
+		gob.Register(f)
+	}
+}
+
+// Env holds the facts visible to one analysis run: the decoded fact sets of
+// every dependency package plus the facts exported while analyzing. It is
+// not safe for concurrent use; the driver analyzes packages sequentially.
+type Env struct {
+	pkgs map[string]*pkgFacts // by package path
+}
+
+type pkgFacts struct {
+	objs map[string][]Fact // object key → facts (distinct concrete types)
+	pkg  []Fact            // package-level facts
+}
+
+// NewEnv returns an empty fact environment.
+func NewEnv() *Env { return &Env{pkgs: map[string]*pkgFacts{}} }
+
+func (e *Env) pkg(path string) *pkgFacts {
+	p := e.pkgs[path]
+	if p == nil {
+		p = &pkgFacts{objs: map[string][]Fact{}}
+		e.pkgs[path] = p
+	}
+	return p
+}
+
+// setFact stores f, replacing a previously stored fact of the same concrete
+// type (facts decoded later — e.g. a test variant's — override).
+func setFact(facts []Fact, f Fact) []Fact {
+	t := reflect.TypeOf(f)
+	for i, old := range facts {
+		if reflect.TypeOf(old) == t {
+			facts[i] = f
+			return facts
+		}
+	}
+	return append(facts, f)
+}
+
+// getFact copies the stored fact of dst's concrete type into *dst,
+// reporting whether one was found.
+func getFact(facts []Fact, dst Fact) bool {
+	t := reflect.TypeOf(dst)
+	for _, f := range facts {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectKey names a package-level object (or method) stably across the
+// serialization boundary: "F" for package-level functions, types and vars,
+// "T.M" for methods of the named type T (through one pointer). Objects that
+// have no such name — locals, interface methods without a concrete
+// receiver, blank identifiers — report false and carry no facts.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil || obj.Name() == "_" || obj.Name() == "" {
+		return "", false
+	}
+	if f, ok := obj.(*types.Func); ok {
+		if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + f.Name(), true
+		}
+	}
+	if obj.Parent() != nil && obj.Parent() != obj.Pkg().Scope() {
+		return "", false // not package-level
+	}
+	return obj.Name(), true
+}
+
+// ExportObjectFact stores a fact about obj, which must belong to this
+// pass's package. Facts on objects that cannot be keyed (locals) are
+// silently dropped — they are invisible to other packages anyway.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	pf := p.Facts.pkg(obj.Pkg().Path())
+	pf.objs[key] = setFact(pf.objs[key], f)
+}
+
+// ImportObjectFact copies the fact of *f's concrete type about obj into f,
+// reporting whether one exists. It works uniformly for objects of this
+// package (exported earlier in the same pass or by a prior analyzer) and
+// for imported objects, whose facts were decoded from their package's
+// serialized fact set.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	pf := p.Facts.pkgs[obj.Pkg().Path()]
+	if pf == nil {
+		return false
+	}
+	return getFact(pf.objs[key], f)
+}
+
+// ExportPackageFact stores a package-level fact about this pass's package.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.Facts == nil || p.Pkg == nil {
+		return
+	}
+	pf := p.Facts.pkg(p.Pkg.Path())
+	pf.pkg = setFact(pf.pkg, f)
+}
+
+// ImportPackageFact copies the package-level fact of *f's concrete type
+// about the package at path into f, reporting whether one exists.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	pf := p.Facts.pkgs[path]
+	if pf == nil {
+		return false
+	}
+	return getFact(pf.pkg, f)
+}
+
+// AllPackageFacts returns every visible package-level fact with prototype's
+// concrete type, sorted by package path. The returned facts are the stored
+// values: read-only.
+func (p *Pass) AllPackageFacts(prototype Fact) []PackageFact {
+	if p.Facts == nil {
+		return nil
+	}
+	t := reflect.TypeOf(prototype)
+	var out []PackageFact
+	for path, pf := range p.Facts.pkgs {
+		for _, f := range pf.pkg {
+			if reflect.TypeOf(f) == t {
+				out = append(out, PackageFact{Path: path, Fact: f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// wireFor builds the deterministic wire form of one package's facts: facts
+// sorted by object key, then by concrete type name. ok is false when the
+// package exported nothing.
+func (e *Env) wireFor(path string) (wp wirePackage, ok bool) {
+	pf := e.pkgs[path]
+	if pf == nil || (len(pf.objs) == 0 && len(pf.pkg) == 0) {
+		return wirePackage{}, false
+	}
+	wp = wirePackage{Path: path}
+	for _, f := range pf.pkg {
+		wp.Facts = append(wp.Facts, wireFact{Fact: f})
+	}
+	keys := make([]string, 0, len(pf.objs))
+	for k := range pf.objs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		facts := append([]Fact(nil), pf.objs[k]...)
+		sort.Slice(facts, func(i, j int) bool {
+			return factTypeName(facts[i]) < factTypeName(facts[j])
+		})
+		for _, f := range facts {
+			wp.Facts = append(wp.Facts, wireFact{Object: k, Fact: f})
+		}
+	}
+	return wp, true
+}
+
+// EncodePackage serializes every fact stored for the package at path (nil
+// data when it exported nothing).
+func (e *Env) EncodePackage(path string) ([]byte, error) {
+	wp, ok := e.wireFor(path)
+	if !ok {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wp); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts of %s: %w", path, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeAll serializes every package's facts as one gob stream (used by
+// the vet unitchecker protocol, where one .vetx file must carry the
+// transitive fact closure to direct importers). A single encoder writes
+// all packages: gob transmits each wire type's definition once per stream,
+// and a decoder rejects duplicate definitions — concatenating per-package
+// encodings would poison the stream.
+func (e *Env) EncodeAll() ([]byte, error) {
+	paths := make([]string, 0, len(e.pkgs))
+	for p := range e.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, p := range paths {
+		wp, ok := e.wireFor(p)
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(wp); err != nil {
+			return nil, fmt.Errorf("analysis: encoding facts of %s: %w", p, err)
+		}
+	}
+	if buf.Len() == 0 {
+		return nil, nil
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges one or more serialized fact sets (a gob stream of
+// packages) into the environment. Later facts override earlier ones of the
+// same (package, object, type), which lets a test-variant package's facts
+// shadow its production variant's. Empty data is a no-op.
+func (e *Env) Decode(data []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	for {
+		var wp wirePackage
+		if err := dec.Decode(&wp); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("analysis: decoding facts: %w", err)
+		}
+		pf := e.pkg(wp.Path)
+		for _, wf := range wp.Facts {
+			if wf.Object == "" {
+				pf.pkg = setFact(pf.pkg, wf.Fact)
+			} else {
+				pf.objs[wf.Object] = setFact(pf.objs[wf.Object], wf.Fact)
+			}
+		}
+	}
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).String() }

@@ -1,0 +1,180 @@
+package analysis_test
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Two distinct fact types so override and multi-type storage are both
+// exercised across the wire.
+type closesFact struct{ Params []int }
+
+func (*closesFact) AFact() {}
+
+type ownsFact struct{ Results []int }
+
+func (*ownsFact) AFact() {}
+
+type pkgFact struct{ Edges []string }
+
+func (*pkgFact) AFact() {}
+
+// newPkg builds a types.Package with one package-level function F so the
+// fact API has a real keyable object to hang facts on.
+func newPkg(path string) (*types.Package, *types.Func) {
+	pkg := types.NewPackage(path, "p")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "F", sig)
+	pkg.Scope().Insert(fn)
+	pkg.MarkComplete()
+	return pkg, fn
+}
+
+func pass(pkg *types.Package, env *analysis.Env) *analysis.Pass {
+	return &analysis.Pass{Pkg: pkg, Facts: env}
+}
+
+func init() {
+	analysis.RegisterFactTypes(&closesFact{}, &ownsFact{}, &pkgFact{})
+}
+
+// TestObjectFactRoundTrip: facts exported in one environment must decode
+// into a fresh one and import back identically — the exact path facts take
+// between driver packages and between vet compilation units.
+func TestObjectFactRoundTrip(t *testing.T) {
+	pkg, fn := newPkg("m/a")
+	src := analysis.NewEnv()
+	p := pass(pkg, src)
+	p.ExportObjectFact(fn, &closesFact{Params: []int{0, 2}})
+	p.ExportObjectFact(fn, &ownsFact{Results: []int{1}})
+	p.ExportPackageFact(&pkgFact{Edges: []string{"a->b"}})
+
+	data, err := src.EncodePackage("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("EncodePackage returned no data for a package with facts")
+	}
+
+	dst := analysis.NewEnv()
+	if err := dst.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	q := pass(pkg, dst)
+	var cf closesFact
+	if !q.ImportObjectFact(fn, &cf) || len(cf.Params) != 2 || cf.Params[0] != 0 || cf.Params[1] != 2 {
+		t.Errorf("closesFact after round trip = %+v", cf)
+	}
+	var of ownsFact
+	if !q.ImportObjectFact(fn, &of) || len(of.Results) != 1 || of.Results[0] != 1 {
+		t.Errorf("ownsFact after round trip = %+v", of)
+	}
+	var pf pkgFact
+	if !q.ImportPackageFact("m/a", &pf) || len(pf.Edges) != 1 || pf.Edges[0] != "a->b" {
+		t.Errorf("pkgFact after round trip = %+v", pf)
+	}
+}
+
+// TestEncodeAllSingleStream is the regression test for the vet fact flow:
+// EncodeAll must produce ONE gob stream. Concatenating per-package
+// encodings (each with its own encoder) re-transmits the wire type
+// definitions and a single decoder rejects the second copy with
+// "duplicate type received".
+func TestEncodeAllSingleStream(t *testing.T) {
+	pkgA, fnA := newPkg("m/a")
+	pkgB, fnB := newPkg("m/b")
+	src := analysis.NewEnv()
+	pass(pkgA, src).ExportObjectFact(fnA, &closesFact{Params: []int{0}})
+	pass(pkgB, src).ExportObjectFact(fnB, &closesFact{Params: []int{1}})
+	pass(pkgB, src).ExportPackageFact(&pkgFact{Edges: []string{"b"}})
+
+	data, err := src.EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := analysis.NewEnv()
+	if err := dst.Decode(data); err != nil {
+		t.Fatalf("Decode of EncodeAll stream: %v", err)
+	}
+	var cf closesFact
+	if !pass(pkgA, dst).ImportObjectFact(fnA, &cf) || cf.Params[0] != 0 {
+		t.Errorf("package a fact after EncodeAll = %+v", cf)
+	}
+	if !pass(pkgB, dst).ImportObjectFact(fnB, &cf) || cf.Params[0] != 1 {
+		t.Errorf("package b fact after EncodeAll = %+v", cf)
+	}
+}
+
+// TestDecodeLaterFactsOverride: decoding two fact sets for the same
+// (package, object, type) keeps the later one — how a test variant's facts
+// shadow its production variant's.
+func TestDecodeLaterFactsOverride(t *testing.T) {
+	pkg, fn := newPkg("m/a")
+	first := analysis.NewEnv()
+	pass(pkg, first).ExportObjectFact(fn, &closesFact{Params: []int{0}})
+	second := analysis.NewEnv()
+	pass(pkg, second).ExportObjectFact(fn, &closesFact{Params: []int{7}})
+
+	d1, err := first.EncodePackage("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := second.EncodePackage("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := analysis.NewEnv()
+	if err := dst.Decode(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Decode(d2); err != nil {
+		t.Fatal(err)
+	}
+	var cf closesFact
+	if !pass(pkg, dst).ImportObjectFact(fn, &cf) || len(cf.Params) != 1 || cf.Params[0] != 7 {
+		t.Errorf("fact after override decode = %+v, want Params [7]", cf)
+	}
+}
+
+// TestEncodeDeterministic: the wire form must not depend on map iteration
+// order — vet caches .vetx content, and nondeterministic bytes would bust
+// the cache on every run.
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() []byte {
+		pkgA, fnA := newPkg("m/a")
+		pkgB, fnB := newPkg("m/b")
+		env := analysis.NewEnv()
+		pass(pkgA, env).ExportObjectFact(fnA, &ownsFact{Results: []int{0}})
+		pass(pkgA, env).ExportObjectFact(fnA, &closesFact{Params: []int{1}})
+		pass(pkgA, env).ExportPackageFact(&pkgFact{Edges: []string{"x", "y"}})
+		pass(pkgB, env).ExportObjectFact(fnB, &closesFact{Params: []int{2}})
+		data, err := env.EncodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Error("EncodeAll output differs between identical environments")
+	}
+}
+
+// TestEmptyEncodings: packages without facts encode to nothing, and empty
+// data decodes as a no-op.
+func TestEmptyEncodings(t *testing.T) {
+	env := analysis.NewEnv()
+	if data, err := env.EncodePackage("m/none"); err != nil || len(data) != 0 {
+		t.Errorf("EncodePackage of factless package = %d bytes, %v", len(data), err)
+	}
+	if data, err := env.EncodeAll(); err != nil || len(data) != 0 {
+		t.Errorf("EncodeAll of empty env = %d bytes, %v", len(data), err)
+	}
+	if err := env.Decode(nil); err != nil {
+		t.Errorf("Decode(nil) = %v", err)
+	}
+}

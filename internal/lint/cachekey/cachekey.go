@@ -1,0 +1,392 @@
+// Package cachekey defines the cache-version analyzer: every insert into a
+// plancache cache (Cache.Put, SizedCache.Put) must use a key derived
+// through plancache.VersionedKey, so cached plans and results can never
+// survive the dataset version that produced them.
+//
+// An expression derives the version when it is a VersionedKey call, any
+// expression built from one (concatenation, formatting, conversion), a
+// local variable assigned such an expression, or a call to a function
+// whose serialized summary says its result derives. Two fact kinds carry
+// the analysis across package boundaries:
+//
+//   - DerivesFact on a function records which results are version-derived
+//     on every return path — key-building helpers compose.
+//   - KeyParamFact on a package-level function records which parameters
+//     flow into a cache insert as the key; every static call site must
+//     pass a derived key (or chain its own parameter, re-exporting the
+//     obligation).
+//
+// Methods get no such trust: method calls travel through interfaces where
+// fact flow breaks, so a method that inserts must fold the version into
+// the key itself — before or at the insert.
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer reports cache inserts whose key skips version folding.
+var Analyzer = &analysis.Analyzer{
+	Name:      "cachekey",
+	Doc:       "plancache inserts must derive their key through plancache.VersionedKey so stale versions can never be served",
+	FactTypes: []analysis.Fact{(*DerivesFact)(nil), (*KeyParamFact)(nil)},
+	Run:       run,
+}
+
+// DerivesFact marks a function whose listed result indices are
+// version-derived on every return path.
+type DerivesFact struct {
+	// Results are the indices of the version-derived results.
+	Results []int
+}
+
+// AFact marks DerivesFact as serializable analyzer currency.
+func (*DerivesFact) AFact() {}
+
+// KeyParamFact marks a package-level function whose listed parameters are
+// used as cache-insert keys; callers owe a derived key at those positions.
+type KeyParamFact struct {
+	// Params are the indices of the parameters used as insert keys.
+	Params []int
+}
+
+// AFact marks KeyParamFact as serializable analyzer currency.
+func (*KeyParamFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	// The plancache package itself implements the caches; its internals
+	// are not inserts.
+	if analysis.PkgPathSuffix(pass.Pkg, "plancache") {
+		return nil
+	}
+	funcs := pass.Funcs()
+
+	// Phase 1: summaries to a fixpoint — local derivation maps feed
+	// DerivesFact, insert sites feed KeyParamFact, and both compose
+	// through intra-package call chains.
+	analysis.Fixpoint(len(funcs)+2, func() bool {
+		changed := false
+		for _, fb := range funcs {
+			c := newChecker(pass, fb, true)
+			c.analyze()
+			if c.exportFacts() {
+				changed = true
+			}
+		}
+		return changed
+	})
+
+	// Phase 2: diagnostics.
+	for _, fb := range funcs {
+		c := newChecker(pass, fb, false)
+		c.analyze()
+	}
+	return nil
+}
+
+// checker analyzes one function: builds the local derivation map, then
+// judges every insert site and key-param call site.
+type checker struct {
+	pass    *analysis.Pass
+	fb      analysis.FuncBody
+	summary bool
+
+	derivedVars  map[*types.Var]bool
+	trustedParam map[*types.Var]int // param → index; package-level funcs only
+	keyParams    map[int]bool       // param indices owed a derived key
+	derivesAll   map[int]bool       // result indices derived on every return
+	sawReturn    bool
+}
+
+func newChecker(pass *analysis.Pass, fb analysis.FuncBody, summary bool) *checker {
+	c := &checker{
+		pass:         pass,
+		fb:           fb,
+		summary:      summary,
+		derivedVars:  map[*types.Var]bool{},
+		trustedParam: map[*types.Var]int{},
+		keyParams:    map[int]bool{},
+		derivesAll:   map[int]bool{},
+	}
+	// Only package-level functions may defer the obligation to callers:
+	// method calls can travel through interfaces, where facts cannot.
+	if sig, ok := fb.Obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			c.trustedParam[sig.Params().At(i)] = i
+		}
+	}
+	return c
+}
+
+func (c *checker) analyze() {
+	body := c.fb.Decl.Body
+	if body == nil {
+		return
+	}
+	// Local derivation map to a fixpoint: assignment order is free.
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) != len(as.Lhs) {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := c.objOf(id)
+				if v == nil || c.derivedVars[v] {
+					continue
+				}
+				if c.derives(as.Rhs[i]) {
+					c.derivedVars[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	// Judge inserts, key-param call sites, and returns.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.ReturnStmt:
+			c.sawReturn = true
+			for i, e := range n.Results {
+				if !c.sawReturnYet(i) {
+					c.derivesAll[i] = c.derives(e)
+				} else if !c.derives(e) {
+					c.derivesAll[i] = false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sawReturnYet reports whether result index i has been judged before (the
+// map entry exists once any return mentioned it).
+func (c *checker) sawReturnYet(i int) bool {
+	_, ok := c.derivesAll[i]
+	return ok
+}
+
+// checkCall judges one call: a cache insert's key argument, or the
+// arguments owed to a callee's key parameters.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if keyArg, ok := c.insertKey(call); ok {
+		c.requireDerived(keyArg, "cache insert key")
+		return
+	}
+	callee := analysis.StaticCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	var kp KeyParamFact
+	if !c.pass.ImportObjectFact(callee, &kp) {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		pi := i
+		if sig != nil && sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if containsInt(kp.Params, pi) {
+			c.requireDerived(arg, "key passed to "+callee.Name())
+		}
+	}
+}
+
+// requireDerived reports (or, for a trusted parameter, re-exports the
+// obligation) when the key expression is not version-derived.
+func (c *checker) requireDerived(keyArg ast.Expr, what string) {
+	if c.derives(keyArg) {
+		return
+	}
+	if v := c.bareParam(keyArg); v != nil {
+		if i, ok := c.trustedParam[v]; ok {
+			c.keyParams[i] = true // obligation moves to our callers
+			return
+		}
+	}
+	if !c.summary {
+		c.pass.Reportf(keyArg.Pos(),
+			"%s does not go through plancache.VersionedKey; fold the dataset version into the key or the cache serves stale plans after a load",
+			what)
+	}
+}
+
+// bareParam unwraps conversions and parentheses down to a parameter
+// identifier, or nil.
+func (c *checker) bareParam(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			// A type conversion with one operand is transparent.
+			if len(x.Args) == 1 {
+				if tv, ok := c.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return nil
+		case *ast.Ident:
+			if v, ok := c.pass.TypesInfo.Uses[x].(*types.Var); ok {
+				if _, isParam := c.trustedParam[v]; isParam {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// insertKey recognizes Cache.Put / SizedCache.Put calls and returns the
+// key argument.
+func (c *checker) insertKey(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) < 2 {
+		return nil, false
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	recv := s.Recv()
+	if analysis.IsNamed(recv, "plancache", "Cache") || analysis.IsNamed(recv, "plancache", "SizedCache") {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// derives reports whether e is version-derived: a VersionedKey call, a
+// composition containing one, a derived local, or a call whose summary
+// derives.
+func (c *checker) derives(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if c.isVersionedKey(e) {
+			return true
+		}
+		if callee := analysis.StaticCallee(c.pass.TypesInfo, e); callee != nil {
+			var df DerivesFact
+			if c.pass.ImportObjectFact(callee, &df) && containsInt(df.Results, 0) {
+				return true
+			}
+		}
+		// Formatting, concatenation helpers, conversions: derivation
+		// survives any call that consumes a derived operand.
+		for _, arg := range e.Args {
+			if c.derives(arg) {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return c.derives(e.X) || c.derives(e.Y)
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return c.derivedVars[v]
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isVersionedKey recognizes the root derivation: plancache.VersionedKey.
+func (c *checker) isVersionedKey(call *ast.CallExpr) bool {
+	callee := analysis.StaticCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return false
+	}
+	return callee.Name() == "VersionedKey" && callee.Pkg() != nil &&
+		analysis.PkgPathSuffix(callee.Pkg(), "plancache")
+}
+
+// exportFacts publishes this function's summaries; reports whether either
+// fact changed.
+func (c *checker) exportFacts() bool {
+	changed := false
+	if len(c.keyParams) > 0 {
+		params := sortedKeys(c.keyParams)
+		var prev KeyParamFact
+		if !c.pass.ImportObjectFact(c.fb.Obj, &prev) || !equalInts(prev.Params, params) {
+			c.pass.ExportObjectFact(c.fb.Obj, &KeyParamFact{Params: params})
+			changed = true
+		}
+	}
+	if c.sawReturn {
+		var results []int
+		for i, all := range c.derivesAll {
+			if all {
+				results = append(results, i)
+			}
+		}
+		if len(results) > 0 {
+			sort.Ints(results)
+			var prev DerivesFact
+			if !c.pass.ImportObjectFact(c.fb.Obj, &prev) || !equalInts(prev.Results, results) {
+				c.pass.ExportObjectFact(c.fb.Obj, &DerivesFact{Results: results})
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (c *checker) objOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

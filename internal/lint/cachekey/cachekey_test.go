@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/cachekey"
+	"rapidanalytics/internal/lint/linttest"
+)
+
+func TestCachekey(t *testing.T) {
+	linttest.Run(t, cachekey.Analyzer, "cachekey_fx")
+}

@@ -1,0 +1,98 @@
+// Package cachekey_fx exercises the cache-version analyzer: every
+// plancache insert must fold the dataset version into its key via
+// plancache.VersionedKey, directly or through summarized helpers.
+package cachekey_fx
+
+import (
+	"fmt"
+
+	"rapidanalytics/internal/lint/cachekey/testdata/src/cachekey_fx/helper"
+	"rapidanalytics/internal/plancache"
+)
+
+// CacheConstant pins a plan under a version-blind key: caught.
+func CacheConstant(c *plancache.Cache, plan any) {
+	c.Put("all-plans", plan) // want "does not go through plancache.VersionedKey"
+}
+
+// DirectFold is the baseline true negative.
+func DirectFold(c *plancache.Cache, version uint64, query string, plan any) {
+	c.Put(plancache.VersionedKey("plan", version, query), plan)
+}
+
+// ComposedFold derives through concatenation, formatting and a local
+// variable: still a true negative.
+func ComposedFold(c *plancache.Cache, version uint64, query string, plan any) {
+	k := "agg\x00" + plancache.VersionedKey("plan", version, query)
+	tagged := fmt.Sprintf("q|%s", k)
+	c.Put(tagged, plan)
+}
+
+// RawInsert takes the key from its caller; as a package-level function its
+// KeyParamFact moves the obligation to every call site, so the insert
+// itself is clean.
+func RawInsert(c *plancache.Cache, key string, plan any) {
+	c.Put(key, plan)
+}
+
+// CallsRawInsertBadly owes RawInsert a derived key and pays with a bare
+// literal: caught at the call site via the chained fact. (Passing one's
+// own parameter would chain the obligation further instead.)
+func CallsRawInsertBadly(c *plancache.Cache, plan any) {
+	RawInsert(c, "latest-query", plan) // want "key passed to RawInsert"
+}
+
+// CallsRawInsertWell settles the obligation with a fold: true negative.
+func CallsRawInsertWell(c *plancache.Cache, version uint64, query string, plan any) {
+	RawInsert(c, plancache.VersionedKey("plan", version, query), plan)
+}
+
+// HelperFold derives through the helper package's summarized key builder:
+// a true negative only reachable through serialized DerivesFact.
+func HelperFold(c *plancache.Cache, version uint64, query string, plan any) {
+	c.Put(helper.MakeKey("plan", version, query), plan)
+}
+
+// HelperInsertBadly feeds a raw literal to the helper's inserting
+// function: caught at the call site via serialized KeyParamFact.
+func HelperInsertBadly(c *plancache.Cache, plan any) {
+	helper.InsertAs(c, "hot-result", plan) // want "key passed to InsertAs"
+}
+
+// HelperInsertWell composes both helper facts: true negative.
+func HelperInsertWell(c *plancache.Cache, version uint64, query string, plan any) {
+	helper.InsertAs(c, helper.MakeKey("plan", version, query), plan)
+}
+
+// box wraps a cache behind a method — exactly the shape that flows through
+// interfaces, where fact chains break.
+type box struct {
+	c *plancache.Cache
+}
+
+// Put shows why methods get no parameter trust: the insert must fold the
+// version itself.
+func (b *box) Put(key string, plan any) {
+	b.c.Put(key, plan) // want "does not go through plancache.VersionedKey"
+}
+
+// PutVersioned folds at the insert inside the method: true negative.
+func (b *box) PutVersioned(version uint64, key string, plan any) {
+	b.c.Put(plancache.VersionedKey("box", version, key), plan)
+}
+
+// SizedRaw inserts into the sized cache without a fold: caught.
+func SizedRaw(sc *plancache.SizedCache, plan any) {
+	sc.Put("hot-result", plan, 64) // want "does not go through plancache.VersionedKey"
+}
+
+// SizedFolded is the sized-cache true negative.
+func SizedFolded(sc *plancache.SizedCache, version uint64, query string, plan any) {
+	sc.Put(helper.MakeKey("res", version, query), plan, 64)
+}
+
+// Pinned documents a deliberately version-independent slot; the justified
+// directive keeps the analyzer quiet.
+func Pinned(c *plancache.Cache, plan any) {
+	c.Put("pinned-default-plan", plan) //lint:ignore cachekey the default plan is rebuilt on every load, never served stale
+}

@@ -1,0 +1,18 @@
+// Package helper is the cross-package half of the cachekey fixtures: its
+// key-building and inserting functions carry DerivesFact and KeyParamFact
+// summaries that the fixture package exercises through serialized facts.
+package helper
+
+import "rapidanalytics/internal/plancache"
+
+// MakeKey folds the dataset version into a namespaced key; its DerivesFact
+// lets callers insert through it without repeating the fold.
+func MakeKey(system string, version uint64, query string) string {
+	return plancache.VersionedKey(system, version, query)
+}
+
+// InsertAs inserts under the caller's key: the KeyParamFact on it moves
+// the derivation obligation to every call site.
+func InsertAs(c *plancache.Cache, key string, v any) {
+	c.Put(key, v)
+}

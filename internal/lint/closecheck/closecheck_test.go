@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/closecheck"
+	"rapidanalytics/internal/lint/linttest"
+)
+
+func TestClosecheck(t *testing.T) {
+	linttest.Run(t, closecheck.Analyzer, "closecheck_fx")
+}

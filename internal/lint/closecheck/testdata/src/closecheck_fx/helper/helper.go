@@ -1,0 +1,55 @@
+// Package helper is the cross-package half of the closecheck fixtures: its
+// functions' disposal summaries (ClosesFact, OwnsFact) are computed facts-
+// only and serialized to the fixture package, which exercises the
+// interprocedural paths of the analyzer. It carries no want comments of its
+// own.
+package helper
+
+import "rapidanalytics/internal/dfs"
+
+// Consume takes ownership of f and closes it on every path; callers
+// passing a file here are discharged.
+func Consume(f *dfs.File) error {
+	return f.Close()
+}
+
+// ConsumeVia closes f transitively through Consume — the intra-package
+// fixpoint must propagate Consume's summary for ConsumeVia to earn its own.
+func ConsumeVia(f *dfs.File) error {
+	return Consume(f)
+}
+
+// Borrow only reads f; the close obligation stays with the caller.
+func Borrow(f *dfs.File) int {
+	return f.NumRecords()
+}
+
+// registry outlives any caller; files sunk here are owned by the package.
+var registry []*dfs.File
+
+// Sink stores f into package state, taking ownership.
+func Sink(f *dfs.File) {
+	registry = append(registry, f)
+}
+
+// Wrapped boxes an engine file behind a type defined outside the resource
+// packages; only OwnsFact tells callers the box holds a live resource.
+type Wrapped struct {
+	F *dfs.File
+}
+
+// Close releases the boxed file.
+func (w *Wrapped) Close() error {
+	return w.F.Close()
+}
+
+// OpenWrapped acquires a file and returns it boxed; the close obligation
+// travels to the caller via the OwnsFact summary, since *Wrapped itself is
+// not a resource-package type.
+func OpenWrapped(fs *dfs.FS, name string) (*Wrapped, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Wrapped{F: f}, nil
+}

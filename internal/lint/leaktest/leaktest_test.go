@@ -1,0 +1,58 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsBlockedGoroutine pins the positive case: a goroutine parked
+// on a channel no one will ever close must be reported with its stack.
+// Leaked is called directly (Check would fail this test on purpose).
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	stacks := Leaked(50 * time.Millisecond)
+	if len(stacks) == 0 {
+		t.Fatal("Leaked found nothing with a goroutine parked on a channel")
+	}
+	found := false
+	for _, s := range stacks {
+		if strings.Contains(s, "leaktest.TestDetectsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leaked stacks do not name the spawning test:\n%s", strings.Join(stacks, "\n\n"))
+	}
+
+	close(release)
+	if stacks := Leaked(patience); len(stacks) != 0 {
+		t.Errorf("goroutine still reported after release:\n%s", strings.Join(stacks, "\n\n"))
+	}
+}
+
+// TestGracePeriodAbsorbsStragglers: a goroutine that exits shortly after
+// the test body returns is not a leak — Leaked must wait it out.
+func TestGracePeriodAbsorbsStragglers(t *testing.T) {
+	go time.Sleep(30 * time.Millisecond)
+	if stacks := Leaked(patience); len(stacks) != 0 {
+		t.Errorf("straggler within the grace period reported as leaked:\n%s",
+			strings.Join(stacks, "\n\n"))
+	}
+}
+
+// TestCleanTestPasses wires the real Check into a test that spawns and
+// joins a goroutine; the registered cleanup must find nothing.
+func TestCleanTestPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -4,14 +4,19 @@ package lint
 
 import (
 	"rapidanalytics/internal/lint/analysis"
+	"rapidanalytics/internal/lint/cachekey"
+	"rapidanalytics/internal/lint/closecheck"
 	"rapidanalytics/internal/lint/ctxloop"
 	"rapidanalytics/internal/lint/errtyped"
 	"rapidanalytics/internal/lint/hotalloc"
+	"rapidanalytics/internal/lint/lockorder"
 	"rapidanalytics/internal/lint/maporder"
 	"rapidanalytics/internal/lint/spansafe"
 )
 
-// Analyzers returns the full rapidlint suite in reporting order.
+// Analyzers returns the full rapidlint suite in reporting order: the five
+// intraprocedural checkers from the original suite, then the three
+// interprocedural ones built on serialized facts.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.Analyzer,
@@ -19,5 +24,21 @@ func Analyzers() []*analysis.Analyzer {
 		hotalloc.Analyzer,
 		spansafe.Analyzer,
 		errtyped.Analyzer,
+		closecheck.Analyzer,
+		lockorder.Analyzer,
+		cachekey.Analyzer,
+	}
+}
+
+// TestAnalyzers returns the subset of the suite that also applies to
+// _test.go files under rapidlint -tests: the lifecycle checkers, whose
+// invariants (cancel your contexts, close your resources) bind tests as
+// much as production code. The allocation, span-aliasing and ordering
+// analyzers police hot-path and determinism concerns that deliberately do
+// not constrain tests.
+func TestAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		closecheck.Analyzer,
 	}
 }

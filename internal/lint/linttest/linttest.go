@@ -31,7 +31,11 @@ import (
 )
 
 // Run loads testdata/src/<pkg> for each named fixture package, runs the
-// analyzer, and checks the diagnostics against the fixtures' want comments.
+// analyzer (with interprocedural facts flowing from the fixtures'
+// dependencies, exactly as in the real driver), and checks the diagnostics
+// against the fixtures' want comments. Fixture packages may import helper
+// packages under testdata/src; those are analyzed for facts only, so their
+// own want comments (if any) must be exercised by listing them as fixtures.
 func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	patterns := make([]string, len(fixtures))
@@ -42,16 +46,20 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	if len(pkgs) != len(fixtures) {
-		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(fixtures))
-	}
+	var targets []*driver.Package
 	for _, pkg := range pkgs {
-		diags, err := driver.Analyze(pkg, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("analyzing %s: %v", pkg.ImportPath, err)
+		if pkg.Target {
+			targets = append(targets, pkg)
 		}
-		checkWants(t, pkg, diags)
 	}
+	if len(targets) != len(fixtures) {
+		t.Fatalf("loaded %d target packages, want %d", len(targets), len(fixtures))
+	}
+	diags, err := driver.RunAll(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analyzing fixtures: %v", err)
+	}
+	checkWants(t, targets, diags)
 }
 
 // expectation is one golden diagnostic: a message regexp anchored to a line.
@@ -62,15 +70,17 @@ type expectation struct {
 	met  bool
 }
 
-func checkWants(t *testing.T, pkg *driver.Package, diags []driver.Diagnostic) {
+func checkWants(t *testing.T, pkgs []*driver.Package, diags []driver.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				pos := pkg.Fset.Position(c.Pos())
-				for _, re := range parseWants(t, pos.String(), c.Text) {
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, re := range parseWants(t, pos.String(), c.Text) {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
 			}
 		}

@@ -1,0 +1,410 @@
+// Package lockorder defines the lock-ordering analyzer: it builds a
+// mutex-acquisition graph across packages and reports acquisitions that
+// close a cycle — two code paths taking the same pair of locks in opposite
+// orders, the classic deadlock recipe.
+//
+// Locks are tracked as classes, not instances: a class is the declaration
+// site of the mutex — a struct field (store.Store.mu), a package-level
+// variable, or, for externally-lockable types embedding sync.Mutex, the
+// named type itself. Within a function the analyzer keeps the linear
+// held-set; acquiring B while holding A records the edge A → B. Two
+// serialized fact kinds make the graph interprocedural:
+//
+//   - AcquiresFact on a function lists the lock classes it may acquire,
+//     transitively through its callees; calling it while holding a lock
+//     adds edges from every held class to every acquired class.
+//   - EdgesFact on a package carries the package's local edges, so
+//     downstream packages detect cycles that no single package can see.
+//
+// The first edge between a pair of classes (in dependency and source
+// order) establishes the order; a later reversed edge is reported at its
+// acquisition site. Function literals are analyzed as separate units with
+// an empty held-set: the analyzer does not guess where a callback runs.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rapidanalytics/internal/lint/analysis"
+)
+
+// Analyzer reports lock acquisitions that close an ordering cycle.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "pairs of locks must be acquired in one consistent order on every path, across packages",
+	FactTypes: []analysis.Fact{(*AcquiresFact)(nil), (*EdgesFact)(nil)},
+	Run:       run,
+}
+
+// AcquiresFact lists the lock classes a function may take, directly or
+// through callees.
+type AcquiresFact struct {
+	// Classes are the acquired lock classes, sorted.
+	Classes []string
+}
+
+// AFact marks AcquiresFact as serializable analyzer currency.
+func (*AcquiresFact) AFact() {}
+
+// Edge is one observed ordering: To was acquired while From was held.
+type Edge struct {
+	// From is the lock class held; To is the class acquired under it.
+	From, To string
+}
+
+// EdgesFact carries a package's local acquisition-order edges to its
+// importers.
+type EdgesFact struct {
+	// Edges are the package's acquisition-order edges, deduplicated.
+	Edges []Edge
+}
+
+// AFact marks EdgesFact as serializable analyzer currency.
+func (*EdgesFact) AFact() {}
+
+// localEdge is an edge with its acquisition site, for reporting.
+type localEdge struct {
+	Edge
+	pos ast.Node
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := pass.Funcs()
+
+	// Phase 1: per-function acquire summaries to a fixpoint, so transitive
+	// acquisition through intra-package call chains converges.
+	analysis.Fixpoint(len(funcs)+2, func() bool {
+		changed := false
+		for _, fb := range funcs {
+			acq := map[string]bool{}
+			u := &unit{pass: pass, acquires: acq}
+			u.walkAll(fb.Decl.Body)
+			classes := keys(acq)
+			if len(classes) == 0 {
+				continue
+			}
+			var prev AcquiresFact
+			if !pass.ImportObjectFact(fb.Obj, &prev) || !equalStrings(prev.Classes, classes) {
+				pass.ExportObjectFact(fb.Obj, &AcquiresFact{Classes: classes})
+				changed = true
+			}
+		}
+		return changed
+	})
+
+	// Phase 2: collect the package's local edges in source order.
+	var edges []localEdge
+	for _, fb := range funcs {
+		u := &unit{pass: pass, trackEdges: true}
+		u.walkAll(fb.Decl.Body)
+		edges = append(edges, u.edges...)
+	}
+
+	// Phase 3: seed the graph with every dependency's edges, then add local
+	// edges one by one; an edge whose reverse direction is already
+	// reachable closes a cycle and is reported at its acquisition site.
+	graph := map[string]map[string]bool{}
+	addEdge := func(e Edge) {
+		if graph[e.From] == nil {
+			graph[e.From] = map[string]bool{}
+		}
+		graph[e.From][e.To] = true
+	}
+	for _, pf := range pass.AllPackageFacts(&EdgesFact{}) {
+		for _, e := range pf.Fact.(*EdgesFact).Edges {
+			addEdge(e)
+		}
+	}
+	reported := map[string]bool{}
+	pairKey := func(e Edge) string {
+		if e.From < e.To {
+			return e.From + "\x00" + e.To
+		}
+		return e.To + "\x00" + e.From
+	}
+	for _, le := range edges {
+		if reaches(graph, le.To, le.From) && !reported[pairKey(le.Edge)] {
+			reported[pairKey(le.Edge)] = true
+			pass.Reportf(le.pos.Pos(),
+				"acquiring %s while holding %s closes a lock-order cycle: %s is elsewhere acquired before %s; pick one order",
+				short(le.To), short(le.From), short(le.To), short(le.From))
+		}
+		addEdge(le.Edge)
+	}
+
+	// Export this package's own edges for importers.
+	seen := map[Edge]bool{}
+	var out []Edge
+	for _, le := range edges {
+		if !seen[le.Edge] {
+			seen[le.Edge] = true
+			out = append(out, le.Edge)
+		}
+	}
+	if len(out) > 0 {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].From != out[j].From {
+				return out[i].From < out[j].From
+			}
+			return out[i].To < out[j].To
+		})
+		pass.ExportPackageFact(&EdgesFact{Edges: out})
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from in the edge graph.
+func reaches(graph map[string]map[string]bool, from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	frontier := []string{from}
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for next := range graph[n] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return false
+}
+
+// unit walks one function body (or function literal) with a linear
+// held-set. Branches are traversed in sequence — an overapproximation of
+// the held-set that errs toward extra edges, never missed ones.
+type unit struct {
+	pass       *analysis.Pass
+	held       []string // acquisition order, duplicates counted
+	acquires   map[string]bool
+	trackEdges bool
+	edges      []localEdge
+	pending    []*ast.BlockStmt // function literals, analyzed fresh
+}
+
+// walkAll walks body and then every function literal found inside it, each
+// as its own unit with an empty held-set.
+func (u *unit) walkAll(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	u.walk(body)
+	for len(u.pending) > 0 {
+		next := u.pending[0]
+		u.pending = u.pending[1:]
+		sub := &unit{pass: u.pass, acquires: u.acquires, trackEdges: u.trackEdges}
+		sub.walk(next)
+		u.edges = append(u.edges, sub.edges...)
+		u.pending = append(u.pending, sub.pending...)
+	}
+}
+
+func (u *unit) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			u.pending = append(u.pending, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to function exit (the
+			// sticky case); a deferred closure runs at exit with an
+			// unknowable held-set, so it is analyzed as a fresh unit.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				u.pending = append(u.pending, lit.Body)
+			}
+			return false
+		case *ast.CallExpr:
+			if class, op, ok := u.mutexOp(n); ok {
+				if class == "" {
+					return false // unclassed (local) mutex
+				}
+				switch op {
+				case opAcquire:
+					u.acquire(class, n)
+				case opRelease:
+					u.release(class)
+				}
+				return false
+			}
+			u.applyCallee(n)
+			return true
+		}
+		return true
+	})
+}
+
+// acquire records edges from every held class and pushes the class.
+func (u *unit) acquire(class string, site ast.Node) {
+	if u.acquires != nil {
+		u.acquires[class] = true
+	}
+	if u.trackEdges {
+		for _, h := range u.held {
+			if h != class {
+				u.edges = append(u.edges, localEdge{Edge: Edge{From: h, To: class}, pos: site})
+			}
+		}
+	}
+	u.held = append(u.held, class)
+}
+
+// release drops the most recent acquisition of the class.
+func (u *unit) release(class string) {
+	for i := len(u.held) - 1; i >= 0; i-- {
+		if u.held[i] == class {
+			u.held = append(u.held[:i], u.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// applyCallee folds a static callee's acquire summary into the graph: its
+// classes are taken while the caller's held-set is live.
+func (u *unit) applyCallee(call *ast.CallExpr) {
+	callee := analysis.StaticCallee(u.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	var af AcquiresFact
+	if !u.pass.ImportObjectFact(callee, &af) {
+		return
+	}
+	for _, c := range af.Classes {
+		if u.acquires != nil {
+			u.acquires[c] = true
+		}
+		if u.trackEdges {
+			for _, h := range u.held {
+				if h != c {
+					u.edges = append(u.edges, localEdge{Edge: Edge{From: h, To: c}, pos: call})
+				}
+			}
+		}
+	}
+}
+
+type mutexVerb int
+
+const (
+	opAcquire mutexVerb = iota
+	opRelease
+)
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex Lock/Unlock and
+// resolves the lock class: the mutex's declaration site.
+func (u *unit) mutexOp(call *ast.CallExpr) (class string, op mutexVerb, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return "", 0, false
+	}
+	sel, isMethod := u.pass.TypesInfo.Selections[fun]
+	if !isMethod || sel.Kind() != types.MethodVal {
+		return "", 0, false
+	}
+	m, isFunc := sel.Obj().(*types.Func)
+	if !isFunc || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	// A promoted method means the receiver type embeds the mutex: the
+	// named type itself is the externally-lockable class.
+	if len(sel.Index()) > 1 {
+		if named := namedOf(sel.Recv()); named != nil {
+			return classOfType(named), op, true
+		}
+		return "", op, true
+	}
+	return u.classOfExpr(fun.X), op, true
+}
+
+// classOfExpr maps the mutex-valued receiver expression to its declaration
+// site: a field (owner type + field name) or a package-level variable.
+// Locals have no class — a lock that never escapes its function cannot
+// participate in a cross-function cycle.
+func (u *unit) classOfExpr(e ast.Expr) string {
+	info := u.pass.TypesInfo
+	switch rx := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if fsel, ok := info.Selections[rx]; ok && fsel.Kind() == types.FieldVal {
+			if named := namedOf(fsel.Recv()); named != nil {
+				return classOfType(named) + "." + fsel.Obj().Name()
+			}
+			return ""
+		}
+		// Qualified identifier: pkg.Var.
+		if v, ok := info.Uses[rx.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[rx].(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func classOfType(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// short trims a class to its trailing package segment for readable
+// diagnostics: ".../internal/share.Scheduler.mu" → "share.Scheduler.mu".
+func short(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rapidanalytics/internal/lint/linttest"
+	"rapidanalytics/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "lockorder_fx/store", "lockorder_fx/server")
+}

@@ -1,0 +1,35 @@
+// Package server is the cross-package half of the lockorder fixtures: its
+// cycle with the store package is invisible to either package alone and is
+// stitched together from the store's serialized acquire and edge facts.
+package server
+
+import (
+	"sync"
+
+	"rapidanalytics/internal/lint/lockorder/testdata/src/lockorder_fx/store"
+)
+
+// Server guards its routing table with mu and reads through a store.
+type Server struct {
+	mu sync.Mutex
+	st *store.Store
+}
+
+// Handle holds the server lock around a store read. The server lock is
+// only ever ordered before the store's locks, so this is a true negative —
+// but the edges exist only through Get's interprocedural acquire summary.
+func (sv *Server) Handle(k string) int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.st.Get(k)
+}
+
+// Evict holds the shared registry lock and re-enters the store. Grow takes
+// loadMu, and the store's Refill elsewhere nests the registry lock inside
+// loadMu: Registry → loadMu here versus loadMu → Registry there is a
+// deadlock no single package can see.
+func (sv *Server) Evict() {
+	store.Default.Lock()
+	defer store.Default.Unlock()
+	sv.st.Grow() // want "lock-order cycle"
+}

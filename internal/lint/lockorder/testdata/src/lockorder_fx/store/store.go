@@ -1,0 +1,78 @@
+// Package store is the dependency half of the lockorder fixtures: it
+// establishes the orders mu → loadMu and loadMu → Registry, contains one
+// in-package inversion, and exports its edges as facts for the server
+// fixture's cross-package cycle.
+package store
+
+import "sync"
+
+// Registry is externally lockable: callers hold the embedded mutex around
+// multi-step edits, so its class is the named type itself.
+type Registry struct {
+	sync.Mutex
+	entries map[string]int
+}
+
+// Default is the shared registry instance.
+var Default = &Registry{entries: map[string]int{}}
+
+// Store pairs a read lock with a load lock; the documented order is mu
+// before loadMu.
+type Store struct {
+	mu     sync.RWMutex
+	loadMu sync.Mutex
+	data   map[string]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: map[string]int{}}
+}
+
+// Get follows the documented order — mu, then loadMu — establishing the
+// edge the rest of the fixtures are judged against.
+func (s *Store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	return s.data[k]
+}
+
+// Reload inverts Get's order: the in-package cycle.
+func (s *Store) Reload(k string) {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.mu.RLock() // want "lock-order cycle"
+	defer s.mu.RUnlock()
+	_ = s.data[k]
+}
+
+// Refill nests the registry lock inside loadMu: the loadMu → Registry
+// edge travels to importers as a package fact.
+func (s *Store) Refill() {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	Default.Lock()
+	defer Default.Unlock()
+	Default.entries["refill"]++
+}
+
+// Grow takes only loadMu; its acquire summary is what lets the server
+// fixture close a cycle while holding the registry lock.
+func (s *Store) Grow() {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.data = map[string]int{}
+}
+
+// Rebalance releases before re-acquiring in the opposite nesting: a true
+// negative — no two locks are ever held together here.
+func (s *Store) Rebalance() {
+	s.loadMu.Lock()
+	s.data = map[string]int{}
+	s.loadMu.Unlock()
+	s.mu.Lock()
+	s.data["rebalanced"] = 1
+	s.mu.Unlock()
+}

@@ -345,6 +345,7 @@ func TestCancelMidCombineAborts(t *testing.T) {
 		Partitions: 1,
 		NewMapper: func(tc *TaskContext) Mapper {
 			return MapperFunc(func(rec []byte, emit Emit) error {
+				//lint:nocancel bounded by the keys test constant; the combiner is what cancels
 				for i := 0; i < keys; i++ {
 					emit(fmt.Sprintf("k%06d", i), rec)
 				}
@@ -385,6 +386,7 @@ type closeCancelMapper struct {
 }
 
 func (m *closeCancelMapper) Map(rec []byte, emit Emit) error {
+	//lint:nocancel bounded by the keys test constant; Close is what cancels
 	for i := 0; i < m.keys; i++ {
 		emit(fmt.Sprintf("k%06d", i), rec)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	ra "rapidanalytics"
+	"rapidanalytics/internal/lint/leaktest"
 )
 
 // testQuery is a two-grouping analytical query over the tiny shop graph;
@@ -231,6 +232,7 @@ func TestAdmissionOverflowReturns503(t *testing.T) {
 // clients can queue behind each other in the transport, which would
 // deadlock the barrier without testing anything about the server.
 func TestEightParallelInFlightQueries(t *testing.T) {
+	leaktest.Check(t)
 	const n = 8
 	s := New(shopStore(), Config{MaxConcurrent: n, QueryTimeout: time.Minute})
 	var barrier sync.WaitGroup
@@ -270,6 +272,7 @@ func TestEightParallelInFlightQueries(t *testing.T) {
 // query's context before any MapReduce cycle runs, and is recorded as a
 // client-closed request rather than a success.
 func TestCancelledRequestAborts(t *testing.T) {
+	leaktest.Check(t)
 	s := New(shopStore(), Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

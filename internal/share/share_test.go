@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rapidanalytics/internal/dfs"
+	"rapidanalytics/internal/lint/leaktest"
 )
 
 // writeFile materialises n records "rec-i" under name.
@@ -38,6 +39,7 @@ func drain(t *testing.T, it dfs.RecordIterator) [][]byte {
 }
 
 func TestSharedCycleServesAllConsumers(t *testing.T) {
+	leaktest.Check(t)
 	fs := dfs.New()
 	writeFile(t, fs, "store/1/vp/p", 100)
 	s := New(fs, Options{Window: 20 * time.Millisecond, Prefix: "store/"})
@@ -125,6 +127,7 @@ func TestMissingFilePropagatesError(t *testing.T) {
 }
 
 func TestMaxFanoutSealsEarly(t *testing.T) {
+	leaktest.Check(t)
 	fs := dfs.New()
 	writeFile(t, fs, "store/1/vp/p", 10)
 	// A window far longer than the test: the pass can only run if the
@@ -150,6 +153,7 @@ func TestMaxFanoutSealsEarly(t *testing.T) {
 // cancelled query's map task does) must not corrupt or stall the
 // remaining consumers. Run under -race.
 func TestCancelledConsumerDoesNotStallSiblings(t *testing.T) {
+	leaktest.Check(t)
 	fs := dfs.New()
 	writeFile(t, fs, "store/1/tg/c", 500)
 	s := New(fs, Options{Window: 20 * time.Millisecond, Prefix: "store/"})

@@ -67,6 +67,7 @@ func TestBuildVP(t *testing.T) {
 		if f.StoredBytes() >= f.Bytes() {
 			t.Errorf("%s table not compressed: stored %d >= logical %d", prop, f.StoredBytes(), f.Bytes())
 		}
+		f.Close()
 		// Rows decode as (subject, object) tuples.
 		tu, err := codec.DecodeTuple(firstRecord(t, fs, file))
 		if err != nil || len(tu) != 2 {
@@ -86,6 +87,7 @@ func TestBuildVP(t *testing.T) {
 		if f.NumRecords() != 1 {
 			t.Errorf("type partition %s rows = %d", typ, f.NumRecords())
 		}
+		f.Close()
 		tu, err := codec.DecodeTuple(firstRecord(t, fs, file))
 		if err != nil || len(tu) != 1 {
 			t.Errorf("type row = %v, %v", tu, err)

@@ -294,7 +294,9 @@ func TestWithCheckCancelsBetweenBatches(t *testing.T) {
 
 func TestWithCheckNilCheckPassthrough(t *testing.T) {
 	base := NewSliceIterator(nil)
-	if it := WithCheck(base, nil); it != Iterator(base) {
+	it := WithCheck(base, nil)
+	if it != Iterator(base) {
 		t.Fatal("WithCheck(nil) wrapped the iterator")
 	}
+	it.Close()
 }

@@ -555,7 +555,7 @@ func (s *Store) engineFor(sys System) (engine.Engine, error) {
 		e.Opts.CostPlanner = s.opts.CostBasedPlanner
 		e.Opts.ReplanRatio = s.opts.ReplanRatio
 		if s.results != nil {
-			e.SubResults = subResultCache{c: s.results}
+			e.SubResults = subResultCache{c: s.results, version: s.currentDataVersion()}
 		}
 		return e, nil
 	case RAPIDPlus:
@@ -850,15 +850,20 @@ func resultBytes(r *Result) int64 {
 }
 
 // subResultCache adapts the store's byte-budget cache to the core engine's
-// composite sub-relation seam, prefix-separating its keys from final
-// results.
+// composite sub-relation seam. Keys fold in the data version current when
+// the engine was built (the engine is per-execution, under the store read
+// lock): the core keys sub-results by dataset names alone, which would
+// otherwise keep serving pre-reload relations after a mutation rebuilds
+// them under the same names. The "comp" namespace separates the seam from
+// final results ("res\x00" keys).
 type subResultCache struct {
-	c *plancache.SizedCache
+	c       *plancache.SizedCache
+	version uint64
 }
 
 // Get implements core.SubResultCache.
 func (a subResultCache) Get(key string) (tgops.Source, bool) {
-	v, ok := a.c.Get("comp\x00" + key)
+	v, ok := a.c.Get("comp\x00" + plancache.VersionedKey("comp", a.version, key))
 	if !ok {
 		return tgops.Source{}, false
 	}
@@ -867,7 +872,7 @@ func (a subResultCache) Get(key string) (tgops.Source, bool) {
 
 // Put implements core.SubResultCache.
 func (a subResultCache) Put(key string, src tgops.Source, bytes int64) {
-	a.c.Put("comp\x00"+key, src, bytes)
+	a.c.Put("comp\x00"+plancache.VersionedKey("comp", a.version, key), src, bytes)
 }
 
 func wrapResult(res *engine.Result) *Result {
